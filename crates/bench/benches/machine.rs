@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the machine model: how cheap is one
+//! virtual-time step of the simulated node?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maestro_machine::msr::MsrDevice;
+use maestro_machine::{
+    CoreActivity, CoreId, Machine, MachineConfig, SocketId, ThermalParams, MSR_PKG_ENERGY_STATUS,
+};
+use std::hint::black_box;
+
+fn loaded_machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+    for (i, c) in m.topology().all_cores().enumerate() {
+        m.set_activity(c, CoreActivity::Busy { intensity: 0.1 * (i % 10) as f64, ocr: 2.0 });
+    }
+    m
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(40);
+
+    g.bench_function("advance_100us", |b| {
+        let mut m = loaded_machine();
+        b.iter(|| {
+            m.advance(black_box(100_000));
+            black_box(m.now_ns())
+        });
+    });
+
+    g.bench_function("node_power", |b| {
+        let m = loaded_machine();
+        b.iter(|| black_box(m.node_power_w()));
+    });
+
+    g.bench_function("rapl_msr_read", |b| {
+        let mut m = loaded_machine();
+        m.advance(1_000_000_000);
+        b.iter(|| black_box(m.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap()));
+    });
+
+    g.bench_function("contention_factor", |b| {
+        let m = loaded_machine();
+        b.iter(|| black_box(m.contention_factor(SocketId(0))));
+    });
+
+    g.bench_function("thermal_step", |b| {
+        let th = ThermalParams::default();
+        let mut t = 40.0;
+        b.iter(|| {
+            t = th.step(black_box(t), 70.0, 0.001);
+            black_box(t)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the tasking runtime: event-processing
+//! throughput of the fluid scheduler under different task-graph shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use maestro_machine::{Cost, Machine, MachineConfig};
+use maestro_runtime::{compute_leaf, fork_join, BoxTask, Runtime, RuntimeParams, TaskValue};
+use std::hint::black_box;
+
+fn runtime(workers: usize) -> Runtime {
+    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+}
+
+fn flat_bag(tasks: usize) -> BoxTask<()> {
+    let children: Vec<BoxTask<()>> =
+        (0..tasks).map(|_| compute_leaf(Cost::compute(100_000, 0.5))).collect();
+    fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()))
+}
+
+fn binary_tree(depth: u32) -> BoxTask<()> {
+    if depth == 0 {
+        return compute_leaf(Cost::compute(50_000, 0.5));
+    }
+    fork_join(vec![binary_tree(depth - 1), binary_tree(depth - 1)], |_, _| {
+        (Cost::ZERO, TaskValue::none())
+    })
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(20);
+
+    const BAG: usize = 4096;
+    g.throughput(Throughput::Elements(BAG as u64));
+    g.bench_function("flat_bag_4096_tasks_16_workers", |b| {
+        b.iter(|| {
+            let mut rt = runtime(16);
+            black_box(rt.run(&mut (), flat_bag(BAG)))
+        });
+    });
+
+    g.throughput(Throughput::Elements(1 << 12));
+    g.bench_function("binary_tree_depth12_16_workers", |b| {
+        b.iter(|| {
+            let mut rt = runtime(16);
+            black_box(rt.run(&mut (), binary_tree(12)))
+        });
+    });
+
+    g.throughput(Throughput::Elements(BAG as u64));
+    g.bench_function("flat_bag_4096_tasks_1_worker", |b| {
+        b.iter(|| {
+            let mut rt = runtime(1);
+            black_box(rt.run(&mut (), flat_bag(BAG)))
+        });
+    });
+
+    g.throughput(Throughput::Elements(BAG as u64));
+    g.bench_function("flat_bag_4096_throttled", |b| {
+        b.iter(|| {
+            let mut rt = runtime(16);
+            rt.throttle_mut().active = true;
+            rt.throttle_mut().limit_per_shepherd = 6;
+            black_box(rt.run(&mut (), flat_bag(BAG)))
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! CLI entry point: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! cargo run -p maestro-bench --release -- all
+//! cargo run -p maestro-bench --release -- table1 table4 fig1
+//! cargo run -p maestro-bench --release -- --test-scale table2
+//! ```
+
+use maestro_bench::experiments::{self, FigureGroup, ThrottleTarget};
+use maestro_bench::format;
+use maestro_workloads::{Family, Scale};
+
+const USAGE: &str = "\
+usage: maestro-bench [--test-scale] [--csv] <experiment>...
+
+  --csv emits machine-readable CSV instead of the aligned comparison tables
+  (supported for table1-3, fig1-4, and table4-7).
+
+experiments:
+  table1      Table I    — GCC vs ICC at -O2, 16 threads
+  table2      Table II   — GCC at O0-O3, 16 threads
+  table3      Table III  — ICC at O0-O3, 16 threads
+  fig1        Figure 1   — SIMPLE+LULESH scaling & energy, GCC
+  fig2        Figure 2   — SIMPLE+LULESH scaling & energy, ICC
+  fig3        Figure 3   — BOTS scaling & energy, GCC
+  fig4        Figure 4   — BOTS scaling & energy, ICC
+  table4      Table IV   — LULESH throttling (dynamic / fixed-16 / fixed-12)
+  table5      Table V    — dijkstra throttling
+  table6      Table VI   — BOTS health throttling
+  table7      Table VII  — BOTS strassen throttling
+  coldstart   §II-C fn.2 — cold-system energy effect
+  dutycycle   §IV        — low-power spin state savings
+  overhead    §IV-B      — controller overhead on a scaling benchmark
+  ablation    §IV/§V     — duty-cycle vs DVFS vs power-cap on LULESH
+  all         everything above, in order
+";
+
+fn run_one(name: &str, scale: Scale, csv: bool) -> bool {
+    let compiler = |title: &str, rows: &[experiments::CompilerRow]| {
+        if csv {
+            format::csv_compiler_rows(rows)
+        } else {
+            format::print_compiler_rows(title, rows)
+        }
+    };
+    let scaling = |title: &str, curves: &[experiments::ScalingCurve]| {
+        if csv {
+            format::csv_scaling(curves)
+        } else {
+            format::print_scaling(title, curves)
+        }
+    };
+    let throttling = |title: &str, rows: &[experiments::ThrottleRow]| {
+        if csv {
+            format::csv_throttling(rows)
+        } else {
+            format::print_throttling(title, rows)
+        }
+    };
+    match name {
+        "table1" => compiler(
+            "Table I — execution time and energy usage (16 threads, -O2)",
+            &experiments::table1(scale),
+        ),
+        "table2" => compiler(
+            "Table II — optimization level, GNU GCC (16 threads)",
+            &experiments::compiler_table(scale, Family::Gcc),
+        ),
+        "table3" => compiler(
+            "Table III — optimization level, Intel ICC (16 threads)",
+            &experiments::compiler_table(scale, Family::Icc),
+        ),
+        "fig1" => scaling(
+            "Figure 1 — SIMPLE/LULESH speedup and normalized energy (GCC -O2)",
+            &experiments::scaling_figure(scale, FigureGroup::SimpleAndLulesh, Family::Gcc),
+        ),
+        "fig2" => scaling(
+            "Figure 2 — SIMPLE/LULESH speedup and normalized energy (ICC -O2)",
+            &experiments::scaling_figure(scale, FigureGroup::SimpleAndLulesh, Family::Icc),
+        ),
+        "fig3" => scaling(
+            "Figure 3 — BOTS speedup and normalized energy (GCC -O2)",
+            &experiments::scaling_figure(scale, FigureGroup::Bots, Family::Gcc),
+        ),
+        "fig4" => scaling(
+            "Figure 4 — BOTS speedup and normalized energy (ICC -O2)",
+            &experiments::scaling_figure(scale, FigureGroup::Bots, Family::Icc),
+        ),
+        "table4" => throttling(
+            "Table IV — LULESH with MAESTRO (-O3)",
+            &experiments::throttling_table(scale, ThrottleTarget::Lulesh),
+        ),
+        "table5" => throttling(
+            "Table V — dijkstra with MAESTRO (-O3)",
+            &experiments::throttling_table(scale, ThrottleTarget::Dijkstra),
+        ),
+        "table6" => throttling(
+            "Table VI — BOTS health with MAESTRO (-O3)",
+            &experiments::throttling_table(scale, ThrottleTarget::Health),
+        ),
+        "table7" => throttling(
+            "Table VII — BOTS strassen with MAESTRO (-O3)",
+            &experiments::throttling_table(scale, ThrottleTarget::Strassen),
+        ),
+        "coldstart" => format::print_coldstart(&experiments::coldstart(scale)),
+        "dutycycle" => format::print_dutycycle(&experiments::dutycycle_probe()),
+        "overhead" => format::print_overhead(&experiments::overhead_probe(scale)),
+        "ablation" => format::print_ablation(&experiments::ablation(scale)),
+        "all" => {
+            for exp in [
+                "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "table4",
+                "table5", "table6", "table7", "coldstart", "dutycycle", "overhead", "ablation",
+            ] {
+                run_one(exp, scale, csv);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}\n{USAGE}");
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut csv = false;
+    args.retain(|a| match a.as_str() {
+        "--test-scale" => {
+            scale = Scale::Test;
+            false
+        }
+        "--csv" => {
+            csv = true;
+            false
+        }
+        _ => true,
+    });
+    if args.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    for name in &args {
+        if !run_one(name, scale, csv) {
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Alternative power-control policies, built to evaluate the paper's design
+//! choices rather than to reproduce a table.
+//!
+//! * [`DvfsController`] — the mechanism the paper argues *against* (§IV):
+//!   the same High/Medium/Low sensing, but acting on the package P-states
+//!   instead of the thread count. DVFS is package-global ("could only slow
+//!   all cores or none, whereas our duty cycle changes are per-core") and
+//!   pays a much larger transition cost. The `ablation` harness target
+//!   compares the two on the same workload.
+//! * [`PowerCapController`] — the §V outlook ("Concurrency throttling to
+//!   match parallelism to available power would operate well within a
+//!   multi-node power clamping environment"): keep node power under a fixed
+//!   bound by adjusting the shepherd-local concurrency limit, the software
+//!   analogue of RAPL power clamping (Rountree et al., HP-PAC 2012).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use maestro_machine::{Machine, PState};
+use maestro_rcr::{Level, MeterThresholds, RcrDaemon};
+use maestro_runtime::{Monitor, ThrottleState};
+
+// ---------------------------------------------------------------------
+// DVFS
+// ---------------------------------------------------------------------
+
+/// Trace of a DVFS controller's decisions.
+#[derive(Clone, Debug, Default)]
+pub struct DvfsTrace {
+    /// `(time_ns, pstate_index)` after each decision.
+    pub samples: Vec<(u64, usize)>,
+    /// Number of P-state transitions performed.
+    pub transitions: usize,
+}
+
+/// Shared handle to a [`DvfsTrace`].
+pub type DvfsTraceHandle = Rc<RefCell<DvfsTrace>>;
+
+/// Frequency-scaling controller: both meters High → one P-state down on
+/// *every* package (DVFS cannot act per core); both Low → one P-state up.
+pub struct DvfsController {
+    daemon: RcrDaemon,
+    power_thresholds: MeterThresholds,
+    memory_thresholds: MeterThresholds,
+    floor: PState,
+    trace: DvfsTraceHandle,
+}
+
+impl DvfsController {
+    /// Build with the paper's meter thresholds and a frequency floor.
+    pub fn new(machine: &Machine, floor: PState) -> (Self, DvfsTraceHandle) {
+        let trace: DvfsTraceHandle = Rc::new(RefCell::new(DvfsTrace::default()));
+        (
+            DvfsController {
+                daemon: RcrDaemon::new(machine),
+                power_thresholds: MeterThresholds::paper_power_w(),
+                memory_thresholds: MeterThresholds::paper_memory(
+                    machine.config().memory.max_outstanding_refs,
+                ),
+                floor,
+                trace: Rc::clone(&trace),
+            },
+            trace,
+        )
+    }
+}
+
+impl Monitor for DvfsController {
+    fn next_due_ns(&self) -> Option<u64> {
+        Some(self.daemon.next_due_ns())
+    }
+
+    fn fire(&mut self, machine: &mut Machine, _throttle: &mut ThrottleState) {
+        self.daemon.sample(machine);
+        let snaps = self.daemon.blackboard().snapshot_all();
+        let power_w = snaps.iter().map(|s| s.power_w).fold(0.0, f64::max);
+        let mem = snaps.iter().map(|s| s.mem_concurrency).fold(0.0, f64::max);
+        let power = self.power_thresholds.classify(power_w);
+        let memory = self.memory_thresholds.classify(mem);
+        let topo = machine.topology();
+        let current = machine.pstate(topo.all_sockets().next().expect("has sockets"));
+        let next = if self.daemon.samples_taken() < 2 {
+            current
+        } else {
+            match (power, memory) {
+                (Level::High, Level::High) => {
+                    let lower = current.lower();
+                    if lower.index() >= self.floor.index() {
+                        lower
+                    } else {
+                        current
+                    }
+                }
+                (Level::Low, Level::Low) => current.higher(),
+                _ => current,
+            }
+        };
+        if next != current {
+            // Package-global: every socket changes together (§IV's point).
+            for s in topo.all_sockets() {
+                machine.set_pstate(s, next);
+            }
+            self.trace.borrow_mut().transitions += 1;
+        }
+        self.trace.borrow_mut().samples.push((machine.now_ns(), next.index()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Power capping
+// ---------------------------------------------------------------------
+
+/// Trace of a power-cap controller.
+#[derive(Clone, Debug, Default)]
+pub struct PowerCapTrace {
+    /// `(time_ns, node_watts, limit_per_shepherd)` per decision.
+    pub samples: Vec<(u64, f64, usize)>,
+}
+
+impl PowerCapTrace {
+    /// Fraction of samples (after the first two warm-up samples) whose node
+    /// power respected the cap.
+    pub fn compliance(&self, cap_w: f64) -> f64 {
+        let decided = &self.samples[self.samples.len().min(2)..];
+        if decided.is_empty() {
+            return 1.0;
+        }
+        decided.iter().filter(|(_, w, _)| *w <= cap_w * 1.02).count() as f64 / decided.len() as f64
+    }
+}
+
+/// Shared handle to a [`PowerCapTrace`].
+pub type PowerCapTraceHandle = Rc<RefCell<PowerCapTrace>>;
+
+/// Keep whole-node power at or below a bound by adjusting the shepherd
+/// concurrency limit: over the cap → one fewer active worker per shepherd;
+/// comfortably under (≤ 92 %) → one more.
+pub struct PowerCapController {
+    daemon: RcrDaemon,
+    cap_w: f64,
+    max_limit: usize,
+    trace: PowerCapTraceHandle,
+}
+
+impl PowerCapController {
+    /// Cap node power at `cap_w` Watts on `machine`'s topology.
+    pub fn new(machine: &Machine, cap_w: f64) -> (Self, PowerCapTraceHandle) {
+        assert!(cap_w > 0.0, "cap must be positive");
+        let trace: PowerCapTraceHandle = Rc::new(RefCell::new(PowerCapTrace::default()));
+        (
+            PowerCapController {
+                daemon: RcrDaemon::new(machine),
+                cap_w,
+                max_limit: machine.topology().cores_per_socket as usize,
+                trace: Rc::clone(&trace),
+            },
+            trace,
+        )
+    }
+}
+
+impl Monitor for PowerCapController {
+    fn next_due_ns(&self) -> Option<u64> {
+        Some(self.daemon.next_due_ns())
+    }
+
+    fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState) {
+        self.daemon.sample(machine);
+        let node_w: f64 =
+            self.daemon.blackboard().snapshot_all().iter().map(|s| s.power_w).sum();
+        if self.daemon.samples_taken() >= 2 {
+            if node_w > self.cap_w {
+                throttle.limit_per_shepherd = throttle.limit_per_shepherd.saturating_sub(1).max(1);
+                throttle.active = true;
+            } else if node_w <= self.cap_w * 0.92 && throttle.limit_per_shepherd < self.max_limit {
+                throttle.limit_per_shepherd += 1;
+                if throttle.limit_per_shepherd >= self.max_limit {
+                    throttle.active = false;
+                }
+            }
+        }
+        self.trace.borrow_mut().samples.push((
+            machine.now_ns(),
+            node_w,
+            throttle.limit_per_shepherd,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_machine::{CoreActivity, MachineConfig, NS_PER_SEC};
+
+    fn hot_machine() -> Machine {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.95, ocr: 4.0 });
+        }
+        m
+    }
+
+    fn drive<M: Monitor>(m: &mut Machine, ctrl: &mut M, throttle: &mut ThrottleState, s: f64) {
+        let end = m.now_ns() + (s * NS_PER_SEC as f64) as u64;
+        while m.now_ns() < end {
+            if ctrl.next_due_ns().unwrap() <= m.now_ns() {
+                ctrl.fire(m, throttle);
+            }
+            m.advance(100_000_000);
+        }
+    }
+
+    #[test]
+    fn dvfs_steps_down_under_load_and_respects_floor() {
+        let mut m = hot_machine();
+        let floor = PState::floor_of(1.8);
+        let (mut ctrl, trace) = DvfsController::new(&m, floor);
+        let mut throttle = ThrottleState::new(8);
+        drive(&mut m, &mut ctrl, &mut throttle, 3.0);
+        let p = m.pstate(maestro_machine::SocketId(0));
+        assert!(p.index() >= floor.index(), "floor respected: {p}");
+        assert!(p.index() < PState::MAX.index(), "must have scaled down: {p}");
+        assert!(trace.borrow().transitions >= 1);
+        // Both sockets move together.
+        assert_eq!(m.pstate(maestro_machine::SocketId(0)), m.pstate(maestro_machine::SocketId(1)));
+    }
+
+    #[test]
+    fn dvfs_scales_back_up_when_idle() {
+        let mut m = hot_machine();
+        let (mut ctrl, _t) = DvfsController::new(&m, PState::MIN);
+        let mut throttle = ThrottleState::new(8);
+        drive(&mut m, &mut ctrl, &mut throttle, 3.0);
+        assert!(m.pstate(maestro_machine::SocketId(0)).index() < PState::MAX.index());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Idle);
+        }
+        drive(&mut m, &mut ctrl, &mut throttle, 3.0);
+        assert_eq!(m.pstate(maestro_machine::SocketId(0)), PState::MAX, "idle => back to nominal");
+    }
+
+    #[test]
+    fn dvfs_lowers_power() {
+        let mut m = hot_machine();
+        let before = m.node_power_w();
+        for s in m.topology().all_sockets() {
+            m.set_pstate(s, PState::MIN);
+        }
+        let after = m.node_power_w();
+        assert!(
+            after < before * 0.75,
+            "P-state floor must cut dynamic power hard: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn power_cap_tightens_limit_until_compliant() {
+        let mut m = hot_machine(); // draws ~150 W
+        let cap = 120.0;
+        let (mut ctrl, trace) = PowerCapController::new(&m, cap);
+        let mut throttle = ThrottleState::new(8);
+        drive(&mut m, &mut ctrl, &mut throttle, 2.0);
+        assert!(throttle.active);
+        assert!(throttle.limit_per_shepherd < 8, "limit must tighten: {throttle:?}");
+        assert!(!trace.borrow().samples.is_empty());
+        // Note: with a fixed synthetic load the machine's power does not
+        // actually drop (no scheduler in the loop) — the controller must
+        // keep tightening to its floor.
+        drive(&mut m, &mut ctrl, &mut throttle, 5.0);
+        assert_eq!(throttle.limit_per_shepherd, 1);
+    }
+
+    #[test]
+    fn power_cap_relaxes_when_cool() {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8()); // idle ~55 W
+        let (mut ctrl, _t) = PowerCapController::new(&m, 120.0);
+        let mut throttle = ThrottleState::new(3);
+        throttle.active = true;
+        drive(&mut m, &mut ctrl, &mut throttle, 2.0);
+        assert!(!throttle.active, "well under the cap: limit fully relaxed");
+        assert_eq!(throttle.limit_per_shepherd, 8);
+    }
+}

@@ -1,0 +1,233 @@
+//! The user-level throttling daemon (§IV / §IV-A of the paper).
+//!
+//! "Automatic throttling for Qthreads is implemented using two daemons: the
+//! system RCRdaemon … and, inside the Qthreads runtime, a user-level daemon
+//! that reads the shared memory region updated by RCRdaemon. The latter
+//! daemon activates every 0.1 seconds and uses very little CPU time. …
+//! It measures two metrics: current power utilization and memory bandwidth.
+//! The observed values are classified as High, Medium, or Low. When both
+//! conditions are High, a flag is set to activate throttling at the next
+//! opportunity. If both conditions are Low, throttling is disabled."
+//!
+//! In the virtual-time engine both daemons fire from the same monitor hook:
+//! the embedded [`RcrDaemon`] samples the hardware counters and publishes to
+//! the blackboard, then the controller reads the blackboard back and applies
+//! the classification rule. Keeping the blackboard in the middle preserves
+//! the paper's architecture (and lets tests and tools watch the same region
+//! the controller sees).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use maestro_machine::Machine;
+use maestro_rcr::{Level, MeterThresholds, RcrDaemon, ThrottleSignals};
+use maestro_runtime::{Monitor, ThrottleState};
+
+/// One controller decision, recorded for analysis.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ControllerSample {
+    /// Virtual time of the decision, nanoseconds.
+    pub t_ns: u64,
+    /// Highest per-socket smoothed power observed, Watts.
+    pub power_w: f64,
+    /// Highest per-socket memory concurrency observed, outstanding refs.
+    pub mem_concurrency: f64,
+    /// Power classification.
+    pub power_level: Level,
+    /// Memory classification.
+    pub memory_level: Level,
+    /// The throttle flag after applying the rule.
+    pub throttled: bool,
+}
+
+/// The full decision history of one controller.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerTrace {
+    /// Decisions in time order.
+    pub samples: Vec<ControllerSample>,
+}
+
+impl ControllerTrace {
+    /// Fraction of samples with the throttle flag set.
+    pub fn throttled_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.throttled).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Number of off→on transitions.
+    pub fn activations(&self) -> usize {
+        self.samples.windows(2).filter(|w| !w[0].throttled && w[1].throttled).count()
+            + usize::from(self.samples.first().is_some_and(|s| s.throttled))
+    }
+}
+
+/// Shared handle to a controller's trace (usable after the run finishes).
+pub type TraceHandle = Rc<RefCell<ControllerTrace>>;
+
+/// The adaptive controller: an RCR daemon plus the both-High/both-Low rule.
+pub struct ThrottleController {
+    daemon: RcrDaemon,
+    power_thresholds: MeterThresholds,
+    memory_thresholds: MeterThresholds,
+    trace: TraceHandle,
+}
+
+impl ThrottleController {
+    /// Build the controller for `machine` with the paper's thresholds
+    /// (power 75 W / 50 W per socket; memory 75 % / 25 % of the effective
+    /// maximum outstanding references). Returns the controller and a handle
+    /// to its decision trace.
+    pub fn new(machine: &Machine) -> (Self, TraceHandle) {
+        let memory_max = machine.config().memory.max_outstanding_refs;
+        Self::with_thresholds(
+            machine,
+            MeterThresholds::paper_power_w(),
+            MeterThresholds::paper_memory(memory_max),
+        )
+    }
+
+    /// Build with custom thresholds.
+    pub fn with_thresholds(
+        machine: &Machine,
+        power: MeterThresholds,
+        memory: MeterThresholds,
+    ) -> (Self, TraceHandle) {
+        let trace: TraceHandle = Rc::new(RefCell::new(ControllerTrace::default()));
+        (
+            ThrottleController {
+                daemon: RcrDaemon::new(machine),
+                power_thresholds: power,
+                memory_thresholds: memory,
+                trace: Rc::clone(&trace),
+            },
+            trace,
+        )
+    }
+
+    /// The blackboard the embedded RCR daemon publishes into.
+    pub fn blackboard(&self) -> &maestro_rcr::Blackboard {
+        self.daemon.blackboard()
+    }
+}
+
+impl Monitor for ThrottleController {
+    fn next_due_ns(&self) -> Option<u64> {
+        Some(self.daemon.next_due_ns())
+    }
+
+    fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState) {
+        self.daemon.sample(machine);
+        let snaps = self.daemon.blackboard().snapshot_all();
+        // Per-socket thresholds: the hottest socket drives the decision.
+        let power_w = snaps.iter().map(|s| s.power_w).fold(0.0, f64::max);
+        let mem = snaps.iter().map(|s| s.mem_concurrency).fold(0.0, f64::max);
+        let signals = ThrottleSignals {
+            power: self.power_thresholds.classify(power_w),
+            memory: self.memory_thresholds.classify(mem),
+        };
+        // The smoothed power meter needs two readings before it is valid;
+        // hold the current state during warm-up instead of reacting to a
+        // zero-Watt artifact.
+        let new_flag = if self.daemon.samples_taken() >= 2 {
+            signals.apply(throttle.active)
+        } else {
+            throttle.active
+        };
+        throttle.active = new_flag;
+        self.trace.borrow_mut().samples.push(ControllerSample {
+            t_ns: machine.now_ns(),
+            power_w,
+            mem_concurrency: mem,
+            power_level: signals.power,
+            memory_level: signals.memory,
+            throttled: new_flag,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_machine::{CoreActivity, MachineConfig, NS_PER_SEC};
+
+    fn fire_over(
+        machine: &mut Machine,
+        ctrl: &mut ThrottleController,
+        throttle: &mut ThrottleState,
+        seconds: f64,
+    ) {
+        let end = machine.now_ns() + (seconds * NS_PER_SEC as f64) as u64;
+        while machine.now_ns() < end {
+            if ctrl.next_due_ns().unwrap() <= machine.now_ns() {
+                ctrl.fire(machine, throttle);
+            }
+            machine.advance(100_000_000);
+        }
+    }
+
+    #[test]
+    fn high_power_high_memory_throttles() {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.95, ocr: 4.0 });
+        }
+        let (mut ctrl, trace) = ThrottleController::new(&m);
+        let mut throttle = ThrottleState::new(6);
+        fire_over(&mut m, &mut ctrl, &mut throttle, 2.0);
+        assert!(throttle.active, "hot+contended must throttle");
+        assert!(trace.borrow().throttled_fraction() > 0.5);
+    }
+
+    #[test]
+    fn idle_machine_unthrottles() {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        let (mut ctrl, _trace) = ThrottleController::new(&m);
+        let mut throttle = ThrottleState::new(6);
+        throttle.active = true; // pretend it was on
+        fire_over(&mut m, &mut ctrl, &mut throttle, 1.0);
+        assert!(!throttle.active, "idle machine is both-Low: must unthrottle");
+    }
+
+    #[test]
+    fn high_power_low_memory_holds_state() {
+        // Compute-bound: hot but no memory pressure — the classifier must
+        // neither enable nor disable throttling.
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 1.0, ocr: 0.2 });
+        }
+        for initial in [false, true] {
+            let (mut ctrl, _) = ThrottleController::new(&m);
+            let mut throttle = ThrottleState::new(6);
+            throttle.active = initial;
+            let mut m2 = m.clone();
+            fire_over(&mut m2, &mut ctrl, &mut throttle, 1.0);
+            assert_eq!(throttle.active, initial, "must hold {initial}");
+        }
+    }
+
+    #[test]
+    fn trace_records_levels_and_transitions() {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        let (mut ctrl, trace) = ThrottleController::new(&m);
+        let mut throttle = ThrottleState::new(6);
+        // Phase 1: idle (Low/Low).
+        fire_over(&mut m, &mut ctrl, &mut throttle, 0.5);
+        // Phase 2: hot and contended (High/High).
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.95, ocr: 4.0 });
+        }
+        fire_over(&mut m, &mut ctrl, &mut throttle, 1.0);
+        let t = trace.borrow();
+        assert!(t.samples.len() >= 10);
+        assert_eq!(t.activations(), 1, "exactly one off->on transition");
+        let first = t.samples.first().unwrap();
+        assert_eq!(first.power_level, Level::Low);
+        let last = t.samples.last().unwrap();
+        assert_eq!(last.power_level, Level::High);
+        assert_eq!(last.memory_level, Level::High);
+        assert!(last.throttled);
+    }
+}

@@ -1,0 +1,311 @@
+//! The MAESTRO facade: machine + runtime + controller, one call to run and
+//! measure a workload.
+
+use maestro_machine::{Machine, MachineConfig, PState};
+use maestro_rcr::Region;
+use maestro_runtime::{BoxTask, RunStats, Runtime, RuntimeParams, TaskValue};
+
+use crate::alternatives::{
+    DvfsController, DvfsTraceHandle, PowerCapController, PowerCapTraceHandle,
+};
+use crate::controller::{ThrottleController, TraceHandle};
+
+/// Concurrency policy for a run, matching the paper's table rows (plus the
+/// alternative mechanisms evaluated by the `ablation`/`powercap` targets).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Policy {
+    /// "N Threads - Fixed": `workers` workers, no throttling.
+    Fixed,
+    /// "16 Threads - Dynamic": all workers plus the adaptive controller,
+    /// which limits each shepherd to `limit_per_shepherd` active workers
+    /// while the throttle flag is set.
+    Adaptive {
+        /// Active-worker cap per shepherd while throttled (6 ⇒ 12 node-wide
+        /// on the 2-socket machine, the paper's configuration).
+        limit_per_shepherd: usize,
+    },
+    /// The DVFS alternative the paper argues against: same sensing, but the
+    /// response is a package-global P-state step with `floor` as the lowest
+    /// allowed frequency.
+    Dvfs {
+        /// Lowest P-state the controller may select.
+        floor: PState,
+    },
+    /// Power clamping: keep node power at or below the bound by adjusting
+    /// the shepherd concurrency limit (§V outlook; Rountree et al. 2012).
+    PowerCap {
+        /// Node power bound, Watts.
+        watts: f64,
+    },
+}
+
+/// Configuration of a [`Maestro`] instance.
+#[derive(Clone, Debug)]
+pub struct MaestroConfig {
+    /// The simulated node.
+    pub machine: MachineConfig,
+    /// Tasking-runtime parameters (including worker count).
+    pub runtime: RuntimeParams,
+    /// Fixed or adaptive concurrency.
+    pub policy: Policy,
+}
+
+impl MaestroConfig {
+    /// Fixed concurrency with `workers` workers on the paper's node.
+    pub fn fixed(workers: usize) -> Self {
+        MaestroConfig {
+            machine: MachineConfig::sandybridge_2x8(),
+            runtime: RuntimeParams::qthreads(workers),
+            policy: Policy::Fixed,
+        }
+    }
+
+    /// Adaptive throttling with `workers` workers and the paper's limit of
+    /// 6 active workers per shepherd (12 node-wide).
+    pub fn adaptive(workers: usize) -> Self {
+        MaestroConfig {
+            machine: MachineConfig::sandybridge_2x8(),
+            runtime: RuntimeParams::qthreads(workers),
+            policy: Policy::Adaptive { limit_per_shepherd: 6 },
+        }
+    }
+}
+
+/// Summary of the controller's behaviour during one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThrottleSummary {
+    /// Fraction of controller decisions with the flag set.
+    pub throttled_fraction: f64,
+    /// Off→on transitions.
+    pub activations: usize,
+    /// Controller decisions taken.
+    pub decisions: usize,
+    /// Worker-seconds spent in the low-power spin loop.
+    pub throttled_worker_s: f64,
+    /// Duty-register writes performed.
+    pub duty_writes: u64,
+}
+
+/// Everything measured about one run: the region report fields (time,
+/// Joules, Watts, temperatures) plus scheduler and controller statistics.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Workload label.
+    pub name: String,
+    /// Virtual execution time, seconds.
+    pub elapsed_s: f64,
+    /// Whole-node energy, Joules.
+    pub joules: f64,
+    /// Average node power, Watts.
+    pub avg_watts: f64,
+    /// Most recent chip temperature per socket, °C.
+    pub chip_temps_c: Vec<f64>,
+    /// Scheduler counters.
+    pub stats: RunStats,
+    /// Present for adaptive runs.
+    pub throttle: Option<ThrottleSummary>,
+    /// The root task's value.
+    pub value: TaskValue,
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<24} {:>8.2} s {:>9.0} J {:>7.1} W",
+            self.name, self.elapsed_s, self.joules, self.avg_watts
+        )?;
+        if let Some(t) = &self.throttle {
+            write!(
+                f,
+                "  [throttled {:.0}% of samples, {} activation(s)]",
+                t.throttled_fraction * 100.0,
+                t.activations
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The integrated system. Construct once per configuration; run one or more
+/// workloads (the machine stays warm between runs, as on real hardware).
+pub struct Maestro {
+    runtime: Runtime,
+    trace: Option<TraceHandle>,
+    dvfs_trace: Option<DvfsTraceHandle>,
+    powercap_trace: Option<PowerCapTraceHandle>,
+    policy: Policy,
+}
+
+impl Maestro {
+    /// Assemble machine, runtime, and (for adaptive policies) the RCR
+    /// daemon + throttle controller.
+    pub fn new(config: MaestroConfig) -> Self {
+        let machine = Machine::new(config.machine);
+        let mut runtime = Runtime::new(machine, config.runtime);
+        let mut trace = None;
+        let mut dvfs_trace = None;
+        let mut powercap_trace = None;
+        match config.policy {
+            Policy::Fixed => {}
+            Policy::Adaptive { limit_per_shepherd } => {
+                runtime.throttle_mut().limit_per_shepherd = limit_per_shepherd;
+                let (controller, t) = ThrottleController::new(runtime.machine());
+                runtime.add_monitor(Box::new(controller));
+                trace = Some(t);
+            }
+            Policy::Dvfs { floor } => {
+                let (controller, t) = DvfsController::new(runtime.machine(), floor);
+                runtime.add_monitor(Box::new(controller));
+                dvfs_trace = Some(t);
+            }
+            Policy::PowerCap { watts } => {
+                let (controller, t) = PowerCapController::new(runtime.machine(), watts);
+                runtime.add_monitor(Box::new(controller));
+                powercap_trace = Some(t);
+            }
+        }
+        Maestro { runtime, trace, dvfs_trace, powercap_trace, policy: config.policy }
+    }
+
+    /// The DVFS decision trace, when running under [`Policy::Dvfs`].
+    pub fn dvfs_trace(&self) -> Option<&DvfsTraceHandle> {
+        self.dvfs_trace.as_ref()
+    }
+
+    /// The power-cap trace, when running under [`Policy::PowerCap`].
+    pub fn powercap_trace(&self) -> Option<&PowerCapTraceHandle> {
+        self.powercap_trace.as_ref()
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The simulated machine (for inspection between runs).
+    pub fn machine(&self) -> &Machine {
+        self.runtime.machine()
+    }
+
+    /// Direct access to the underlying tasking runtime.
+    pub fn runtime_mut(&mut self) -> &mut Runtime {
+        &mut self.runtime
+    }
+
+    /// Execute `root` against `app`, measured with the RCR region API.
+    pub fn run<C>(&mut self, name: &str, app: &mut C, root: BoxTask<C>) -> RunReport {
+        let decisions_before = self.trace.as_ref().map_or(0, |t| t.borrow().samples.len());
+        let region = Region::start(name, self.runtime.machine());
+        let outcome = self.runtime.run(app, root);
+        let report = region.end(self.runtime.machine());
+        let throttle = self.trace.as_ref().map(|t| {
+            let trace = t.borrow();
+            let run_samples = &trace.samples[decisions_before..];
+            let throttled = run_samples.iter().filter(|s| s.throttled).count();
+            let activations = run_samples
+                .windows(2)
+                .filter(|w| !w[0].throttled && w[1].throttled)
+                .count()
+                + usize::from(run_samples.first().is_some_and(|s| s.throttled));
+            ThrottleSummary {
+                throttled_fraction: if run_samples.is_empty() {
+                    0.0
+                } else {
+                    throttled as f64 / run_samples.len() as f64
+                },
+                activations,
+                decisions: run_samples.len(),
+                throttled_worker_s: outcome.stats.throttled_worker_ns as f64 * 1e-9,
+                duty_writes: outcome.stats.duty_writes,
+            }
+        });
+        RunReport {
+            name: name.to_string(),
+            elapsed_s: report.elapsed_s,
+            joules: report.joules,
+            avg_watts: report.avg_watts,
+            chip_temps_c: report.chip_temps_c,
+            stats: outcome.stats,
+            throttle,
+            value: outcome.value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_machine::Cost;
+    use maestro_runtime::{compute_leaf, fork_join};
+
+    /// A workload that is both hot and memory-contended: many coarse tasks
+    /// with high intensity and high MLP.
+    fn contended_root(tasks: usize) -> BoxTask<()> {
+        let children: Vec<BoxTask<()>> = (0..tasks)
+            .map(|_| compute_leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95)))
+            .collect();
+        fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()))
+    }
+
+    /// A cleanly scaling compute-bound workload.
+    fn scalable_root(tasks: usize) -> BoxTask<()> {
+        let children: Vec<BoxTask<()>> =
+            (0..tasks).map(|_| compute_leaf(Cost::compute(27_000_000, 0.6))).collect();
+        fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()))
+    }
+
+    #[test]
+    fn fixed_policy_has_no_throttle_summary() {
+        let mut m = Maestro::new(MaestroConfig::fixed(16));
+        let r = m.run("fixed", &mut (), scalable_root(32));
+        assert!(r.throttle.is_none());
+        assert!(r.elapsed_s > 0.0 && r.joules > 0.0);
+    }
+
+    #[test]
+    fn adaptive_policy_throttles_contended_workload() {
+        let mut m = Maestro::new(MaestroConfig::adaptive(16));
+        let r = m.run("contended", &mut (), contended_root(2500));
+        let t = r.throttle.expect("adaptive run has a summary");
+        assert!(t.decisions > 5, "controller must have run: {t:?}");
+        assert!(t.throttled_fraction > 0.3, "hot+contended must throttle: {t:?}");
+        assert!(t.throttled_worker_s > 0.0);
+    }
+
+    #[test]
+    fn adaptive_reduces_power_on_contended_workload() {
+        let mut fixed = Maestro::new(MaestroConfig::fixed(16));
+        let rf = fixed.run("fixed", &mut (), contended_root(2500));
+        let mut adaptive = Maestro::new(MaestroConfig::adaptive(16));
+        let ra = adaptive.run("adaptive", &mut (), contended_root(2500));
+        assert!(
+            ra.avg_watts < rf.avg_watts - 3.0,
+            "adaptive {} W must undercut fixed {} W",
+            ra.avg_watts,
+            rf.avg_watts
+        );
+    }
+
+    #[test]
+    fn adaptive_leaves_scalable_workload_alone() {
+        // Compute-bound, low memory concurrency: controller must not engage,
+        // and overhead must be small (paper: ≤0.6 %).
+        let mut fixed = Maestro::new(MaestroConfig::fixed(16));
+        let rf = fixed.run("fixed", &mut (), scalable_root(320));
+        let mut adaptive = Maestro::new(MaestroConfig::adaptive(16));
+        let ra = adaptive.run("adaptive", &mut (), scalable_root(320));
+        let t = ra.throttle.unwrap();
+        assert_eq!(t.activations, 0, "must never throttle: {t:?}");
+        let overhead = (ra.elapsed_s - rf.elapsed_s) / rf.elapsed_s;
+        assert!(overhead.abs() < 0.006, "overhead {overhead}");
+    }
+
+    #[test]
+    fn report_display_mentions_throttling() {
+        let mut m = Maestro::new(MaestroConfig::adaptive(16));
+        let r = m.run("x", &mut (), contended_root(300));
+        let s = r.to_string();
+        assert!(s.contains('W') && s.contains("throttled"), "{s}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # maestro
+//!
+//! The paper's contribution: **automatic dynamic concurrency throttling** for
+//! energy reduction, integrating every substrate crate of this workspace:
+//!
+//! * `maestro-machine` — the two-socket Sandybridge node model (RAPL MSRs,
+//!   duty-cycle modulation, memory contention, thermals);
+//! * `maestro-rapl` — wrap-corrected energy metering;
+//! * `maestro-rcr` — the RCR daemon, blackboard, and H/M/L classifier;
+//! * `maestro-runtime` — the Qthreads/Sherwood tasking runtime with
+//!   shepherd-local throttle limits and low-power spin loops.
+//!
+//! The two pieces this crate adds are §IV of the paper:
+//!
+//! * [`ThrottleController`] — the user-level daemon: every 0.1 s it reads
+//!   the blackboard the RCR daemon publishes, classifies socket power and
+//!   memory concurrency as High / Medium / Low, and sets the throttle flag
+//!   when **both** are High, clears it when **both** are Low, and otherwise
+//!   holds (hysteresis).
+//! * [`Maestro`] — the facade tying machine + runtime + controller together
+//!   and measuring each run with the RCR region API.
+//!
+//! ```
+//! use maestro::{Maestro, MaestroConfig, Policy};
+//! use maestro_machine::Cost;
+//! use maestro_runtime::{compute_leaf, fork_join, TaskValue};
+//!
+//! let mut m = Maestro::new(MaestroConfig::adaptive(16));
+//! let children = (0..32).map(|_| compute_leaf(Cost::new(27_000_000, 40_000, 6.0, 0.9))).collect();
+//! let root = fork_join(children, |_: &mut (), _| (Cost::ZERO, TaskValue::none()));
+//! let report = m.run("demo", &mut (), root);
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alternatives;
+pub mod controller;
+pub mod facade;
+
+pub use alternatives::{DvfsController, DvfsTrace, PowerCapController, PowerCapTrace};
+pub use controller::{ControllerSample, ControllerTrace, TraceHandle, ThrottleController};
+pub use facade::{Maestro, MaestroConfig, Policy, RunReport, ThrottleSummary};

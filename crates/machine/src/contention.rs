@@ -1,0 +1,160 @@
+//! Memory-subsystem contention: the outstanding-references fluid model.
+//!
+//! The paper's throttling policy monitors "the number of outstanding memory
+//! references in the memory subsystem", citing Mandel et al. (ISPASS 2010):
+//! each processor has an *effective maximum* number of outstanding memory
+//! references; beyond it, bandwidth stops increasing and latency worsens.
+//! The policy's High threshold is 75 % of that maximum and the Low threshold
+//! is 25 %.
+//!
+//! We model each socket's memory subsystem as a fluid server:
+//!
+//! * every task running on the socket contributes its *average outstanding
+//!   reference count* (`ocr`, its memory-level parallelism weighted by the
+//!   memory-bound fraction of its execution);
+//! * while the socket total is at or below the effective maximum, memory
+//!   progress is unimpeded (`factor == 1.0`);
+//! * beyond the maximum, every task's memory-bound progress is scaled by
+//!   `max / total` — total bandwidth saturates, latency grows.
+//!
+//! Utilization (`total / max`, clamped to 1) is what the RCR daemon reports
+//! as the memory-concurrency meter.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the per-socket memory subsystem.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MemoryParams {
+    /// Effective maximum outstanding memory references per socket.
+    ///
+    /// Mandel et al. measured ~4-5 sustained outstanding misses per
+    /// Nehalem/Westmere core before the socket saturates; for the 8-core
+    /// Sandybridge package we use 36 (≈4.5/core).
+    pub max_outstanding_refs: f64,
+    /// Average latency of one cache-missing memory reference, nanoseconds.
+    pub mem_latency_ns: f64,
+    /// Power drawn by the socket's memory system at full utilization, Watts.
+    pub power_at_saturation_w: f64,
+    /// Bandwidth *loss* slope beyond the saturation knee: queueing and DRAM
+    /// row-buffer thrash make the effective maximum decay as oversubscription
+    /// grows — Mandel et al.'s "memory latency worsens" past the knee. The
+    /// effective maximum is `max·(1 − thrash·(total/max − 1))`, floored at
+    /// half the nominal maximum. This is what lets a 12-thread run finish
+    /// *before* a 16-thread run (the paper's Table V).
+    pub thrash_slope: f64,
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams {
+            max_outstanding_refs: 36.0,
+            mem_latency_ns: 75.0,
+            power_at_saturation_w: 6.0,
+            thrash_slope: 0.40,
+        }
+    }
+}
+
+impl MemoryParams {
+    /// The effective maximum outstanding references at the given demand,
+    /// after thrash decay beyond the knee.
+    #[inline]
+    pub fn effective_max(&self, total_ocr: f64) -> f64 {
+        if total_ocr <= self.max_outstanding_refs {
+            return self.max_outstanding_refs;
+        }
+        let over = total_ocr / self.max_outstanding_refs - 1.0;
+        (self.max_outstanding_refs * (1.0 - self.thrash_slope * over))
+            .max(0.5 * self.max_outstanding_refs)
+    }
+
+    /// Progress-rate multiplier for memory-bound work when the socket has
+    /// `total_ocr` outstanding references in flight.
+    ///
+    /// `1.0` when uncontended, `effective_max/total < 1.0` once saturated.
+    #[inline]
+    pub fn contention_factor(&self, total_ocr: f64) -> f64 {
+        debug_assert!(total_ocr >= 0.0);
+        if total_ocr <= self.max_outstanding_refs || total_ocr == 0.0 {
+            1.0
+        } else {
+            self.effective_max(total_ocr) / total_ocr
+        }
+    }
+
+    /// Memory-concurrency utilization in `[0, 1]`: the fraction of the
+    /// effective maximum currently outstanding.
+    #[inline]
+    pub fn utilization(&self, total_ocr: f64) -> f64 {
+        (total_ocr / self.max_outstanding_refs).clamp(0.0, 1.0)
+    }
+
+    /// Instantaneous memory-system power at the given utilization, Watts.
+    #[inline]
+    pub fn power_w(&self, utilization: f64) -> f64 {
+        self.power_at_saturation_w * utilization.clamp(0.0, 1.0)
+    }
+
+    /// Achieved bandwidth in references per second for the socket.
+    #[inline]
+    pub fn achieved_refs_per_sec(&self, total_ocr: f64) -> f64 {
+        let effective = total_ocr.min(self.effective_max(total_ocr));
+        effective / (self.mem_latency_ns * 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> MemoryParams {
+        MemoryParams::default()
+    }
+
+    #[test]
+    fn uncontended_factor_is_one() {
+        assert_eq!(p().contention_factor(0.0), 1.0);
+        assert_eq!(p().contention_factor(10.0), 1.0);
+        assert_eq!(p().contention_factor(36.0), 1.0);
+    }
+
+    #[test]
+    fn saturated_factor_scales_inverse_with_thrash() {
+        // At 2× the knee, effective max is 36·(1 − 0.40) = 21.6.
+        let f = p().contention_factor(72.0);
+        assert!((f - 21.6 / 72.0).abs() < 1e-12, "f={f}");
+    }
+
+    #[test]
+    fn thrash_decays_bandwidth_past_knee() {
+        let at_knee = p().achieved_refs_per_sec(36.0);
+        let over = p().achieved_refs_per_sec(45.0);
+        assert!(over < at_knee, "oversubscription must lose bandwidth: {over} vs {at_knee}");
+        // But never below half the nominal maximum.
+        let extreme = p().achieved_refs_per_sec(1000.0);
+        assert!(extreme >= at_knee * 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        assert_eq!(p().utilization(0.0), 0.0);
+        assert!((p().utilization(18.0) - 0.5).abs() < 1e-12);
+        assert_eq!(p().utilization(100.0), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_peaks_at_knee() {
+        let below = p().achieved_refs_per_sec(18.0);
+        let at = p().achieved_refs_per_sec(36.0);
+        let above = p().achieved_refs_per_sec(80.0);
+        assert!(below < at);
+        assert!(above <= at, "bandwidth must not grow past the knee");
+    }
+
+    #[test]
+    fn power_tracks_utilization() {
+        assert_eq!(p().power_w(0.0), 0.0);
+        assert!((p().power_w(0.5) - 3.0).abs() < 1e-12);
+        assert!((p().power_w(2.0) - 6.0).abs() < 1e-12, "clamped above 1");
+    }
+}

@@ -1,0 +1,179 @@
+//! Task cost descriptors.
+//!
+//! Every schedulable unit of work (a loop-iteration chunk or an explicit
+//! task) carries a [`Cost`] describing what it demands from the machine:
+//! CPU cycles, cache-missing memory references, the memory-level parallelism
+//! it sustains, and an execution-intensity factor used by the power model.
+//!
+//! The runtime converts a `Cost` into two fluid work buckets:
+//!
+//! * **CPU time** — `cpu_cycles / f_nominal`, consumed at the core's duty
+//!   fraction;
+//! * **memory time** — `mem_refs × latency / mlp`, consumed at the socket's
+//!   contention factor.
+//!
+//! The split between the two buckets (the task's *memory fraction*) is what
+//! makes memory-bound programs like the untuned mergesort scale to only a
+//! couple of threads while compute-bound ones like BOTS nqueens scale to 16,
+//! exactly the spread observed in the paper's Figures 1-4.
+
+use serde::{Deserialize, Serialize};
+
+/// The resource demand of one schedulable unit of work.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Cost {
+    /// CPU cycles of computation at nominal frequency.
+    pub cpu_cycles: u64,
+    /// Cache-missing memory references.
+    pub mem_refs: u64,
+    /// Average memory-level parallelism: how many of those references the
+    /// core keeps outstanding simultaneously (≥ 1).
+    pub mlp: f64,
+    /// Execution intensity in `[0, 1]` for the power model: how many
+    /// execution units the compute portion keeps lit (FP-dense ≈ 1,
+    /// pointer-chasing / scheduling-bound ≈ 0.1).
+    pub intensity: f64,
+}
+
+impl Cost {
+    /// A zero-cost marker (bookkeeping steps).
+    pub const ZERO: Cost = Cost { cpu_cycles: 0, mem_refs: 0, mlp: 1.0, intensity: 0.0 };
+
+    /// Build a cost; `mlp` is clamped to at least 1 and `intensity` into
+    /// `[0, 1]`.
+    pub fn new(cpu_cycles: u64, mem_refs: u64, mlp: f64, intensity: f64) -> Self {
+        Cost {
+            cpu_cycles,
+            mem_refs,
+            mlp: if mlp.is_finite() && mlp > 1.0 { mlp } else { 1.0 },
+            intensity: if intensity.is_finite() { intensity.clamp(0.0, 1.0) } else { 0.0 },
+        }
+    }
+
+    /// Pure-compute cost.
+    pub fn compute(cpu_cycles: u64, intensity: f64) -> Self {
+        Cost::new(cpu_cycles, 0, 1.0, intensity)
+    }
+
+    /// CPU service demand in nanoseconds at `freq_ghz` nominal frequency and
+    /// full duty.
+    #[inline]
+    pub fn cpu_time_ns(&self, freq_ghz: f64) -> f64 {
+        self.cpu_cycles as f64 / freq_ghz
+    }
+
+    /// Memory service demand in nanoseconds at latency `lat_ns` when
+    /// uncontended.
+    #[inline]
+    pub fn mem_time_ns(&self, lat_ns: f64) -> f64 {
+        self.mem_refs as f64 * lat_ns / self.mlp
+    }
+
+    /// Uncontended duration at full duty, nanoseconds (CPU and memory phases
+    /// serialized; workloads that overlap the two express it through `mlp`).
+    #[inline]
+    pub fn duration_ns(&self, freq_ghz: f64, lat_ns: f64) -> f64 {
+        self.cpu_time_ns(freq_ghz) + self.mem_time_ns(lat_ns)
+    }
+
+    /// Fraction of the uncontended duration spent waiting on memory.
+    pub fn mem_fraction(&self, freq_ghz: f64, lat_ns: f64) -> f64 {
+        let total = self.duration_ns(freq_ghz, lat_ns);
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.mem_time_ns(lat_ns) / total
+        }
+    }
+
+    /// Time-averaged outstanding memory references this task contributes to
+    /// its socket: `mlp` during the memory-bound fraction, 0 otherwise.
+    pub fn avg_outstanding_refs(&self, freq_ghz: f64, lat_ns: f64) -> f64 {
+        self.mlp * self.mem_fraction(freq_ghz, lat_ns)
+    }
+
+    /// Sum of two costs, taking demand-weighted averages of `mlp` and
+    /// `intensity`.
+    pub fn merged(&self, other: &Cost) -> Cost {
+        let w_self = self.cpu_cycles as f64 + self.mem_refs as f64;
+        let w_other = other.cpu_cycles as f64 + other.mem_refs as f64;
+        let w_total = w_self + w_other;
+        let blend = |a: f64, b: f64| {
+            if w_total == 0.0 {
+                a.max(b)
+            } else {
+                (a * w_self + b * w_other) / w_total
+            }
+        };
+        Cost {
+            cpu_cycles: self.cpu_cycles + other.cpu_cycles,
+            mem_refs: self.mem_refs + other.mem_refs,
+            mlp: blend(self.mlp, other.mlp),
+            intensity: blend(self.intensity, other.intensity),
+        }
+    }
+}
+
+impl Default for Cost {
+    fn default() -> Self {
+        Cost::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: f64 = 2.7; // GHz
+    const L: f64 = 75.0; // ns
+
+    #[test]
+    fn pure_compute_has_no_mem_fraction() {
+        let c = Cost::compute(2_700, 0.8);
+        assert!((c.cpu_time_ns(F) - 1000.0).abs() < 1e-9);
+        assert_eq!(c.mem_fraction(F, L), 0.0);
+        assert_eq!(c.avg_outstanding_refs(F, L), 0.0);
+    }
+
+    #[test]
+    fn mlp_divides_memory_time() {
+        let serial = Cost::new(0, 1000, 1.0, 0.2);
+        let parallel4 = Cost::new(0, 1000, 4.0, 0.2);
+        assert!((serial.mem_time_ns(L) - 75_000.0).abs() < 1e-9);
+        assert!((parallel4.mem_time_ns(L) - 18_750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cost_is_inert() {
+        let z = Cost::ZERO;
+        assert_eq!(z.duration_ns(F, L), 0.0);
+        assert_eq!(z.mem_fraction(F, L), 0.0);
+    }
+
+    #[test]
+    fn clamps_bad_inputs() {
+        let c = Cost::new(1, 1, 0.0, 7.0);
+        assert_eq!(c.mlp, 1.0);
+        assert_eq!(c.intensity, 1.0);
+        let c = Cost::new(1, 1, f64::NAN, f64::NAN);
+        assert_eq!(c.mlp, 1.0);
+        assert_eq!(c.intensity, 0.0);
+    }
+
+    #[test]
+    fn pure_memory_task_ocr_is_mlp() {
+        let c = Cost::new(0, 500, 6.0, 0.1);
+        assert!((c.avg_outstanding_refs(F, L) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_adds_demands() {
+        let a = Cost::new(1000, 0, 1.0, 1.0);
+        let b = Cost::new(0, 1000, 4.0, 0.0);
+        let m = a.merged(&b);
+        assert_eq!(m.cpu_cycles, 1000);
+        assert_eq!(m.mem_refs, 1000);
+        assert!(m.mlp > 1.0 && m.mlp < 4.0);
+        assert!(m.intensity > 0.0 && m.intensity < 1.0);
+    }
+}

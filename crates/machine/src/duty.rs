@@ -1,0 +1,154 @@
+//! Per-core clock duty-cycle modulation.
+//!
+//! Sandybridge exposes `IA32_CLOCK_MODULATION` (MSR 0x19A): software can ask
+//! the core to run only a fraction of clock cycles. The paper uses this — not
+//! DVFS — to idle throttled threads because it is per-core and takes effect
+//! in the time of ~250 memory operations rather than tens of thousands of
+//! cycles. On their Sandybridge parts the effective frequency can be reduced
+//! to 1/32 of nominal.
+//!
+//! We model the register as a level in `1..=32` out of 32. The MSR encoding
+//! used by the simulated register is:
+//!
+//! ```text
+//! bit  6   : modulation enable
+//! bits 5..0: duty level in 1/32nds (only meaningful when enabled)
+//! ```
+//!
+//! A disabled register means full speed (level 32).
+
+use serde::{Deserialize, Serialize};
+
+/// A clock duty cycle: the core runs `level/32` of nominal frequency.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DutyCycle {
+    level: u8, // 1..=32
+}
+
+/// Error returned for out-of-range duty levels.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DutyError(pub u8);
+
+impl std::fmt::Display for DutyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "duty level {} out of range 1..=32", self.0)
+    }
+}
+
+impl std::error::Error for DutyError {}
+
+impl DutyCycle {
+    /// Full speed: 32/32.
+    pub const FULL: DutyCycle = DutyCycle { level: 32 };
+    /// The minimum duty cycle supported by the hardware: 1/32.
+    pub const MIN: DutyCycle = DutyCycle { level: 1 };
+
+    /// Create a duty cycle of `level/32`. `level` must be in `1..=32`.
+    pub fn new(level: u8) -> Result<Self, DutyError> {
+        if (1..=32).contains(&level) {
+            Ok(DutyCycle { level })
+        } else {
+            Err(DutyError(level))
+        }
+    }
+
+    /// The raw level (numerator of `level/32`).
+    #[inline]
+    pub fn level(self) -> u8 {
+        self.level
+    }
+
+    /// The fraction of nominal frequency this duty cycle delivers.
+    #[inline]
+    pub fn fraction(self) -> f64 {
+        f64::from(self.level) / 32.0
+    }
+
+    /// True when the core is fully throttled to 1/32 (the paper's spin state).
+    #[inline]
+    pub fn is_min(self) -> bool {
+        self.level == 1
+    }
+
+    /// Encode as the simulated `IA32_CLOCK_MODULATION` register value.
+    pub fn encode_msr(self) -> u64 {
+        if self.level == 32 {
+            0 // modulation disabled
+        } else {
+            (1 << 6) | u64::from(self.level)
+        }
+    }
+
+    /// Decode a simulated `IA32_CLOCK_MODULATION` register value.
+    ///
+    /// A cleared enable bit always decodes to [`DutyCycle::FULL`]; an enabled
+    /// level of 0 or >32 is rejected, mirroring hardware #GP on reserved
+    /// encodings.
+    pub fn decode_msr(value: u64) -> Result<Self, DutyError> {
+        if value & (1 << 6) == 0 {
+            return Ok(DutyCycle::FULL);
+        }
+        let level = (value & 0x3F) as u8;
+        DutyCycle::new(level)
+    }
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        DutyCycle::FULL
+    }
+}
+
+impl std::fmt::Display for DutyCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/32", self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_bounds() {
+        assert_eq!(DutyCycle::FULL.fraction(), 1.0);
+        assert_eq!(DutyCycle::MIN.fraction(), 1.0 / 32.0);
+        assert!(DutyCycle::MIN.is_min());
+        assert!(!DutyCycle::FULL.is_min());
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(DutyCycle::new(0).is_err());
+        assert!(DutyCycle::new(33).is_err());
+        assert!(DutyCycle::new(16).is_ok());
+    }
+
+    #[test]
+    fn msr_round_trip_all_levels() {
+        for level in 1..=32u8 {
+            let d = DutyCycle::new(level).unwrap();
+            let back = DutyCycle::decode_msr(d.encode_msr()).unwrap();
+            assert_eq!(back, d, "level {level}");
+        }
+    }
+
+    #[test]
+    fn disabled_msr_is_full_speed() {
+        assert_eq!(DutyCycle::decode_msr(0).unwrap(), DutyCycle::FULL);
+        // Garbage in low bits with enable clear is still full speed.
+        assert_eq!(DutyCycle::decode_msr(0x15).unwrap(), DutyCycle::FULL);
+    }
+
+    #[test]
+    fn enabled_reserved_encodings_rejected() {
+        assert!(DutyCycle::decode_msr(1 << 6).is_err()); // level 0
+        assert!(DutyCycle::decode_msr((1 << 6) | 33).is_err());
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = DutyCycle::new(0).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Dynamic voltage and frequency scaling (DVFS) — the mechanism the paper
+//! deliberately does *not* use, modeled so the choice can be evaluated.
+//!
+//! §IV: "DVFS has two significant disadvantages. First, as currently
+//! implemented, it affects all cores on a processor. It also requires
+//! significant OS and hardware overhead to adjust the voltage without having
+//! instructions fail." (Kimura et al. put the transition at tens of
+//! thousands of cycles.) Duty-cycle modulation, by contrast, is per-core
+//! and takes ~250 memory operations.
+//!
+//! The model follows the Sandybridge P-state interface (`IA32_PERF_CTL`):
+//! a per-*package* frequency selected from a discrete ladder. Voltage
+//! scales roughly linearly with frequency across the ladder, so dynamic
+//! power scales ≈ cubically with frequency while static/base terms do not —
+//! the standard `P ∝ f·V²` first-order model.
+
+use serde::{Deserialize, Serialize};
+
+/// The P-state ladder of the modeled Xeon E5-2680 (GHz), TurboBoost off.
+pub const PSTATES_GHZ: &[f64] = &[1.2, 1.5, 1.8, 2.1, 2.4, 2.7];
+
+/// A P-state: an index into [`PSTATES_GHZ`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PState(u8);
+
+impl PState {
+    /// The lowest frequency (1.2 GHz).
+    pub const MIN: PState = PState(0);
+    /// Nominal frequency (2.7 GHz).
+    pub const MAX: PState = PState(PSTATES_GHZ.len() as u8 - 1);
+
+    /// P-state for ladder index `idx`.
+    pub fn new(idx: u8) -> Option<PState> {
+        if (idx as usize) < PSTATES_GHZ.len() {
+            Some(PState(idx))
+        } else {
+            None
+        }
+    }
+
+    /// The closest P-state at or below `ghz` (clamps to the ladder ends).
+    pub fn floor_of(ghz: f64) -> PState {
+        let mut best = PState::MIN;
+        for (i, &f) in PSTATES_GHZ.iter().enumerate() {
+            if f <= ghz + 1e-9 {
+                best = PState(i as u8);
+            }
+        }
+        best
+    }
+
+    /// Ladder index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Frequency in GHz.
+    pub fn ghz(self) -> f64 {
+        PSTATES_GHZ[self.index()]
+    }
+
+    /// Fraction of nominal frequency.
+    pub fn fraction(self) -> f64 {
+        self.ghz() / PState::MAX.ghz()
+    }
+
+    /// Relative core *dynamic power* at this P-state: `f·V²` with voltage
+    /// interpolated linearly from 0.75 V (min) to 1.05 V (max).
+    pub fn dynamic_power_fraction(self) -> f64 {
+        let v = 0.75 + (1.05 - 0.75) * (self.ghz() - 1.2) / (2.7 - 1.2);
+        let v_max: f64 = 1.05;
+        (self.ghz() / 2.7) * (v * v) / (v_max * v_max)
+    }
+
+    /// One step down the ladder (saturates at the bottom).
+    pub fn lower(self) -> PState {
+        PState(self.0.saturating_sub(1))
+    }
+
+    /// One step up the ladder (saturates at the top).
+    pub fn higher(self) -> PState {
+        PState((self.0 + 1).min(PState::MAX.0))
+    }
+}
+
+impl Default for PState {
+    fn default() -> Self {
+        PState::MAX
+    }
+}
+
+impl std::fmt::Display for PState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}GHz", self.ghz())
+    }
+}
+
+/// DVFS mechanism parameters.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct DvfsParams {
+    /// Cycles (at nominal frequency) a P-state transition stalls the
+    /// *entire package* — "tens of thousands of cycles" (Kimura et al.).
+    pub transition_cycles: u64,
+}
+
+impl Default for DvfsParams {
+    fn default() -> Self {
+        DvfsParams { transition_cycles: 50_000 }
+    }
+}
+
+impl DvfsParams {
+    /// Transition latency in nanoseconds at `freq_ghz` nominal.
+    pub fn transition_ns(&self, freq_ghz: f64) -> u64 {
+        (self.transition_cycles as f64 / freq_ghz) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone() {
+        for w in PSTATES_GHZ.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(PState::MAX.ghz(), 2.7);
+        assert_eq!(PState::MIN.ghz(), 1.2);
+    }
+
+    #[test]
+    fn floor_of_clamps_and_selects() {
+        assert_eq!(PState::floor_of(2.7).ghz(), 2.7);
+        assert_eq!(PState::floor_of(2.0).ghz(), 1.8);
+        assert_eq!(PState::floor_of(0.5).ghz(), 1.2);
+        assert_eq!(PState::floor_of(99.0).ghz(), 2.7);
+    }
+
+    #[test]
+    fn dynamic_power_scales_superlinearly() {
+        // Halving frequency must cut dynamic power by much more than half.
+        let full = PState::MAX.dynamic_power_fraction();
+        let min = PState::MIN.dynamic_power_fraction();
+        assert!((full - 1.0).abs() < 1e-12);
+        let freq_ratio = PState::MIN.fraction();
+        assert!(
+            min < freq_ratio * 0.8,
+            "f·V² must beat linear: {min} vs linear {freq_ratio}"
+        );
+    }
+
+    #[test]
+    fn stepping_saturates() {
+        assert_eq!(PState::MIN.lower(), PState::MIN);
+        assert_eq!(PState::MAX.higher(), PState::MAX);
+        assert_eq!(PState::MAX.lower().higher(), PState::MAX);
+    }
+
+    #[test]
+    fn transition_is_tens_of_thousands_of_cycles() {
+        let p = DvfsParams::default();
+        let ns = p.transition_ns(2.7);
+        // Far more than the ~19 µs duty-cycle write? No: comparable in ns
+        // but global to the package; the *scope* is the difference.
+        assert!((10_000..=100_000).contains(&ns), "{ns} ns");
+    }
+
+    #[test]
+    fn new_validates_index() {
+        assert!(PState::new(0).is_some());
+        assert!(PState::new(5).is_some());
+        assert!(PState::new(6).is_none());
+    }
+}

@@ -1,0 +1,577 @@
+//! The virtual-time machine: core activity, clock, energy integration.
+//!
+//! A scheduler drives the machine in alternating phases: it declares what
+//! every core is doing ([`Machine::set_activity`], [`Machine::set_duty`]),
+//! then advances virtual time ([`Machine::advance`]) to the next scheduling
+//! event. During `advance` the machine integrates package power into the
+//! RAPL energy counters and steps the thermal model. Nothing here is
+//! wall-clock dependent; identical call sequences produce identical state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::contention::MemoryParams;
+use crate::duty::DutyCycle;
+use crate::dvfs::{DvfsParams, PState};
+use crate::msr::{
+    MsrDevice, MsrError, IA32_CLOCK_MODULATION, IA32_PERF_CTL, IA32_THERM_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+};
+use crate::power::{CorePowerState, PowerParams};
+use crate::thermal::ThermalParams;
+use crate::topology::{CoreId, SocketId, Topology};
+use crate::{NS_PER_SEC, RAPL_UNIT_JOULES};
+
+/// What a core is doing during the next `advance` interval.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum CoreActivity {
+    /// Parked or blocked in the OS — near-zero power, no progress.
+    Idle,
+    /// Busy-waiting in a spin loop (power scales with the core's duty cycle).
+    Spin,
+    /// Executing a task.
+    Busy {
+        /// Execution-unit intensity in `[0, 1]` (power model input).
+        intensity: f64,
+        /// Average outstanding memory references the task sustains
+        /// (contention model input).
+        ocr: f64,
+    },
+}
+
+impl CoreActivity {
+    fn power_state(self) -> CorePowerState {
+        match self {
+            CoreActivity::Idle => CorePowerState::Idle,
+            CoreActivity::Spin => CorePowerState::Spin,
+            CoreActivity::Busy { intensity, .. } => CorePowerState::Busy { intensity },
+        }
+    }
+
+    fn ocr(self) -> f64 {
+        match self {
+            CoreActivity::Busy { ocr, .. } => ocr,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Full configuration of the simulated node.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Sockets and cores.
+    pub topology: Topology,
+    /// Nominal core frequency in GHz (2.7 for the E5-2680, TurboBoost off).
+    pub freq_ghz: f64,
+    /// Power model coefficients.
+    pub power: PowerParams,
+    /// Thermal model coefficients.
+    pub thermal: ThermalParams,
+    /// Memory-contention model coefficients.
+    pub memory: MemoryParams,
+    /// Initial package temperature, °C (ambient = cold boot, higher = warm).
+    pub start_temp_c: f64,
+    /// Cost of an `IA32_CLOCK_MODULATION` write, expressed as a number of
+    /// memory operations (the paper measures ≈250 including call and OS
+    /// overhead).
+    pub duty_write_mem_ops: u32,
+    /// DVFS mechanism parameters (P-state ladder transitions).
+    pub dvfs: DvfsParams,
+}
+
+impl MachineConfig {
+    /// The paper's platform, pre-warmed to a typical operating temperature
+    /// (all headline results in the paper are from runs "on a warm system").
+    pub fn sandybridge_2x8() -> Self {
+        let thermal = ThermalParams::default();
+        // Typical per-socket draw under load is ~65 W; start there.
+        let warm = thermal.steady_state_c(65.0);
+        MachineConfig {
+            topology: Topology::sandybridge_2x8(),
+            freq_ghz: 2.7,
+            power: PowerParams::default(),
+            thermal,
+            memory: MemoryParams::default(),
+            start_temp_c: warm,
+            duty_write_mem_ops: 250,
+            dvfs: DvfsParams::default(),
+        }
+    }
+
+    /// The same platform from a cold start (packages at ambient).
+    pub fn sandybridge_2x8_cold() -> Self {
+        let mut cfg = Self::sandybridge_2x8();
+        cfg.start_temp_c = cfg.thermal.ambient_c;
+        cfg
+    }
+
+    /// Latency of one duty-register write in virtual nanoseconds.
+    pub fn duty_write_latency_ns(&self) -> u64 {
+        (f64::from(self.duty_write_mem_ops) * self.memory.mem_latency_ns).round() as u64
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SocketState {
+    temp_c: f64,
+    energy_j: f64,
+    pstate: PState,
+}
+
+/// The simulated node. See the [crate docs](crate) for the overall model.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    clock_ns: u64,
+    duty: Vec<DutyCycle>,
+    activity: Vec<CoreActivity>,
+    sockets: Vec<SocketState>,
+}
+
+impl Machine {
+    /// Build a machine in the configured initial state: all cores idle,
+    /// full duty, energy counters at zero.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let n_cores = cfg.topology.total_cores();
+        let n_sockets = cfg.topology.sockets as usize;
+        Machine {
+            clock_ns: 0,
+            duty: vec![DutyCycle::FULL; n_cores],
+            activity: vec![CoreActivity::Idle; n_cores],
+            sockets: vec![
+                SocketState { temp_c: cfg.start_temp_c, energy_j: 0.0, pstate: PState::MAX };
+                n_sockets
+            ],
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The node topology.
+    pub fn topology(&self) -> Topology {
+        self.cfg.topology
+    }
+
+    /// Current virtual time in nanoseconds since machine construction.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Declare what `core` does from now until the next activity change.
+    pub fn set_activity(&mut self, core: CoreId, activity: CoreActivity) {
+        assert!(self.cfg.topology.contains(core), "no such core: {core}");
+        self.activity[core.index()] = activity;
+    }
+
+    /// The declared activity of `core`.
+    pub fn activity(&self, core: CoreId) -> CoreActivity {
+        self.activity[core.index()]
+    }
+
+    /// The duty cycle currently programmed on `core`.
+    pub fn duty(&self, core: CoreId) -> DutyCycle {
+        self.duty[core.index()]
+    }
+
+    /// Program `core`'s duty cycle directly (equivalent to the MSR write,
+    /// minus the latency accounting, which the runtime charges separately
+    /// via [`MachineConfig::duty_write_latency_ns`]).
+    pub fn set_duty(&mut self, core: CoreId, duty: DutyCycle) {
+        assert!(self.cfg.topology.contains(core), "no such core: {core}");
+        self.duty[core.index()] = duty;
+    }
+
+    /// The P-state currently selected for `socket` (DVFS is per-package:
+    /// "it affects all cores on a processor", §IV).
+    pub fn pstate(&self, socket: SocketId) -> PState {
+        self.sockets[socket.index()].pstate
+    }
+
+    /// Select a P-state for `socket`. The runtime charges the package-wide
+    /// stall separately via [`MachineConfig::dvfs`]'s transition cycles.
+    pub fn set_pstate(&mut self, socket: SocketId, pstate: PState) {
+        self.sockets[socket.index()].pstate = pstate;
+    }
+
+    /// The effective instruction rate of `core` as a fraction of nominal:
+    /// duty-cycle fraction × P-state frequency fraction.
+    pub fn effective_speed(&self, core: CoreId) -> f64 {
+        let socket = self.cfg.topology.socket_of(core);
+        self.duty[core.index()].fraction() * self.sockets[socket.index()].pstate.fraction()
+    }
+
+    /// Sum of outstanding memory references over the busy cores of `socket`.
+    pub fn socket_outstanding_refs(&self, socket: SocketId) -> f64 {
+        self.cfg
+            .topology
+            .cores_of(socket)
+            .map(|c| self.activity[c.index()].ocr())
+            .sum()
+    }
+
+    /// Progress-rate multiplier for memory-bound work on `socket` right now.
+    pub fn contention_factor(&self, socket: SocketId) -> f64 {
+        self.cfg.memory.contention_factor(self.socket_outstanding_refs(socket))
+    }
+
+    /// Memory-concurrency utilization of `socket` in `[0, 1]`.
+    pub fn mem_utilization(&self, socket: SocketId) -> f64 {
+        self.cfg.memory.utilization(self.socket_outstanding_refs(socket))
+    }
+
+    /// Instantaneous power of `socket` (Watts), including leakage at the
+    /// present temperature.
+    pub fn socket_power_w(&self, socket: SocketId) -> f64 {
+        self.socket_power_nonleak_w(socket)
+            + self.cfg.thermal.leakage_w(self.sockets[socket.index()].temp_c)
+    }
+
+    fn socket_power_nonleak_w(&self, socket: SocketId) -> f64 {
+        // DVFS lowers voltage with frequency, so all *dynamic* core power
+        // scales by f·V²; the package base and memory system do not.
+        let dvfs_scale = self.sockets[socket.index()].pstate.dynamic_power_fraction();
+        let cores: f64 = self
+            .cfg
+            .topology
+            .cores_of(socket)
+            .map(|c| {
+                dvfs_scale
+                    * self.cfg.power.core_power_w(
+                        self.activity[c.index()].power_state(),
+                        self.duty[c.index()].fraction(),
+                    )
+            })
+            .sum();
+        self.cfg.power.socket_base_w + cores + self.cfg.memory.power_w(self.mem_utilization(socket))
+    }
+
+    /// Instantaneous whole-node power (Watts).
+    pub fn node_power_w(&self) -> f64 {
+        self.cfg.topology.all_sockets().map(|s| self.socket_power_w(s)).sum()
+    }
+
+    /// Cumulative energy of `socket` in Joules since construction.
+    ///
+    /// This is the ground-truth accumulator; privileged software reads the
+    /// wrapped 32-bit RAPL view through [`MsrDevice::read_msr`].
+    pub fn energy_joules(&self, socket: SocketId) -> f64 {
+        self.sockets[socket.index()].energy_j
+    }
+
+    /// Cumulative whole-node energy in Joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.sockets.iter().map(|s| s.energy_j).sum()
+    }
+
+    /// Present package temperature of `socket`, °C.
+    pub fn temperature_c(&self, socket: SocketId) -> f64 {
+        self.sockets[socket.index()].temp_c
+    }
+
+    /// Advance virtual time by `dt_ns`, integrating power into energy and
+    /// stepping the thermal model, with the current activity held constant.
+    ///
+    /// Long intervals are internally subdivided (100 ms substeps) so the
+    /// leakage-temperature feedback stays accurate regardless of how big a
+    /// jump the scheduler requests.
+    pub fn advance(&mut self, dt_ns: u64) {
+        const MAX_SUBSTEP_NS: u64 = 100_000_000;
+        let mut remaining = dt_ns;
+        while remaining > 0 {
+            let step = remaining.min(MAX_SUBSTEP_NS);
+            self.advance_substep(step);
+            remaining -= step;
+        }
+    }
+
+    fn advance_substep(&mut self, dt_ns: u64) {
+        let dt_s = dt_ns as f64 / NS_PER_SEC as f64;
+        for s in self.cfg.topology.all_sockets() {
+            let p_nonleak = self.socket_power_nonleak_w(s);
+            let st = &mut self.sockets[s.index()];
+            let leak = self.cfg.thermal.leakage_w(st.temp_c);
+            st.energy_j += (p_nonleak + leak) * dt_s;
+            st.temp_c = self.cfg.thermal.step(st.temp_c, p_nonleak, dt_s);
+        }
+        self.clock_ns += dt_ns;
+    }
+
+    fn socket_of_checked(&self, core: CoreId) -> Result<SocketId, MsrError> {
+        if self.cfg.topology.contains(core) {
+            Ok(self.cfg.topology.socket_of(core))
+        } else {
+            Err(MsrError::BadCore(core))
+        }
+    }
+}
+
+impl MsrDevice for Machine {
+    fn read_msr(&self, core: CoreId, msr: u32) -> Result<u64, MsrError> {
+        let socket = self.socket_of_checked(core)?;
+        match msr {
+            MSR_PKG_ENERGY_STATUS => {
+                let units = self.sockets[socket.index()].energy_j / RAPL_UNIT_JOULES;
+                // 32-bit counter: wraps every ~65 kJ (a few minutes under load).
+                Ok((units as u128 % (1u128 << 32)) as u64)
+            }
+            IA32_THERM_STATUS => {
+                Ok(self.cfg.thermal.encode_therm_status(self.sockets[socket.index()].temp_c))
+            }
+            IA32_CLOCK_MODULATION => Ok(self.duty[core.index()].encode_msr()),
+            IA32_PERF_CTL => Ok(self.sockets[socket.index()].pstate.index() as u64),
+            other => Err(MsrError::UnknownMsr(other)),
+        }
+    }
+
+    fn write_msr(&mut self, core: CoreId, msr: u32, value: u64) -> Result<(), MsrError> {
+        self.socket_of_checked(core)?;
+        match msr {
+            IA32_CLOCK_MODULATION => {
+                let duty = DutyCycle::decode_msr(value)
+                    .map_err(|_| MsrError::InvalidValue { msr, value })?;
+                self.duty[core.index()] = duty;
+                Ok(())
+            }
+            IA32_PERF_CTL => {
+                let socket = self.cfg.topology.socket_of(core);
+                let pstate = u8::try_from(value)
+                    .ok()
+                    .and_then(PState::new)
+                    .ok_or(MsrError::InvalidValue { msr, value })?;
+                self.sockets[socket.index()].pstate = pstate;
+                Ok(())
+            }
+            MSR_PKG_ENERGY_STATUS | IA32_THERM_STATUS => Err(MsrError::ReadOnly(msr)),
+            other => Err(MsrError::UnknownMsr(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::sandybridge_2x8())
+    }
+
+    use crate::dvfs::PState;
+
+    fn busy(intensity: f64, ocr: f64) -> CoreActivity {
+        CoreActivity::Busy { intensity, ocr }
+    }
+
+    #[test]
+    fn idle_node_draws_base_power() {
+        let m = machine();
+        let p = m.node_power_w();
+        // 2 sockets × (base + 8 idle cores) + warm leakage.
+        assert!((50.0..=62.0).contains(&p), "idle node {p} W");
+    }
+
+    #[test]
+    fn sixteen_busy_cores_draw_paper_range() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, busy(0.85, 2.0));
+        }
+        let p = m.node_power_w();
+        assert!((135.0..=165.0).contains(&p), "loaded node {p} W");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, busy(0.5, 1.0));
+        }
+        let p0 = m.node_power_w();
+        m.advance(NS_PER_SEC); // 1 virtual second
+        let e = m.total_energy_joules();
+        // Power drifts slightly as temperature rises; allow 2 %.
+        assert!((e - p0).abs() / p0 < 0.02, "E={e} J, P0={p0} W");
+    }
+
+    #[test]
+    fn throttled_spinners_save_about_3w_each() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Spin);
+        }
+        let full = m.node_power_w();
+        for c in m.topology().all_cores().take(4) {
+            m.set_duty(c, DutyCycle::MIN);
+        }
+        let throttled = m.node_power_w();
+        let saved = full - throttled;
+        // Paper: "idling four threads saved over 12W".
+        assert!((10.0..=14.5).contains(&saved), "saved {saved} W");
+    }
+
+    #[test]
+    fn rapl_counter_wraps_at_32_bits() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, busy(1.0, 1.0));
+        }
+        // ~75 W/socket ⇒ wrap period 2^32 × 15.3 µJ ≈ 65.7 kJ ≈ 875 s.
+        let before = m.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap();
+        assert_eq!(before, 0);
+        m.advance(1000 * NS_PER_SEC);
+        let raw = m.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap();
+        let true_units = m.energy_joules(SocketId(0)) / RAPL_UNIT_JOULES;
+        assert!(true_units > u32::MAX as f64, "test must actually wrap");
+        assert!(raw <= u32::MAX as u64);
+        assert_eq!(raw, (true_units as u128 % (1 << 32)) as u64);
+    }
+
+    #[test]
+    fn clock_modulation_msr_round_trips() {
+        let mut m = machine();
+        let v = DutyCycle::new(4).unwrap().encode_msr();
+        m.write_msr(CoreId(3), IA32_CLOCK_MODULATION, v).unwrap();
+        assert_eq!(m.duty(CoreId(3)).level(), 4);
+        assert_eq!(m.read_msr(CoreId(3), IA32_CLOCK_MODULATION).unwrap(), v);
+        // Other cores untouched.
+        assert_eq!(m.duty(CoreId(2)), DutyCycle::FULL);
+    }
+
+    #[test]
+    fn energy_status_is_read_only() {
+        let mut m = machine();
+        assert_eq!(
+            m.write_msr(CoreId(0), MSR_PKG_ENERGY_STATUS, 0),
+            Err(MsrError::ReadOnly(MSR_PKG_ENERGY_STATUS))
+        );
+    }
+
+    #[test]
+    fn unknown_msr_rejected() {
+        let m = machine();
+        assert_eq!(m.read_msr(CoreId(0), 0x10), Err(MsrError::UnknownMsr(0x10)));
+    }
+
+    #[test]
+    fn bad_core_rejected() {
+        let m = machine();
+        assert_eq!(
+            m.read_msr(CoreId(99), MSR_PKG_ENERGY_STATUS),
+            Err(MsrError::BadCore(CoreId(99)))
+        );
+    }
+
+    #[test]
+    fn per_socket_contention_is_isolated() {
+        let mut m = machine();
+        // Load socket 0 heavily with memory traffic; socket 1 idle.
+        for c in m.topology().cores_of(SocketId(0)) {
+            m.set_activity(c, busy(0.3, 8.0));
+        }
+        assert!(m.contention_factor(SocketId(0)) < 1.0);
+        assert_eq!(m.contention_factor(SocketId(1)), 1.0);
+        assert!(m.mem_utilization(SocketId(0)) > 0.9);
+        assert_eq!(m.mem_utilization(SocketId(1)), 0.0);
+    }
+
+    #[test]
+    fn warm_machine_hotter_than_cold() {
+        let warm = Machine::new(MachineConfig::sandybridge_2x8());
+        let cold = Machine::new(MachineConfig::sandybridge_2x8_cold());
+        assert!(warm.temperature_c(SocketId(0)) > cold.temperature_c(SocketId(0)) + 20.0);
+        // And a warm package draws more power for identical activity (leakage).
+        assert!(warm.node_power_w() > cold.node_power_w());
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_state() {
+        let run = || {
+            let mut m = machine();
+            for (i, c) in m.topology().all_cores().enumerate() {
+                m.set_activity(c, busy(0.1 * (i % 10) as f64, (i % 5) as f64));
+            }
+            m.advance(12_345_678);
+            m.set_duty(CoreId(5), DutyCycle::MIN);
+            m.advance(98_765_432);
+            (m.total_energy_joules(), m.temperature_c(SocketId(1)), m.now_ns())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn duty_write_latency_matches_250_mem_ops() {
+        let cfg = MachineConfig::sandybridge_2x8();
+        let ns = cfg.duty_write_latency_ns();
+        assert_eq!(ns, (250.0 * cfg.memory.mem_latency_ns) as u64);
+        assert!((10_000..=40_000).contains(&ns), "≈250 memory ops, got {ns} ns");
+    }
+
+    #[test]
+    fn pstate_msr_round_trip_and_package_scope() {
+        use crate::msr::IA32_PERF_CTL;
+        let mut m = machine();
+        m.write_msr(CoreId(2), IA32_PERF_CTL, 1).unwrap();
+        assert_eq!(m.pstate(SocketId(0)), PState::new(1).unwrap());
+        // Package-scoped: every core of socket 0 reads the same value...
+        assert_eq!(m.read_msr(CoreId(7), IA32_PERF_CTL).unwrap(), 1);
+        // ...and socket 1 is untouched.
+        assert_eq!(m.read_msr(CoreId(8), IA32_PERF_CTL).unwrap(), PState::MAX.index() as u64);
+        // Reserved encodings are rejected.
+        assert!(m.write_msr(CoreId(0), IA32_PERF_CTL, 99).is_err());
+    }
+
+    #[test]
+    fn effective_speed_combines_duty_and_pstate() {
+        let mut m = machine();
+        assert_eq!(m.effective_speed(CoreId(0)), 1.0);
+        m.set_duty(CoreId(0), DutyCycle::new(16).unwrap());
+        assert!((m.effective_speed(CoreId(0)) - 0.5).abs() < 1e-12);
+        m.set_pstate(SocketId(0), PState::floor_of(1.35)); // 1.2 GHz
+        let expected = 0.5 * (1.2 / 2.7);
+        assert!((m.effective_speed(CoreId(0)) - expected).abs() < 1e-12);
+        // A core on the other socket only sees its own package's P-state.
+        assert_eq!(m.effective_speed(CoreId(8)), 1.0);
+    }
+
+    #[test]
+    fn low_pstate_cuts_dynamic_power_superlinearly() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, busy(1.0, 1.0));
+        }
+        let full = m.node_power_w();
+        for s in m.topology().all_sockets() {
+            m.set_pstate(s, PState::MIN);
+        }
+        let scaled = m.node_power_w();
+        // Base + memory + leakage are unaffected; core dynamic power drops
+        // by f·V² ≈ 0.227, far below the 0.44 frequency ratio.
+        assert!(scaled < full, "{scaled} vs {full}");
+        let dynamic_full = full - 46.0;
+        let dynamic_scaled = scaled - 46.0;
+        assert!(
+            dynamic_scaled / dynamic_full < 0.5,
+            "f·V² must cut dynamic power hard: {dynamic_scaled}/{dynamic_full}"
+        );
+    }
+
+    #[test]
+    fn advance_subdivides_long_intervals() {
+        // A single 10 s advance must match 100 × 0.1 s advances closely.
+        let mut a = machine();
+        let mut b = machine();
+        for c in a.topology().all_cores() {
+            a.set_activity(c, busy(0.9, 1.0));
+            b.set_activity(c, busy(0.9, 1.0));
+        }
+        a.advance(10 * NS_PER_SEC);
+        for _ in 0..100 {
+            b.advance(NS_PER_SEC / 10);
+        }
+        let (ea, eb) = (a.total_energy_joules(), b.total_energy_joules());
+        assert!((ea - eb).abs() / eb < 1e-6, "ea={ea} eb={eb}");
+        assert_eq!(a.now_ns(), b.now_ns());
+    }
+}

@@ -1,0 +1,87 @@
+//! Model-specific register (MSR) interface of the simulated node.
+//!
+//! The paper's tooling reads and writes three MSRs, all of which require
+//! supervisor privilege on real hardware (footnote 3 of the paper):
+//!
+//! | MSR | Address | Scope | Use in the paper |
+//! |---|---|---|---|
+//! | `MSR_PKG_ENERGY_STATUS` | `0x611` | package | RAPL energy counter, 15.3 µJ units, 32-bit wrap |
+//! | `IA32_CLOCK_MODULATION` | `0x19A` | core | duty-cycle throttling of spinning threads |
+//! | `IA32_THERM_STATUS` | `0x19C` | core (we model per package) | most recent chip temperature |
+//!
+//! [`MsrDevice`] is the privileged access surface; the [`crate::Machine`]
+//! implements it for the simulated node, and the `maestro-rapl` crate builds
+//! the measurement stack on top of it so the exact same reader code would run
+//! against `/dev/cpu/*/msr` on real hardware.
+
+use crate::topology::CoreId;
+
+/// RAPL package energy status counter (read-only, wraps at 32 bits).
+pub const MSR_PKG_ENERGY_STATUS: u32 = 0x611;
+
+/// Per-core clock duty-cycle modulation control.
+pub const IA32_CLOCK_MODULATION: u32 = 0x19A;
+
+/// Thermal status (digital readout encodes `TjMax − T` in bits 22:16).
+pub const IA32_THERM_STATUS: u32 = 0x19C;
+
+/// P-state (DVFS) control — package-scoped in this model. The simulated
+/// encoding stores the ladder index of [`crate::dvfs::PSTATES_GHZ`].
+pub const IA32_PERF_CTL: u32 = 0x199;
+
+/// Errors surfaced by MSR access.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MsrError {
+    /// The address is not modeled (reads of unknown MSRs #GP on hardware).
+    UnknownMsr(u32),
+    /// The core id does not exist on this node.
+    BadCore(CoreId),
+    /// The value written is a reserved/invalid encoding for this register.
+    InvalidValue {
+        /// Register that rejected the write.
+        msr: u32,
+        /// The offending value.
+        value: u64,
+    },
+    /// The register is read-only.
+    ReadOnly(u32),
+}
+
+impl std::fmt::Display for MsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsrError::UnknownMsr(a) => write!(f, "unmodeled MSR {a:#x}"),
+            MsrError::BadCore(c) => write!(f, "no such core: {c}"),
+            MsrError::InvalidValue { msr, value } => {
+                write!(f, "invalid value {value:#x} for MSR {msr:#x}")
+            }
+            MsrError::ReadOnly(a) => write!(f, "MSR {a:#x} is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}
+
+/// Privileged MSR access, per logical CPU — the shape of `/dev/cpu/N/msr`.
+pub trait MsrDevice {
+    /// Read `msr` as seen from `core`. Package-scoped registers return the
+    /// value for the package containing `core`.
+    fn read_msr(&self, core: CoreId, msr: u32) -> Result<u64, MsrError>;
+
+    /// Write `msr` on `core`.
+    fn write_msr(&mut self, core: CoreId, msr: u32, value: u64) -> Result<(), MsrError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_name_the_register() {
+        assert!(MsrError::UnknownMsr(0x611).to_string().contains("0x611"));
+        assert!(MsrError::ReadOnly(0x611).to_string().contains("read-only"));
+        assert!(MsrError::BadCore(CoreId(99)).to_string().contains("core99"));
+        let e = MsrError::InvalidValue { msr: 0x19A, value: 0xFF };
+        assert!(e.to_string().contains("0x19a"));
+    }
+}

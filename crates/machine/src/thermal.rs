@@ -1,0 +1,185 @@
+//! Package thermal model and temperature-dependent leakage.
+//!
+//! The paper observes (footnote 2) that on an initially *cold* system the
+//! first run of a benchmark always used less energy and drew less power than
+//! later runs with identical execution time — e.g. NAS BT.C drew 151.0 W cold
+//! vs 155.8 W warm, 3.2 % less energy. The physical cause is leakage current
+//! growing with die temperature. We reproduce it with a lumped-RC package
+//! model:
+//!
+//! ```text
+//! C · dT/dt = P − k · (T − T_ambient)        (heating)
+//! P_leak(T) = γ · max(0, T − T_ref)          (added to package power)
+//! ```
+//!
+//! Integration uses the exact solution of the linear ODE over each interval,
+//! with the (weak) leakage feedback evaluated at the interval start, so the
+//! result is step-size-robust and deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Thermal parameters of one package.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Ambient / coolant temperature, °C.
+    pub ambient_c: f64,
+    /// Thermal conductance to ambient, W/K.
+    pub conductance_w_per_k: f64,
+    /// Heat capacity of the package + heatsink, J/K.
+    pub capacitance_j_per_k: f64,
+    /// Leakage coefficient, W/K above the reference temperature.
+    pub leakage_w_per_k: f64,
+    /// Temperature at which leakage is treated as zero, °C.
+    pub leakage_ref_c: f64,
+    /// Maximum junction temperature reported by `IA32_THERM_STATUS`, °C.
+    pub tj_max_c: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        ThermalParams {
+            ambient_c: 25.0,
+            conductance_w_per_k: 1.35,
+            capacitance_j_per_k: 400.0,
+            leakage_w_per_k: 0.055,
+            leakage_ref_c: 40.0,
+            tj_max_c: 95.0,
+        }
+    }
+}
+
+impl ThermalParams {
+    /// Leakage power at temperature `t_c`, Watts.
+    #[inline]
+    pub fn leakage_w(&self, t_c: f64) -> f64 {
+        self.leakage_w_per_k * (t_c - self.leakage_ref_c).max(0.0)
+    }
+
+    /// Steady-state temperature under constant non-leakage power `p_w`.
+    ///
+    /// Solves `P + leak(T) = k (T − T_amb)` exactly for the piecewise-linear
+    /// leakage.
+    pub fn steady_state_c(&self, p_w: f64) -> f64 {
+        // First assume T >= leakage_ref so leakage is active:
+        //   P + γ(T − T_ref) = k (T − T_amb)
+        //   T = (P + k·T_amb − γ·T_ref) / (k − γ)
+        let k = self.conductance_w_per_k;
+        let g = self.leakage_w_per_k;
+        debug_assert!(k > g, "conductance must exceed leakage slope for stability");
+        let t = (p_w + k * self.ambient_c - g * self.leakage_ref_c) / (k - g);
+        if t >= self.leakage_ref_c {
+            t.min(self.tj_max_c)
+        } else {
+            // Leakage inactive below the reference temperature.
+            (self.ambient_c + p_w / k).min(self.tj_max_c)
+        }
+    }
+
+    /// Advance temperature `t_c` by `dt_s` seconds under constant
+    /// non-leakage power `p_w`, returning the new temperature.
+    ///
+    /// Uses the closed-form exponential relaxation toward the steady state
+    /// for the power evaluated with leakage frozen at the interval start.
+    pub fn step(&self, t_c: f64, p_w: f64, dt_s: f64) -> f64 {
+        debug_assert!(dt_s >= 0.0);
+        if dt_s == 0.0 {
+            return t_c;
+        }
+        let p_total = p_w + self.leakage_w(t_c);
+        let t_ss = self.ambient_c + p_total / self.conductance_w_per_k;
+        let tau = self.capacitance_j_per_k / self.conductance_w_per_k;
+        let new_t = t_ss + (t_c - t_ss) * (-dt_s / tau).exp();
+        new_t.clamp(self.ambient_c.min(t_c), self.tj_max_c)
+    }
+
+    /// Encode a temperature into the simulated `IA32_THERM_STATUS` digital
+    /// readout field (bits 22:16 hold `TjMax − T` on real hardware).
+    pub fn encode_therm_status(&self, t_c: f64) -> u64 {
+        let delta = (self.tj_max_c - t_c).round().clamp(0.0, 127.0) as u64;
+        delta << 16
+    }
+
+    /// Decode the simulated `IA32_THERM_STATUS` readout back to °C.
+    pub fn decode_therm_status(&self, msr: u64) -> f64 {
+        let delta = (msr >> 16) & 0x7F;
+        self.tj_max_c - delta as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ThermalParams {
+        ThermalParams::default()
+    }
+
+    #[test]
+    fn relaxes_to_steady_state() {
+        let th = p();
+        let power = 70.0; // one socket under load
+        let target = th.steady_state_c(power);
+        let mut t = th.ambient_c;
+        for _ in 0..40_000 {
+            t = th.step(t, power, 0.1);
+        }
+        assert!((t - target).abs() < 0.5, "t={t} target={target}");
+        assert!(t > 60.0 && t < 95.0, "plausible hot-package temperature, got {t}");
+    }
+
+    #[test]
+    fn step_size_robust() {
+        let th = p();
+        let mut coarse = 40.0;
+        let mut fine = 40.0;
+        // Identical total interval, different step sizes.
+        for _ in 0..10 {
+            coarse = th.step(coarse, 60.0, 1.0);
+        }
+        for _ in 0..1000 {
+            fine = th.step(fine, 60.0, 0.01);
+        }
+        assert!((coarse - fine).abs() < 0.3, "coarse={coarse} fine={fine}");
+    }
+
+    #[test]
+    fn cold_package_leaks_less() {
+        let th = p();
+        let cold = th.leakage_w(th.ambient_c);
+        let warm = th.leakage_w(80.0);
+        assert_eq!(cold, 0.0);
+        assert!(warm > 1.5 && warm < 4.0, "warm leakage {warm} W per socket");
+    }
+
+    #[test]
+    fn cooling_when_power_drops() {
+        let th = p();
+        let hot = 85.0;
+        let cooled = th.step(hot, 5.0, 10.0);
+        assert!(cooled < hot);
+        assert!(cooled >= th.ambient_c);
+    }
+
+    #[test]
+    fn therm_status_round_trip() {
+        let th = p();
+        for t in [25.0, 47.0, 63.0, 80.0, 95.0] {
+            let decoded = th.decode_therm_status(th.encode_therm_status(t));
+            assert!((decoded - t).abs() <= 0.5, "t={t} decoded={decoded}");
+        }
+    }
+
+    #[test]
+    fn steady_state_below_ref_has_no_leakage_kink() {
+        let th = p();
+        let t = th.steady_state_c(5.0);
+        assert!(t < th.leakage_ref_c);
+        assert!((t - (th.ambient_c + 5.0 / th.conductance_w_per_k)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let th = p();
+        assert_eq!(th.step(55.0, 60.0, 0.0), 55.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the machine model invariants.
+
+use maestro_machine::msr::MsrDevice;
+use maestro_machine::{
+    Cost, CoreActivity, CoreId, DutyCycle, Machine, MachineConfig, SocketId, MSR_PKG_ENERGY_STATUS,
+    NS_PER_SEC, RAPL_UNIT_JOULES,
+};
+use proptest::prelude::*;
+
+fn arb_activity() -> impl Strategy<Value = CoreActivity> {
+    prop_oneof![
+        Just(CoreActivity::Idle),
+        Just(CoreActivity::Spin),
+        (0.0f64..=1.0, 0.0f64..=8.0)
+            .prop_map(|(intensity, ocr)| CoreActivity::Busy { intensity, ocr }),
+    ]
+}
+
+proptest! {
+    /// Energy accumulated over an interval equals instantaneous power times
+    /// the interval, within the drift allowed by thermal feedback.
+    #[test]
+    fn energy_equals_integral_of_power(
+        acts in prop::collection::vec(arb_activity(), 16),
+        dt_ms in 1u64..=2_000,
+    ) {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for (i, a) in acts.iter().enumerate() {
+            m.set_activity(CoreId(i as u16), *a);
+        }
+        let p_before = m.node_power_w();
+        m.advance(dt_ms * NS_PER_SEC / 1000);
+        let p_after = m.node_power_w();
+        let e = m.total_energy_joules();
+        let dt_s = dt_ms as f64 / 1000.0;
+        let lo = p_before.min(p_after) * dt_s * 0.999;
+        let hi = p_before.max(p_after) * dt_s * 1.001;
+        prop_assert!(e >= lo && e <= hi, "E={e} not in [{lo}, {hi}]");
+    }
+
+    /// The wrapped RAPL counter always equals the ground-truth energy mod 2^32.
+    #[test]
+    fn rapl_counter_consistent_with_truth(
+        steps in prop::collection::vec(1u64..=30 * NS_PER_SEC, 1..8),
+    ) {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 1.0, ocr: 2.0 });
+        }
+        for dt in steps {
+            m.advance(dt);
+            let raw = m.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap();
+            let truth = m.energy_joules(SocketId(0)) / RAPL_UNIT_JOULES;
+            prop_assert_eq!(raw, (truth as u128 % (1 << 32)) as u64);
+        }
+    }
+
+    /// Lowering any core's duty cycle never increases node power.
+    #[test]
+    fn duty_reduction_never_increases_power(
+        acts in prop::collection::vec(arb_activity(), 16),
+        core in 0u16..16,
+        level in 1u8..32,
+    ) {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for (i, a) in acts.iter().enumerate() {
+            m.set_activity(CoreId(i as u16), *a);
+        }
+        let before = m.node_power_w();
+        m.set_duty(CoreId(core), DutyCycle::new(level).unwrap());
+        let after = m.node_power_w();
+        prop_assert!(after <= before + 1e-9, "before={before} after={after}");
+    }
+
+    /// Temperature remains within physical bounds and clock is monotone.
+    #[test]
+    fn temperature_bounded_clock_monotone(
+        steps in prop::collection::vec((0u64..=5 * NS_PER_SEC, arb_activity()), 1..20),
+    ) {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8_cold());
+        let mut last = 0;
+        for (dt, act) in steps {
+            for c in m.topology().all_cores() {
+                m.set_activity(c, act);
+            }
+            m.advance(dt);
+            prop_assert!(m.now_ns() >= last);
+            last = m.now_ns();
+            for s in m.topology().all_sockets() {
+                let t = m.temperature_c(s);
+                prop_assert!((20.0..=95.0).contains(&t), "T={t}");
+            }
+        }
+    }
+
+    /// Cost durations are non-negative, and the memory fraction together with
+    /// outstanding refs stay consistent.
+    #[test]
+    fn cost_model_consistency(
+        cpu in 0u64..=10_000_000_000,
+        mem in 0u64..=100_000_000,
+        mlp in 1.0f64..=10.0,
+        intensity in 0.0f64..=1.0,
+    ) {
+        let c = Cost::new(cpu, mem, mlp, intensity);
+        let dur = c.duration_ns(2.7, 75.0);
+        prop_assert!(dur >= 0.0);
+        let f = c.mem_fraction(2.7, 75.0);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let ocr = c.avg_outstanding_refs(2.7, 75.0);
+        prop_assert!(ocr <= mlp + 1e-9);
+        if mem == 0 {
+            prop_assert_eq!(f, 0.0);
+        }
+    }
+}

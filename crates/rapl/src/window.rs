@@ -1,0 +1,150 @@
+//! Sliding-window power smoothing.
+//!
+//! The paper notes the energy counter "is frequently updated but should be
+//! accessed less often to smooth jitter in the power usage", and the RCR
+//! daemon's 0.1 s granularity "was chosen to allow fluctuations in the energy
+//! counters to dissipate". [`PowerWindow`] averages (time, Joules) samples
+//! over a configurable horizon and reports Watts.
+
+use std::collections::VecDeque;
+
+/// Average power over a sliding time window of energy samples.
+#[derive(Clone, Debug)]
+pub struct PowerWindow {
+    horizon_ns: u64,
+    samples: VecDeque<(u64, f64)>, // (virtual time ns, cumulative joules)
+}
+
+impl PowerWindow {
+    /// A window covering the last `horizon_ns` of samples (at least two
+    /// samples are always retained regardless of age, so power is defined as
+    /// soon as two readings exist).
+    pub fn new(horizon_ns: u64) -> Self {
+        assert!(horizon_ns > 0, "window horizon must be positive");
+        PowerWindow { horizon_ns, samples: VecDeque::new() }
+    }
+
+    /// Record one cumulative-energy sample at virtual time `t_ns`.
+    ///
+    /// Out-of-order samples (clock going backwards) are rejected with
+    /// `false`; callers in this codebase never produce them, but a defensive
+    /// daemon should not corrupt its window if one appears.
+    pub fn push(&mut self, t_ns: u64, joules: f64) -> bool {
+        if let Some(&(last_t, last_j)) = self.samples.back() {
+            if t_ns < last_t || joules < last_j {
+                return false;
+            }
+        }
+        self.samples.push_back((t_ns, joules));
+        self.evict(t_ns);
+        true
+    }
+
+    fn evict(&mut self, now_ns: u64) {
+        let cutoff = now_ns.saturating_sub(self.horizon_ns);
+        while self.samples.len() > 2 && self.samples[1].0 <= cutoff {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Average power in Watts over the retained window, or `None` until two
+    /// distinct-time samples exist.
+    pub fn average_watts(&self) -> Option<f64> {
+        let (&(t0, j0), &(t1, j1)) = (self.samples.front()?, self.samples.back()?);
+        if t1 == t0 {
+            return None;
+        }
+        Some((j1 - j0) / ((t1 - t0) as f64 * 1e-9))
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Drop all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+
+    #[test]
+    fn needs_two_samples() {
+        let mut w = PowerWindow::new(S);
+        assert_eq!(w.average_watts(), None);
+        w.push(0, 0.0);
+        assert_eq!(w.average_watts(), None);
+        w.push(S, 100.0);
+        assert_eq!(w.average_watts(), Some(100.0));
+    }
+
+    #[test]
+    fn constant_power_is_flat() {
+        let mut w = PowerWindow::new(10 * S);
+        for i in 0..100u64 {
+            w.push(i * S / 10, i as f64 * 5.0); // 50 W
+        }
+        let p = w.average_watts().unwrap();
+        assert!((p - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_follows_power_change() {
+        let mut w = PowerWindow::new(S); // 1 s horizon
+        // 10 s at 50 W...
+        for i in 0..=100u64 {
+            w.push(i * S / 10, i as f64 * 5.0);
+        }
+        // ...then 5 s at 150 W.
+        let j0 = 500.0;
+        for i in 1..=50u64 {
+            w.push((100 + i) * S / 10, j0 + i as f64 * 15.0);
+        }
+        let p = w.average_watts().unwrap();
+        assert!((p - 150.0).abs() < 1.0, "window should have forgotten the 50 W era: {p}");
+    }
+
+    #[test]
+    fn smooths_jitter() {
+        let mut w = PowerWindow::new(2 * S);
+        // Alternating 10 W / 90 W per 0.1 s step around a 50 W mean.
+        let mut joules = 0.0;
+        for i in 0..40u64 {
+            let p = if i % 2 == 0 { 10.0 } else { 90.0 };
+            joules += p * 0.1;
+            w.push((i + 1) * S / 10, joules);
+        }
+        let p = w.average_watts().unwrap();
+        assert!((p - 50.0).abs() < 3.0, "smoothed {p}");
+    }
+
+    #[test]
+    fn rejects_time_or_energy_regression() {
+        let mut w = PowerWindow::new(S);
+        assert!(w.push(100, 1.0));
+        assert!(!w.push(50, 2.0));
+        assert!(!w.push(200, 0.5));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut w = PowerWindow::new(S);
+        w.push(0, 0.0);
+        w.push(S, 1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.average_watts(), None);
+    }
+}

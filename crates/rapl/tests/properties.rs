@@ -1,0 +1,62 @@
+//! Property tests: wrap tracking must reconstruct any monotone counter.
+
+use maestro_rapl::{PowerWindow, WrapTracker};
+use proptest::prelude::*;
+
+proptest! {
+    /// Feeding the wrapped view of a monotone counter reconstructs its total
+    /// increase exactly, provided no single step exceeds the modulus.
+    #[test]
+    fn wrap_tracker_reconstructs_monotone_counter(
+        start in 0u64..=u32::MAX as u64,
+        increments in prop::collection::vec(0u64..(1u64 << 31), 1..200),
+    ) {
+        let modulus = 1u64 << 32;
+        let mut tracker = WrapTracker::new(modulus);
+        let mut truth = u128::from(start);
+        tracker.update(start % modulus);
+        for inc in increments {
+            truth += u128::from(inc);
+            let total = tracker.update((truth % u128::from(modulus)) as u64);
+            prop_assert_eq!(total, truth - u128::from(start));
+        }
+    }
+
+    /// Small moduli with arbitrary step patterns still never lose counts as
+    /// long as steps stay below the modulus.
+    #[test]
+    fn wrap_tracker_small_modulus(
+        modulus in 2u64..1000,
+        increments in prop::collection::vec(0u64..500, 1..100),
+    ) {
+        let mut tracker = WrapTracker::new(modulus);
+        let mut truth = 0u128;
+        tracker.update(0);
+        for inc in increments {
+            let inc = inc % modulus; // steps must be < modulus to be recoverable
+            truth += u128::from(inc);
+            let total = tracker.update((truth % u128::from(modulus)) as u64);
+            prop_assert_eq!(total, truth);
+        }
+    }
+
+    /// The power window reports a value between the minimum and maximum
+    /// instantaneous power of the samples it holds.
+    #[test]
+    fn window_average_within_sample_extremes(
+        powers in prop::collection::vec(1.0f64..300.0, 2..100),
+    ) {
+        let mut w = PowerWindow::new(u64::MAX);
+        let mut joules = 0.0;
+        let dt = 100_000_000u64; // 0.1 s
+        w.push(0, 0.0);
+        for (i, p) in powers.iter().enumerate() {
+            joules += p * 0.1;
+            w.push((i as u64 + 1) * dt, joules);
+        }
+        let avg = w.average_watts().unwrap();
+        let lo = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = powers.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "{avg} not in [{lo}, {hi}]");
+    }
+}

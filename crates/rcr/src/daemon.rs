@@ -1,0 +1,215 @@
+//! The sampling daemon.
+//!
+//! Runs (in virtual time) every 0.1 s: reads the RAPL counters through the
+//! `maestro-rapl` probes, smooths power over a short sliding window, reads
+//! the memory-concurrency meter and package temperature, and publishes one
+//! [`SocketSnapshot`] per package to the
+//! blackboard. The polling period is adjustable "to allow control of
+//! overhead versus responsiveness" (§IV).
+
+use maestro_machine::{Machine, SocketId};
+use maestro_rapl::{NodeProbe, PowerWindow};
+
+use crate::blackboard::{Blackboard, SocketSnapshot};
+use crate::history::SampleHistory;
+use crate::DEFAULT_SAMPLE_PERIOD_NS;
+
+/// The RCR daemon: owns the probes, publishes to a [`Blackboard`].
+#[derive(Clone, Debug)]
+pub struct RcrDaemon {
+    blackboard: Blackboard,
+    probe: NodeProbe,
+    windows: Vec<PowerWindow>,
+    period_ns: u64,
+    next_due_ns: u64,
+    samples_taken: u64,
+    history: Option<SampleHistory>,
+}
+
+impl RcrDaemon {
+    /// A daemon for `machine`'s topology with the default 0.1 s period.
+    pub fn new(machine: &Machine) -> Self {
+        Self::with_period(machine, DEFAULT_SAMPLE_PERIOD_NS)
+    }
+
+    /// A daemon with a custom sampling period (must be positive).
+    pub fn with_period(machine: &Machine, period_ns: u64) -> Self {
+        assert!(period_ns > 0, "sampling period must be positive");
+        let topo = machine.topology();
+        let sockets = topo.sockets as usize;
+        RcrDaemon {
+            blackboard: Blackboard::new(sockets),
+            probe: NodeProbe::new(topo),
+            // Smooth over a few periods, like the paper's jitter guidance.
+            windows: (0..sockets).map(|_| PowerWindow::new(period_ns.saturating_mul(3))).collect(),
+            period_ns,
+            next_due_ns: machine.now_ns(),
+            samples_taken: 0,
+            history: None,
+        }
+    }
+
+    /// Attach a bounded sample history retaining the last `capacity`
+    /// published samples (for tools and post-mortem analysis).
+    pub fn with_history(mut self, capacity: usize) -> Self {
+        self.history = Some(SampleHistory::new(capacity));
+        self
+    }
+
+    /// The attached history, if any.
+    pub fn history(&self) -> Option<&SampleHistory> {
+        self.history.as_ref()
+    }
+
+    /// The shared region this daemon publishes into (clone to hand to
+    /// readers on other threads).
+    pub fn blackboard(&self) -> &Blackboard {
+        &self.blackboard
+    }
+
+    /// The sampling period, nanoseconds.
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// Virtual time at which the next sample is due.
+    pub fn next_due_ns(&self) -> u64 {
+        self.next_due_ns
+    }
+
+    /// Total samples published so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Take one sample *now* and publish it; schedules the next due time.
+    ///
+    /// The scheduler calls this when virtual time reaches
+    /// [`RcrDaemon::next_due_ns`].
+    pub fn sample(&mut self, machine: &Machine) {
+        let now = machine.now_ns();
+        let per_socket: Vec<(SocketId, f64)> = {
+            // NodeProbe::sample updates every socket's wrap tracker.
+            let _ = self.probe.sample(machine).expect("simulated MSR reads cannot fail");
+            self.probe.joules_per_socket()
+        };
+        for (socket, joules) in per_socket {
+            let idx = socket.index();
+            self.windows[idx].push(now, joules);
+            let power = self.windows[idx].average_watts().unwrap_or(0.0);
+            let snap = SocketSnapshot {
+                power_w: power,
+                mem_concurrency: machine.socket_outstanding_refs(socket),
+                temp_c: machine.temperature_c(socket),
+                energy_j: joules,
+                updated_at_ns: now,
+            };
+            self.blackboard.publish(idx, snap);
+            if let Some(h) = &mut self.history {
+                h.push(idx, snap);
+            }
+        }
+        self.samples_taken += 1;
+        self.next_due_ns = now + self.period_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_machine::{CoreActivity, MachineConfig, NS_PER_SEC};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::sandybridge_2x8())
+    }
+
+    fn run_daemon(m: &mut Machine, d: &mut RcrDaemon, duration_ns: u64) {
+        let end = m.now_ns() + duration_ns;
+        while m.now_ns() < end {
+            if m.now_ns() >= d.next_due_ns() {
+                d.sample(m);
+            }
+            m.advance(d.period_ns());
+        }
+        d.sample(m);
+    }
+
+    #[test]
+    fn publishes_smoothed_power_for_busy_node() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.9, ocr: 1.5 });
+        }
+        let mut d = RcrDaemon::new(&m);
+        run_daemon(&mut m, &mut d, 2 * NS_PER_SEC);
+        let bb = d.blackboard();
+        assert!(!bb.is_warming_up());
+        let node_power = bb.node_power_w();
+        assert!((120.0..=170.0).contains(&node_power), "node {node_power} W");
+        for s in bb.snapshot_all() {
+            assert!(s.power_w > 50.0, "per-socket power {s:?}");
+            assert!(s.temp_c > 40.0);
+            assert!(s.energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_concurrency_meter_reflects_activity() {
+        let mut m = machine();
+        for c in m.topology().cores_of(SocketId(0)) {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.3, ocr: 5.0 });
+        }
+        let mut d = RcrDaemon::new(&m);
+        run_daemon(&mut m, &mut d, NS_PER_SEC / 2);
+        let s0 = d.blackboard().snapshot(0);
+        let s1 = d.blackboard().snapshot(1);
+        assert!((s0.mem_concurrency - 40.0).abs() < 1e-9, "{s0:?}");
+        assert_eq!(s1.mem_concurrency, 0.0);
+    }
+
+    #[test]
+    fn period_is_respected() {
+        let mut m = machine();
+        let mut d = RcrDaemon::with_period(&m, 50_000_000);
+        assert_eq!(d.next_due_ns(), 0);
+        d.sample(&m);
+        assert_eq!(d.next_due_ns(), 50_000_000);
+        m.advance(50_000_000);
+        d.sample(&m);
+        assert_eq!(d.samples_taken(), 2);
+        assert_eq!(d.next_due_ns(), 100_000_000);
+    }
+
+    #[test]
+    fn idle_node_classifies_low_power() {
+        use crate::classify::{Level, MeterThresholds};
+        let mut m = machine();
+        let mut d = RcrDaemon::new(&m);
+        run_daemon(&mut m, &mut d, NS_PER_SEC);
+        let t = MeterThresholds::paper_power_w();
+        for s in d.blackboard().snapshot_all() {
+            assert_eq!(t.classify(s.power_w), Level::Low, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn history_records_every_publication() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.5, ocr: 1.0 });
+        }
+        let mut d = RcrDaemon::new(&m).with_history(6);
+        run_daemon(&mut m, &mut d, NS_PER_SEC);
+        let h = d.history().expect("attached");
+        assert_eq!(h.len(), 6, "ring stays at capacity");
+        assert_eq!(h.total_pushed(), d.samples_taken() * 2, "two sockets per sample");
+        assert!(h.mean_power_w(0).unwrap() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let m = machine();
+        RcrDaemon::with_period(&m, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Monitors: periodic observers that can flip the throttle flag.
+//!
+//! The paper splits monitoring across two daemons — the system RCRdaemon
+//! sampling hardware counters, and a user-level daemon inside the runtime
+//! that reads the shared region every 0.1 s and decides whether to throttle.
+//! In the virtual-time engine both are [`Monitor`]s: the scheduler fires
+//! each monitor whenever the machine clock reaches its next deadline, between
+//! scheduling events. The adaptive controller in the `maestro` crate is the
+//! canonical implementation.
+
+use maestro_machine::Machine;
+
+/// Shared throttle directives the scheduler consults at every
+/// thread-initiation point (task dispatch), per §IV of the paper.
+#[derive(Clone, Debug)]
+pub struct ThrottleState {
+    /// When true, shepherds enforce `limit_per_shepherd`.
+    pub active: bool,
+    /// Maximum active workers per shepherd while throttled.
+    pub limit_per_shepherd: usize,
+}
+
+impl ThrottleState {
+    /// Throttling off; `limit_per_shepherd` pre-set for when it activates.
+    pub fn new(limit_per_shepherd: usize) -> Self {
+        assert!(limit_per_shepherd >= 1, "throttle limit must allow at least one worker");
+        ThrottleState { active: false, limit_per_shepherd }
+    }
+
+    /// The effective limit for dispatch decisions: the configured limit when
+    /// throttled, otherwise unbounded.
+    pub fn effective_limit(&self) -> usize {
+        if self.active {
+            self.limit_per_shepherd
+        } else {
+            usize::MAX
+        }
+    }
+}
+
+/// A periodic observer driven by the virtual clock.
+pub trait Monitor {
+    /// The next virtual time this monitor wants to run, or `None` to stop.
+    fn next_due_ns(&self) -> Option<u64>;
+
+    /// Run once at (or just after) the due time. May read machine state,
+    /// program machine knobs (duty cycles, P-states), and mutate the
+    /// throttle directives. Must advance its own deadline.
+    fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState);
+}
+
+/// A monitor that records the node power trace at a fixed period — used by
+/// the experiment harness to plot power over time, and handy in tests.
+#[derive(Clone, Debug)]
+pub struct PowerTrace {
+    period_ns: u64,
+    next_ns: u64,
+    samples: Vec<(u64, f64)>,
+}
+
+impl PowerTrace {
+    /// Sample node power every `period_ns`.
+    pub fn new(period_ns: u64) -> Self {
+        assert!(period_ns > 0);
+        PowerTrace { period_ns, next_ns: 0, samples: Vec::new() }
+    }
+
+    /// The recorded `(time_ns, node_watts)` samples.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// Consume the trace.
+    pub fn into_samples(self) -> Vec<(u64, f64)> {
+        self.samples
+    }
+}
+
+impl Monitor for PowerTrace {
+    fn next_due_ns(&self) -> Option<u64> {
+        Some(self.next_ns)
+    }
+
+    fn fire(&mut self, machine: &mut Machine, _throttle: &mut ThrottleState) {
+        self.samples.push((machine.now_ns(), machine.node_power_w()));
+        self.next_ns = machine.now_ns() + self.period_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_limit_depends_on_flag() {
+        let mut t = ThrottleState::new(6);
+        assert_eq!(t.effective_limit(), usize::MAX);
+        t.active = true;
+        assert_eq!(t.effective_limit(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_limit_rejected() {
+        ThrottleState::new(0);
+    }
+
+    #[test]
+    fn power_trace_advances_deadline() {
+        use maestro_machine::MachineConfig;
+        let mut machine = Machine::new(MachineConfig::sandybridge_2x8());
+        let mut trace = PowerTrace::new(100);
+        let mut throttle = ThrottleState::new(6);
+        assert_eq!(trace.next_due_ns(), Some(0));
+        trace.fire(&mut machine, &mut throttle);
+        assert_eq!(trace.next_due_ns(), Some(100));
+        assert_eq!(trace.samples().len(), 1);
+        assert!(trace.samples()[0].1 > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Runtime tuning parameters.
+//!
+//! Two kinds of knobs live here:
+//!
+//! * **Mechanical overheads** of the tasking layer, in cycles — dispatching a
+//!   task from the local queue, stealing from another shepherd, creating a
+//!   child task, resuming a suspended parent. These are what make untuned
+//!   fine-grained programs (task-per-call Fibonacci) slower in parallel than
+//!   serial, as the paper's Figures 1-2 show.
+//! * **Queue-contention slope** — extra cycles per *other active worker*
+//!   added to every dispatch. The GNU and Intel OpenMP task pools the paper
+//!   measured against serialize task operations through shared state, so the
+//!   cost of a task operation grows with the number of workers hammering the
+//!   pool; Qthreads' per-shepherd queues keep the slope near zero. Workload
+//!   profiles select the slope matching the runtime being simulated.
+
+use maestro_machine::DutyCycle;
+use serde::{Deserialize, Serialize};
+
+/// How worker threads are pinned to cores.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Placement {
+    /// Fill socket 0 first, then socket 1 (`OMP_PROC_BIND=close`).
+    Block,
+    /// Round-robin across sockets (`OMP_PROC_BIND=spread`) — balances
+    /// shepherd populations and memory bandwidth, the Qthreads default.
+    Scatter,
+}
+
+/// Tunable costs and policies of the tasking runtime.
+#[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RuntimeParams {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Worker-to-core pinning policy.
+    pub placement: Placement,
+    /// Cycles to pop + begin a task from the local shepherd queue.
+    pub dispatch_cycles: u64,
+    /// Extra cycles when the task was stolen from another shepherd.
+    pub steal_extra_cycles: u64,
+    /// Cycles charged to a parent per child task it creates.
+    pub spawn_cycles_per_child: u64,
+    /// Cycles to resume a suspended parent whose children finished.
+    pub resume_cycles: u64,
+    /// Extra dispatch cycles per other active worker (shared-pool
+    /// contention; ~0 for Qthreads, tens to hundreds for the OpenMP pools).
+    /// This is a lump sum per task acquisition — the right shape for lock
+    /// convoys on a central task queue.
+    pub queue_contention_cycles_per_worker: u64,
+    /// Continuous compute-rate dilation per other active worker: a busy
+    /// segment's CPU progress rate is divided by
+    /// `1 + dilation × (active_workers − 1)`. This is the right shape for
+    /// contention that accrues *while executing* — falsely-shared cache
+    /// lines, coherence storms in barrier-separated parallel loops — and,
+    /// unlike the dispatch lump, it causes no artificial load imbalance.
+    pub work_dilation_per_worker: f64,
+    /// When a worker is throttled into the spin loop, drop its duty cycle to
+    /// this level (the paper uses the hardware minimum, 1/32).
+    pub spin_duty: DutyCycle,
+    /// Whether throttled spinners use the low-power duty state at all
+    /// (disabling this models a naive full-speed spin loop).
+    pub low_power_spin: bool,
+}
+
+impl RuntimeParams {
+    /// Qthreads/MAESTRO-like defaults for `workers` workers: cheap
+    /// per-shepherd queues, low contention slope, low-power spin.
+    pub fn qthreads(workers: usize) -> Self {
+        RuntimeParams {
+            workers,
+            placement: Placement::Scatter,
+            dispatch_cycles: 550,
+            steal_extra_cycles: 2200,
+            spawn_cycles_per_child: 450,
+            resume_cycles: 700,
+            queue_contention_cycles_per_worker: 12,
+            work_dilation_per_worker: 0.0,
+            spin_duty: DutyCycle::MIN,
+            low_power_spin: true,
+        }
+    }
+
+    /// A shared-pool OpenMP runtime (GOMP-like): every task operation takes
+    /// a global lock, so dispatch cost climbs steeply with active workers.
+    pub fn shared_pool_omp(workers: usize, contention_slope: u64) -> Self {
+        RuntimeParams {
+            dispatch_cycles: 900,
+            steal_extra_cycles: 0, // central pool: no distinct steal path
+            spawn_cycles_per_child: 800,
+            resume_cycles: 900,
+            queue_contention_cycles_per_worker: contention_slope,
+            ..Self::qthreads(workers)
+        }
+    }
+
+    /// Validate invariants (at least one worker).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("runtime needs at least one worker".into());
+        }
+        Ok(())
+    }
+
+    /// Dispatch cost in cycles when `active_workers` workers are currently
+    /// executing (including the dispatching one).
+    pub fn dispatch_cost_cycles(&self, active_workers: usize, stolen: bool) -> u64 {
+        let contention =
+            self.queue_contention_cycles_per_worker * active_workers.saturating_sub(1) as u64;
+        self.dispatch_cycles + contention + if stolen { self.steal_extra_cycles } else { 0 }
+    }
+}
+
+impl Default for RuntimeParams {
+    fn default() -> Self {
+        RuntimeParams::qthreads(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qthreads_dispatch_nearly_flat() {
+        let p = RuntimeParams::qthreads(16);
+        let solo = p.dispatch_cost_cycles(1, false);
+        let full = p.dispatch_cost_cycles(16, false);
+        assert!(full < solo * 2, "Qthreads dispatch must not blow up: {solo} -> {full}");
+    }
+
+    #[test]
+    fn shared_pool_dispatch_grows_with_workers() {
+        let p = RuntimeParams::shared_pool_omp(16, 600);
+        let solo = p.dispatch_cost_cycles(1, false);
+        let full = p.dispatch_cost_cycles(16, false);
+        assert!(full > solo * 5, "shared pool must serialize: {solo} -> {full}");
+    }
+
+    #[test]
+    fn steal_costs_more() {
+        let p = RuntimeParams::qthreads(8);
+        assert!(p.dispatch_cost_cycles(4, true) > p.dispatch_cost_cycles(4, false));
+    }
+
+    #[test]
+    fn zero_workers_invalid() {
+        assert!(RuntimeParams::qthreads(0).validate().is_err());
+        assert!(RuntimeParams::qthreads(1).validate().is_ok());
+    }
+}

@@ -1,0 +1,84 @@
+//! Run results and scheduler statistics.
+
+use crate::task::TaskValue;
+use serde::{Deserialize, Serialize};
+
+/// Counters the scheduler maintains during a run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Tasks that ran to completion.
+    pub tasks_completed: u64,
+    /// Total task `step` calls.
+    pub steps: u64,
+    /// Tasks acquired from another shepherd's queue.
+    pub steals: u64,
+    /// Children spawned.
+    pub spawned: u64,
+    /// Suspended parents resumed.
+    pub resumes: u64,
+    /// Monitor firings.
+    pub monitor_fires: u64,
+    /// Times a worker entered the throttled spin loop.
+    pub spin_entries: u64,
+    /// Duty-cycle MSR writes performed (2 per low-power spin episode).
+    pub duty_writes: u64,
+    /// Total worker-nanoseconds spent in the throttled spin loop.
+    pub throttled_worker_ns: u64,
+    /// Peak number of live tasks.
+    pub peak_live_tasks: u64,
+}
+
+/// The result of executing a task graph to completion.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The root task's value.
+    pub value: TaskValue,
+    /// Virtual execution time, seconds.
+    pub elapsed_s: f64,
+    /// Whole-node energy consumed during the run, Joules.
+    pub joules: f64,
+    /// Average whole-node power during the run, Watts.
+    pub avg_watts: f64,
+    /// Scheduler counters.
+    pub stats: RunStats,
+}
+
+impl RunOutcome {
+    /// Convenience: the root value downcast to `T`.
+    pub fn value_as<T: std::any::Any>(mut self) -> Option<T> {
+        self.value.take::<T>()
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2} s, {:.0} J, {:.1} W ({} tasks, {} steals, {:.2} worker-s throttled)",
+            self.elapsed_s,
+            self.joules,
+            self.avg_watts,
+            self.stats.tasks_completed,
+            self.stats.steals,
+            self.stats.throttled_worker_ns as f64 * 1e-9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_display_and_downcast() {
+        let o = RunOutcome {
+            value: TaskValue::of(7usize),
+            elapsed_s: 1.0,
+            joules: 120.0,
+            avg_watts: 120.0,
+            stats: RunStats::default(),
+        };
+        assert!(o.to_string().contains("120 J"));
+        assert_eq!(o.value_as::<usize>(), Some(7));
+    }
+}

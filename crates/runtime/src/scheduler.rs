@@ -1,0 +1,1056 @@
+//! The Sherwood/MAESTRO scheduler under virtual time.
+//!
+//! One worker per core; workers on a socket share a shepherd with a LIFO
+//! queue; stealing is FIFO from another shepherd. Execution is a fluid
+//! discrete-event simulation: each running segment's completion time is a
+//! function of its core's duty cycle (CPU share) and its socket's memory
+//! contention factor (memory share), both of which are constant between
+//! events, so the engine advances straight to the earliest completion or
+//! monitor deadline.
+//!
+//! Throttling follows §IV of the paper: the check happens when a worker
+//! *looks for work*; a worker that would push its shepherd's active count
+//! past the limit enters a spin loop at 1/32 duty and wakes only on throttle
+//! deactivation, application completion, or parallel region/loop termination
+//! (a suspended parent resuming). Duty-register writes cost the time of
+//! ~250 memory operations, charged as a fixed-rate transition segment.
+
+use std::collections::VecDeque;
+
+use maestro_machine::{CoreActivity, CoreId, DutyCycle, Machine};
+
+use crate::monitor::{Monitor, ThrottleState};
+use crate::params::RuntimeParams;
+use crate::report::{RunOutcome, RunStats};
+use crate::task::{BoxTask, Step, TaskCtx, TaskValue};
+
+type TaskId = usize;
+
+/// Tolerance for treating a segment as complete, in nanoseconds.
+const EPS_NS: f64 = 0.5;
+
+struct TaskRecord<C> {
+    logic: Option<BoxTask<C>>,
+    parent: Option<(TaskId, usize)>,
+    home_shepherd: usize,
+    pending_children: usize,
+    inbox: Vec<TaskValue>,
+    resume_pending: bool,
+    staged_children: Vec<BoxTask<C>>,
+}
+
+struct Segment {
+    /// `None` marks a fixed-rate transition (duty-register write).
+    task: Option<TaskId>,
+    cpu_rem_ns: f64,
+    mem_rem_ns: f64,
+    /// Wake epoch captured when a spin transition began.
+    spin_epoch: u64,
+}
+
+enum WorkerState {
+    Idle,
+    Spinning { epoch_seen: u64, since_ns: u64 },
+    Running(Segment),
+}
+
+struct Shepherd {
+    queue: VecDeque<TaskId>,
+    active: usize,
+}
+
+/// The reusable runtime: machine + parameters + monitors + throttle state.
+///
+/// [`Runtime::run`] executes one task graph to completion; the machine's
+/// clock, temperature, and energy counters persist across runs (so warm-up
+/// and back-to-back experiments behave like the paper's).
+pub struct Runtime {
+    machine: Machine,
+    params: RuntimeParams,
+    monitors: Vec<Box<dyn Monitor>>,
+    throttle: ThrottleState,
+}
+
+impl Runtime {
+    /// Build a runtime over `machine`. Panics on invalid parameters or more
+    /// workers than cores.
+    pub fn new(machine: Machine, params: RuntimeParams) -> Self {
+        params.validate().expect("invalid runtime parameters");
+        assert!(
+            params.workers <= machine.topology().total_cores(),
+            "more workers ({}) than cores ({})",
+            params.workers,
+            machine.topology().total_cores()
+        );
+        let default_limit = machine.topology().cores_per_socket.max(1) as usize;
+        Runtime { machine, params, monitors: Vec::new(), throttle: ThrottleState::new(default_limit) }
+    }
+
+    /// Register a monitor (RCR daemon, adaptive controller, power trace…).
+    pub fn add_monitor(&mut self, monitor: Box<dyn Monitor>) {
+        self.monitors.push(monitor);
+    }
+
+    /// Remove and return all monitors (e.g. to inspect a recorded trace).
+    pub fn take_monitors(&mut self) -> Vec<Box<dyn Monitor>> {
+        std::mem::take(&mut self.monitors)
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (e.g. to pre-warm or pre-load it).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Current throttle directives.
+    pub fn throttle(&self) -> &ThrottleState {
+        &self.throttle
+    }
+
+    /// Mutable throttle directives (e.g. to pin a fixed limit).
+    pub fn throttle_mut(&mut self) -> &mut ThrottleState {
+        &mut self.throttle
+    }
+
+    /// The runtime parameters.
+    pub fn params(&self) -> &RuntimeParams {
+        &self.params
+    }
+
+    /// Execute `root` against `app` until it completes.
+    pub fn run<C>(&mut self, app: &mut C, root: BoxTask<C>) -> RunOutcome {
+        Exec::new(self).run(app, root)
+    }
+}
+
+/// Per-run execution state, borrowing the runtime.
+struct Exec<'r, C> {
+    rt: &'r mut Runtime,
+    tasks: Vec<Option<TaskRecord<C>>>,
+    free: Vec<TaskId>,
+    live_tasks: u64,
+    shepherds: Vec<Shepherd>,
+    workers: Vec<WorkerState>,
+    /// Residual dispatch overhead per worker, folded into the next segment.
+    pending_overhead_ns: Vec<f64>,
+    wake_epoch: u64,
+    root_value: Option<TaskValue>,
+    stats: RunStats,
+}
+
+impl<'r, C> Exec<'r, C> {
+    fn new(rt: &'r mut Runtime) -> Self {
+        let n_workers = rt.params.workers;
+        let sockets = rt.machine.topology().sockets as usize;
+        let shepherds = (0..sockets)
+            .map(|_| Shepherd { queue: VecDeque::new(), active: 0 })
+            .collect();
+        Exec {
+            rt,
+            tasks: Vec::new(),
+            free: Vec::new(),
+            live_tasks: 0,
+            shepherds,
+            workers: (0..n_workers).map(|_| WorkerState::Idle).collect(),
+            pending_overhead_ns: vec![0.0; n_workers],
+            wake_epoch: 0,
+            root_value: None,
+            stats: RunStats::default(),
+        }
+    }
+
+    fn core_of(&self, worker: usize) -> CoreId {
+        match self.rt.params.placement {
+            crate::params::Placement::Block => CoreId(worker as u16),
+            crate::params::Placement::Scatter => {
+                let topo = self.rt.machine.topology();
+                let sockets = topo.sockets as usize;
+                let socket = worker % sockets;
+                let index = worker / sockets;
+                CoreId((socket * topo.cores_per_socket as usize + index) as u16)
+            }
+        }
+    }
+
+    fn shepherd_of(&self, worker: usize) -> usize {
+        self.rt.machine.topology().socket_of(self.core_of(worker)).index()
+    }
+
+    fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.rt.machine.config().freq_ghz
+    }
+
+    fn alloc_task(&mut self, record: TaskRecord<C>) -> TaskId {
+        self.live_tasks += 1;
+        self.stats.peak_live_tasks = self.stats.peak_live_tasks.max(self.live_tasks);
+        if let Some(id) = self.free.pop() {
+            self.tasks[id] = Some(record);
+            id
+        } else {
+            self.tasks.push(Some(record));
+            self.tasks.len() - 1
+        }
+    }
+
+    fn free_task(&mut self, id: TaskId) {
+        self.tasks[id] = None;
+        self.free.push(id);
+        self.live_tasks -= 1;
+    }
+
+    fn total_active(&self) -> usize {
+        self.shepherds.iter().map(|s| s.active).sum()
+    }
+
+    fn run(mut self, app: &mut C, root: BoxTask<C>) -> RunOutcome {
+        let machine = &self.rt.machine;
+        let start_ns = machine.now_ns();
+        let start_j = machine.total_energy_joules();
+
+        let root_shep = self.shepherd_of(0);
+        let root_id = self.alloc_task(TaskRecord {
+            logic: Some(root),
+            parent: None,
+            home_shepherd: root_shep,
+            pending_children: 0,
+            inbox: Vec::new(),
+            resume_pending: false,
+            staged_children: Vec::new(),
+        });
+        self.shepherds[root_shep].queue.push_back(root_id);
+
+        while self.root_value.is_none() {
+            self.fire_due_monitors();
+            self.dispatch_fixpoint(app);
+            if self.root_value.is_some() {
+                break;
+            }
+            let Some(dt_ns) = self.next_event_dt() else {
+                panic!(
+                    "scheduler deadlock: no running work and no pending monitor \
+                     (live tasks: {}, total active: {})",
+                    self.live_tasks,
+                    self.total_active()
+                );
+            };
+            self.rt.machine.advance(dt_ns);
+            self.progress_segments(app, dt_ns as f64);
+        }
+
+        // Account residual spin time and restore machine core states.
+        let now = self.rt.machine.now_ns();
+        for w in 0..self.workers.len() {
+            if let WorkerState::Spinning { since_ns, .. } = self.workers[w] {
+                self.stats.throttled_worker_ns += now - since_ns;
+            }
+            if self.rt.params.low_power_spin {
+                self.rt.machine.set_duty(self.core_of(w), DutyCycle::FULL);
+            }
+            self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+        }
+
+        let elapsed_s = (now - start_ns) as f64 * 1e-9;
+        let joules = self.rt.machine.total_energy_joules() - start_j;
+        RunOutcome {
+            value: self.root_value.take().expect("loop exits only with a root value"),
+            elapsed_s,
+            joules,
+            avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
+            stats: self.stats,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Monitors
+    // ------------------------------------------------------------------
+
+    fn fire_due_monitors(&mut self) {
+        let now = self.rt.machine.now_ns();
+        let was_active = self.rt.throttle.active;
+        for m in &mut self.rt.monitors {
+            while m.next_due_ns().is_some_and(|due| due <= now) {
+                m.fire(&mut self.rt.machine, &mut self.rt.throttle);
+                self.stats.monitor_fires += 1;
+            }
+        }
+        if self.rt.throttle.active != was_active {
+            // Throttle (de)activation is a wake condition for spinners.
+            self.wake_epoch += 1;
+        }
+    }
+
+    fn next_monitor_due(&self) -> Option<u64> {
+        self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min()
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch_fixpoint(&mut self, app: &mut C) {
+        loop {
+            let mut progress = false;
+            for w in 0..self.workers.len() {
+                if self.root_value.is_some() {
+                    return;
+                }
+                let eligible = match &self.workers[w] {
+                    WorkerState::Idle => true,
+                    WorkerState::Spinning { epoch_seen, .. } => *epoch_seen < self.wake_epoch,
+                    WorkerState::Running(_) => false,
+                };
+                if eligible {
+                    progress |= self.try_dispatch(app, w);
+                }
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    /// One attempt by worker `w` to find work. Returns true when the worker
+    /// changed state (so the fixpoint must iterate again).
+    fn try_dispatch(&mut self, app: &mut C, w: usize) -> bool {
+        let shep = self.shepherd_of(w);
+
+        // Thread-initiation throttle check (§IV).
+        if self.rt.throttle.active && self.shepherds[shep].active >= self.rt.throttle.effective_limit()
+        {
+            return self.enter_spin(w);
+        }
+
+        let Some((task, stolen)) = self.acquire_task(shep) else {
+            return match self.workers[w] {
+                WorkerState::Spinning { ref mut epoch_seen, since_ns } => {
+                    if self.rt.throttle.active {
+                        // Still throttled: consume the wake epoch and keep
+                        // spinning until one of the wake conditions fires.
+                        *epoch_seen = self.wake_epoch;
+                        false
+                    } else {
+                        // Throttle deactivated: leave the spin loop for the
+                        // ordinary idle state (idle workers re-check on every
+                        // dispatch pass, so no wake event can be lost).
+                        self.stats.throttled_worker_ns += self.rt.machine.now_ns() - since_ns;
+                        let core = self.core_of(w);
+                        if self.rt.params.low_power_spin {
+                            self.rt.machine.set_duty(core, DutyCycle::FULL);
+                            self.stats.duty_writes += 1;
+                            self.pending_overhead_ns[w] +=
+                                self.rt.machine.config().duty_write_latency_ns() as f64;
+                        }
+                        self.rt.machine.set_activity(core, CoreActivity::Idle);
+                        self.workers[w] = WorkerState::Idle;
+                        true
+                    }
+                }
+                _ => {
+                    self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+                    false
+                }
+            };
+        };
+
+        // Leaving a spin loop costs a duty-register write.
+        let mut overhead_ns = self.pending_overhead_ns[w];
+        self.pending_overhead_ns[w] = 0.0;
+        if let WorkerState::Spinning { since_ns, .. } = self.workers[w] {
+            self.stats.throttled_worker_ns += self.rt.machine.now_ns() - since_ns;
+            if self.rt.params.low_power_spin {
+                self.rt.machine.set_duty(self.core_of(w), DutyCycle::FULL);
+                self.stats.duty_writes += 1;
+                overhead_ns += self.rt.machine.config().duty_write_latency_ns() as f64;
+            }
+        }
+
+        let active = self.total_active() + 1;
+        let dispatch_cycles = self.rt.params.dispatch_cost_cycles(active, stolen);
+        overhead_ns += self.cycles_to_ns(dispatch_cycles);
+        if stolen {
+            self.stats.steals += 1;
+        }
+        if self.tasks[task].as_ref().expect("queued task exists").resume_pending {
+            overhead_ns += self.cycles_to_ns(self.rt.params.resume_cycles);
+            self.stats.resumes += 1;
+        }
+
+        self.workers[w] = WorkerState::Idle; // placeholder until a segment starts
+        self.step_task(app, w, task, overhead_ns);
+        true
+    }
+
+    /// Pop from the local queue (LIFO) or steal from another shepherd (FIFO).
+    fn acquire_task(&mut self, shep: usize) -> Option<(TaskId, bool)> {
+        if let Some(t) = self.shepherds[shep].queue.pop_back() {
+            return Some((t, false));
+        }
+        let n = self.shepherds.len();
+        for i in 1..n {
+            let victim = (shep + i) % n;
+            if let Some(t) = self.shepherds[victim].queue.pop_front() {
+                return Some((t, true));
+            }
+        }
+        None
+    }
+
+    fn enter_spin(&mut self, w: usize) -> bool {
+        match self.workers[w] {
+            WorkerState::Spinning { ref mut epoch_seen, .. } => {
+                // Was woken but throttle still binds: consume the epoch.
+                let changed = *epoch_seen < self.wake_epoch;
+                *epoch_seen = self.wake_epoch;
+                // No state change that enables other workers.
+                let _ = changed;
+                false
+            }
+            WorkerState::Running(_) => unreachable!("running workers are not dispatched"),
+            WorkerState::Idle => {
+                self.stats.spin_entries += 1;
+                let core = self.core_of(w);
+                self.rt.machine.set_activity(core, CoreActivity::Spin);
+                if self.rt.params.low_power_spin {
+                    self.rt.machine.set_duty(core, self.rt.params.spin_duty);
+                    self.stats.duty_writes += 1;
+                    // The MSR write stalls the core for ~250 memory ops.
+                    self.workers[w] = WorkerState::Running(Segment {
+                        task: None,
+                        cpu_rem_ns: self.rt.machine.config().duty_write_latency_ns() as f64,
+                        mem_rem_ns: 0.0,
+                        spin_epoch: self.wake_epoch,
+                    });
+                } else {
+                    self.workers[w] = WorkerState::Spinning {
+                        epoch_seen: self.wake_epoch,
+                        since_ns: self.rt.machine.now_ns(),
+                    };
+                }
+                true
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task stepping
+    // ------------------------------------------------------------------
+
+    /// Drive `task` on worker `w` until it produces a timed segment,
+    /// suspends, or finishes. `overhead_ns` is folded into the first
+    /// segment the worker produces (and carried across instant completions).
+    fn step_task(&mut self, app: &mut C, w: usize, task: TaskId, overhead_ns: f64) {
+        let mut carry_ns = overhead_ns;
+        let mut current = task;
+        let now_ns = self.rt.machine.now_ns();
+        let worker_shep = self.shepherd_of(w);
+        loop {
+            let record = self.tasks[current].as_mut().expect("stepped task exists");
+            let mut ctx = TaskCtx {
+                children: if record.resume_pending {
+                    record.resume_pending = false;
+                    std::mem::take(&mut record.inbox)
+                } else {
+                    Vec::new()
+                },
+                now_ns,
+                worker: w,
+                shepherd: worker_shep,
+            };
+            let mut logic = record.logic.take().expect("task logic present while stepped");
+            let step = logic.step(app, &mut ctx);
+            self.stats.steps += 1;
+            let record = self.tasks[current].as_mut().expect("stepped task exists");
+            record.logic = Some(logic);
+
+            match step {
+                Step::Compute(cost) => {
+                    let cfg = self.rt.machine.config();
+                    let (freq, lat) = (cfg.freq_ghz, cfg.memory.mem_latency_ns);
+                    let seg = Segment {
+                        task: Some(current),
+                        cpu_rem_ns: cost.cpu_time_ns(freq) + carry_ns,
+                        mem_rem_ns: cost.mem_time_ns(lat),
+                        spin_epoch: 0,
+                    };
+                    self.rt.machine.set_activity(
+                        self.core_of(w),
+                        CoreActivity::Busy {
+                            intensity: cost.intensity,
+                            ocr: cost.avg_outstanding_refs(freq, lat),
+                        },
+                    );
+                    let shep = self.shepherd_of(w);
+                    self.shepherds[shep].active += 1;
+                    self.workers[w] = WorkerState::Running(seg);
+                    return;
+                }
+                Step::SpawnWait(children) => {
+                    if children.is_empty() {
+                        // Degenerate spawn: resume immediately with no values.
+                        let record = self.tasks[current].as_mut().expect("task exists");
+                        record.resume_pending = true;
+                        record.inbox = Vec::new();
+                        continue;
+                    }
+                    let n = children.len();
+                    let record = self.tasks[current].as_mut().expect("task exists");
+                    record.staged_children = children;
+                    record.pending_children = n;
+                    record.inbox = (0..n).map(|_| TaskValue::none()).collect();
+                    // Creating the children costs the parent spawn cycles,
+                    // modeled as a final busy segment before it suspends.
+                    let spawn_ns =
+                        self.cycles_to_ns(self.rt.params.spawn_cycles_per_child * n as u64);
+                    let seg = Segment {
+                        task: Some(current),
+                        cpu_rem_ns: spawn_ns + carry_ns,
+                        mem_rem_ns: 0.0,
+                        spin_epoch: 0,
+                    };
+                    self.rt.machine.set_activity(
+                        self.core_of(w),
+                        CoreActivity::Busy { intensity: 0.1, ocr: 0.0 },
+                    );
+                    let shep = self.shepherd_of(w);
+                    self.shepherds[shep].active += 1;
+                    self.workers[w] = WorkerState::Running(seg);
+                    return;
+                }
+                Step::Done(value) => {
+                    self.complete_task(current, value);
+                    if self.root_value.is_some() {
+                        self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+                        self.workers[w] = WorkerState::Idle;
+                        return;
+                    }
+                    // Instant completion: keep the worker going on more work
+                    // from its own queue, carrying the unpaid overhead —
+                    // unless the throttle now binds (this is a "looks for
+                    // work" point too).
+                    let shep = self.shepherd_of(w);
+                    if self.rt.throttle.active
+                        && self.shepherds[shep].active >= self.rt.throttle.effective_limit()
+                    {
+                        self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+                        self.workers[w] = WorkerState::Idle;
+                        return;
+                    }
+                    if let Some((next, stolen)) = self.acquire_task(shep) {
+                        let active = self.total_active() + 1;
+                        carry_ns +=
+                            self.cycles_to_ns(self.rt.params.dispatch_cost_cycles(active, stolen));
+                        if stolen {
+                            self.stats.steals += 1;
+                        }
+                        if self.tasks[next].as_ref().expect("queued task exists").resume_pending {
+                            carry_ns += self.cycles_to_ns(self.rt.params.resume_cycles);
+                            self.stats.resumes += 1;
+                        }
+                        current = next;
+                        continue;
+                    }
+                    self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+                    self.workers[w] = WorkerState::Idle;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A task finished with `value`: deliver to the parent (possibly
+    /// readying it) or finish the run.
+    fn complete_task(&mut self, task: TaskId, value: TaskValue) {
+        self.stats.tasks_completed += 1;
+        let record = self.tasks[task].as_mut().expect("completing task exists");
+        let parent = record.parent;
+        debug_assert!(record.pending_children == 0, "task finished with live children");
+        self.free_task(task);
+        match parent {
+            None => {
+                self.root_value = Some(value);
+                // Application completion wakes spinners.
+                self.wake_epoch += 1;
+            }
+            Some((p, slot)) => {
+                let parent_record = self.tasks[p].as_mut().expect("parent outlives children");
+                parent_record.inbox[slot] = value;
+                parent_record.pending_children -= 1;
+                if parent_record.pending_children == 0 {
+                    parent_record.resume_pending = true;
+                    let home = parent_record.home_shepherd;
+                    self.shepherds[home].queue.push_back(p);
+                    // Parallel region / loop termination wakes spinners.
+                    self.wake_epoch += 1;
+                }
+            }
+        }
+    }
+
+    /// The spawn segment of `parent` finished: materialize its staged
+    /// children onto the local queue and suspend the parent.
+    fn release_children(&mut self, parent: TaskId, shep: usize) {
+        let record = self.tasks[parent].as_mut().expect("spawning parent exists");
+        let staged = std::mem::take(&mut record.staged_children);
+        let home = record.home_shepherd;
+        let _ = home;
+        self.stats.spawned += staged.len() as u64;
+        for (slot, logic) in staged.into_iter().enumerate() {
+            let id = self.alloc_task(TaskRecord {
+                logic: Some(logic),
+                parent: Some((parent, slot)),
+                home_shepherd: shep,
+                pending_children: 0,
+                inbox: Vec::new(),
+                resume_pending: false,
+                staged_children: Vec::new(),
+            });
+            self.shepherds[shep].queue.push_back(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fluid time advance
+    // ------------------------------------------------------------------
+
+    /// Compute-rate divisor from the continuous contention model:
+    /// `1 + dilation × (active − 1)`.
+    fn work_dilation(&self) -> f64 {
+        let c = self.rt.params.work_dilation_per_worker;
+        if c == 0.0 {
+            1.0
+        } else {
+            1.0 + c * (self.total_active().saturating_sub(1)) as f64
+        }
+    }
+
+    fn segment_completion_ns(&self, w: usize, seg: &Segment, dilation: f64) -> f64 {
+        if seg.task.is_none() {
+            return seg.cpu_rem_ns; // fixed-rate transition
+        }
+        let core = self.core_of(w);
+        let speed = self.rt.machine.effective_speed(core) / dilation;
+        let socket = self.rt.machine.topology().socket_of(core);
+        let phi = self.rt.machine.contention_factor(socket);
+        seg.cpu_rem_ns / speed + seg.mem_rem_ns / phi
+    }
+
+    /// Time until the next interesting event, or `None` on deadlock.
+    fn next_event_dt(&self) -> Option<u64> {
+        let now = self.rt.machine.now_ns();
+        let mut dt: Option<f64> = None;
+        let mut fold = |cand: f64| {
+            dt = Some(match dt {
+                None => cand,
+                Some(d) => d.min(cand),
+            });
+        };
+        let dilation = self.work_dilation();
+        let mut any_running = false;
+        for (w, state) in self.workers.iter().enumerate() {
+            if let WorkerState::Running(seg) = state {
+                any_running = true;
+                fold(self.segment_completion_ns(w, seg, dilation));
+            }
+        }
+        if let Some(due) = self.next_monitor_due() {
+            fold(due.saturating_sub(now) as f64);
+        } else if !any_running {
+            return None;
+        }
+        dt.map(|d| d.max(0.0).ceil() as u64)
+    }
+
+    /// Move all running segments forward by `dt_ns` and handle completions.
+    fn progress_segments(&mut self, app: &mut C, dt_ns: f64) {
+        // Phase 1: progress every segment under the rates in effect *before*
+        // any completion changes machine activity.
+        let dilation = self.work_dilation();
+        let mut completed: Vec<usize> = Vec::new();
+        for w in 0..self.workers.len() {
+            let core = self.core_of(w);
+            let duty = self.rt.machine.effective_speed(core) / dilation;
+            let socket = self.rt.machine.topology().socket_of(core);
+            let phi = self.rt.machine.contention_factor(socket);
+            if let WorkerState::Running(seg) = &mut self.workers[w] {
+                if seg.task.is_none() {
+                    seg.cpu_rem_ns -= dt_ns;
+                } else {
+                    let t_cpu = seg.cpu_rem_ns / duty;
+                    if dt_ns < t_cpu {
+                        seg.cpu_rem_ns -= dt_ns * duty;
+                    } else {
+                        let leftover = dt_ns - t_cpu;
+                        seg.cpu_rem_ns = 0.0;
+                        seg.mem_rem_ns = (seg.mem_rem_ns - leftover * phi).max(0.0);
+                    }
+                }
+                if seg.cpu_rem_ns <= EPS_NS && seg.mem_rem_ns <= EPS_NS {
+                    completed.push(w);
+                }
+            }
+        }
+
+        // Phase 2: act on completions.
+        for w in completed {
+            let state = std::mem::replace(&mut self.workers[w], WorkerState::Idle);
+            let WorkerState::Running(seg) = state else { unreachable!("collected as running") };
+            match seg.task {
+                None => {
+                    // Duty-write transition done: the worker is now spinning.
+                    self.workers[w] = WorkerState::Spinning {
+                        epoch_seen: seg.spin_epoch,
+                        since_ns: self.rt.machine.now_ns(),
+                    };
+                }
+                Some(task) => {
+                    let shep = self.shepherd_of(w);
+                    self.shepherds[shep].active -= 1;
+                    let record = self.tasks[task].as_mut().expect("running task exists");
+                    if !record.staged_children.is_empty() {
+                        // The spawn segment ended: children go live, parent
+                        // suspends, worker looks for work again.
+                        self.release_children(task, shep);
+                        self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+                    } else {
+                        // A compute segment ended: continue the state machine.
+                        self.step_task(app, w, task, 0.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapters::{compute_leaf, fork_join, leaf, parallel_for};
+    use crate::monitor::PowerTrace;
+    use crate::task::TaskLogic;
+    use maestro_machine::{Cost, MachineConfig, NS_PER_SEC};
+
+    fn runtime(workers: usize) -> Runtime {
+        Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+    }
+
+    /// 1 ms of pure compute at 2.7 GHz.
+    fn ms_cost(ms: u64) -> Cost {
+        Cost::compute(ms * 2_700_000, 0.8)
+    }
+
+    #[test]
+    fn single_compute_task_takes_its_cost() {
+        let mut rt = runtime(1);
+        let out = rt.run(&mut (), compute_leaf(ms_cost(100)));
+        assert!((out.elapsed_s - 0.1).abs() < 0.001, "elapsed {}", out.elapsed_s);
+        assert_eq!(out.stats.tasks_completed, 1);
+        assert!(out.joules > 0.0);
+    }
+
+    #[test]
+    fn fork_join_returns_combined_value() {
+        let mut rt = runtime(4);
+        let children: Vec<BoxTask<()>> = (0..4u64)
+            .map(|i| {
+                leaf(move |_app: &mut (), _ctx: &mut TaskCtx| (ms_cost(10), TaskValue::of(i)))
+            })
+            .collect();
+        let root = fork_join(children, |_app, mut vals: Vec<TaskValue>| {
+            let sum: u64 = vals.iter_mut().map(|v| v.take::<u64>().unwrap()).sum();
+            (Cost::ZERO, TaskValue::of(sum))
+        });
+        let out = rt.run(&mut (), root);
+        assert_eq!(out.value_as::<u64>(), Some(6));
+    }
+
+    #[test]
+    fn parallel_work_speeds_up_on_more_workers() {
+        let elapsed = |workers: usize| {
+            let mut rt = runtime(workers);
+            let children: Vec<BoxTask<()>> =
+                (0..16).map(|_| compute_leaf(ms_cost(50))).collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            rt.run(&mut (), root).elapsed_s
+        };
+        let t1 = elapsed(1);
+        let t16 = elapsed(16);
+        let speedup = t1 / t16;
+        assert!(speedup > 12.0, "compute-bound speedup {speedup}");
+    }
+
+    #[test]
+    fn memory_bound_work_saturates() {
+        // Tasks that are pure memory traffic with high MLP: one socket's
+        // bandwidth caps the speedup well below the worker count.
+        let elapsed = |workers: usize| {
+            let mut rt = runtime(workers);
+            let children: Vec<BoxTask<()>> = (0..32)
+                .map(|_| compute_leaf(Cost::new(1000, 2_000_000, 8.0, 0.2)))
+                .collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            rt.run(&mut (), root).elapsed_s
+        };
+        let t1 = elapsed(1);
+        let t16 = elapsed(16);
+        let speedup = t1 / t16;
+        // 16 workers = 8 per socket, each sustaining MLP 8 => 64 outstanding
+        // refs against an effective max of 36 (with thrash decay beyond it).
+        assert!(speedup < 9.0, "memory-bound speedup should cap: {speedup}");
+        assert!(speedup > 3.0, "but bandwidth still above one core: {speedup}");
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let mut rt = runtime(7);
+        let n = 1000;
+        let mut app = vec![0u32; n];
+        let root = parallel_for(0..n, 13, |app: &mut Vec<u32>, range, _ctx| {
+            for i in range.clone() {
+                app[i] += 1;
+            }
+            Cost::compute(range.len() as u64 * 500, 0.5)
+        });
+        let out = rt.run(&mut app, root);
+        assert!(app.iter().all(|&v| v == 1), "every index exactly once");
+        // ceil(1000/13) chunks + root.
+        assert_eq!(out.stats.tasks_completed, 77 + 1);
+    }
+
+    #[test]
+    fn stealing_balances_across_sockets() {
+        let mut rt = runtime(16);
+        let children: Vec<BoxTask<()>> = (0..64).map(|_| compute_leaf(ms_cost(5))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root);
+        // Work is enqueued on shepherd 0; socket-1 workers must steal.
+        assert!(out.stats.steals > 0, "no steals happened");
+        let ideal = 64.0 * 0.005 / 16.0;
+        assert!(out.elapsed_s < ideal * 2.5, "elapsed {} vs ideal {ideal}", out.elapsed_s);
+    }
+
+    #[test]
+    fn throttle_limits_active_workers_and_spins_at_low_duty() {
+        let mut rt = runtime(16);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 3;
+        let children: Vec<BoxTask<()>> = (0..48).map(|_| compute_leaf(ms_cost(20))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root);
+        assert!(out.stats.spin_entries > 0, "some workers must have spun");
+        assert!(out.stats.throttled_worker_ns > 0);
+        assert!(out.stats.duty_writes > 0);
+        // 6 active instead of 16: ≥ 48*20ms/6 (minus overhead slack).
+        let min_time = 48.0 * 0.020 / 6.0 * 0.9;
+        assert!(out.elapsed_s > min_time, "elapsed {} < {min_time}", out.elapsed_s);
+    }
+
+    #[test]
+    fn throttled_run_draws_less_power() {
+        let run = |throttled: bool| {
+            let mut rt = runtime(16);
+            if throttled {
+                rt.throttle_mut().active = true;
+                rt.throttle_mut().limit_per_shepherd = 4;
+            }
+            let children: Vec<BoxTask<()>> = (0..64).map(|_| compute_leaf(ms_cost(20))).collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            rt.run(&mut (), root)
+        };
+        let free = run(false);
+        let capped = run(true);
+        assert!(
+            capped.avg_watts < free.avg_watts - 10.0,
+            "throttled {} W vs free {} W",
+            capped.avg_watts,
+            free.avg_watts
+        );
+        assert!(capped.elapsed_s > free.elapsed_s);
+    }
+
+    #[test]
+    fn monitors_fire_on_schedule() {
+        let mut rt = runtime(4);
+        rt.add_monitor(Box::new(PowerTrace::new(NS_PER_SEC / 100)));
+        let children: Vec<BoxTask<()>> = (0..8).map(|_| compute_leaf(ms_cost(50))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root);
+        assert!(out.stats.monitor_fires >= 9, "fires: {}", out.stats.monitor_fires);
+        let monitors = rt.take_monitors();
+        let trace = monitors.into_iter().next().unwrap();
+        let _ = trace; // downcasting Box<dyn Monitor> is exercised in the maestro crate
+    }
+
+    #[test]
+    fn deep_recursion_fork_join() {
+        // A binary fork-join tree of depth 12: 2^12 leaves.
+        struct Tree {
+            depth: u32,
+            phase: u8,
+        }
+        impl TaskLogic<()> for Tree {
+            fn step(&mut self, _app: &mut (), _ctx: &mut TaskCtx) -> Step<()> {
+                match (self.phase, self.depth) {
+                    (0, 0) => Step::Done(TaskValue::of(1u64)),
+                    (0, d) => {
+                        self.phase = 1;
+                        Step::SpawnWait(vec![
+                            Box::new(Tree { depth: d - 1, phase: 0 }),
+                            Box::new(Tree { depth: d - 1, phase: 0 }),
+                        ])
+                    }
+                    (1, _) => {
+                        let sum: u64 =
+                            _ctx.children.iter_mut().map(|v| v.take::<u64>().unwrap()).sum();
+                        Step::Done(TaskValue::of(sum))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        let mut rt = runtime(16);
+        let out = rt.run(&mut (), Box::new(Tree { depth: 12, phase: 0 }));
+        assert_eq!(out.value_as::<u64>(), Some(1 << 12));
+    }
+
+    #[test]
+    fn determinism_identical_runs() {
+        let run = || {
+            let mut rt = runtime(9);
+            let children: Vec<BoxTask<()>> = (0..40)
+                .map(|i| compute_leaf(Cost::new(1_000_000 + i * 7919, i * 100, 2.0, 0.5)))
+                .collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            let out = rt.run(&mut (), root);
+            (out.elapsed_s, out.joules, out.stats)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+
+    #[test]
+    fn machine_clock_persists_across_runs() {
+        let mut rt = runtime(2);
+        rt.run(&mut (), compute_leaf(ms_cost(10)));
+        let t1 = rt.machine().now_ns();
+        rt.run(&mut (), compute_leaf(ms_cost(10)));
+        assert!(rt.machine().now_ns() > t1);
+    }
+
+    /// Wake condition 1 (§IV): throttle deactivation. A monitor turns the
+    /// throttle off mid-run; the spinners must rejoin and finish the bag at
+    /// full width.
+    #[test]
+    fn spinners_wake_on_throttle_deactivation() {
+        struct DeactivateAt {
+            t_ns: u64,
+            fired: bool,
+        }
+        impl crate::monitor::Monitor for DeactivateAt {
+            fn next_due_ns(&self) -> Option<u64> {
+                if self.fired {
+                    None
+                } else {
+                    Some(self.t_ns)
+                }
+            }
+            fn fire(&mut self, _m: &mut Machine, throttle: &mut ThrottleState) {
+                throttle.active = false;
+                self.fired = true;
+            }
+        }
+        let mut rt = runtime(16);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 2;
+        // Deactivate after 40 ms; the bag is 64 x 10 ms.
+        rt.add_monitor(Box::new(DeactivateAt { t_ns: 40_000_000, fired: false }));
+        let children: Vec<BoxTask<()>> = (0..64).map(|_| compute_leaf(ms_cost(10))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root);
+        // 4 active for 0.04 s, then 16: well under the fully-throttled time
+        // of 64*10ms/4 = 0.16 s.
+        assert!(out.stats.spin_entries > 0, "must have throttled first");
+        assert!(out.elapsed_s < 0.12, "spinners must rejoin: {}", out.elapsed_s);
+        // Duty restored on wake: entries and exits both write the register.
+        assert!(out.stats.duty_writes >= 4);
+    }
+
+    /// Wake conditions 2-4: application completion and loop termination.
+    /// With the throttle pinned on, spinners still get accounted and the
+    /// next parallel loop still completes (the barrier wake path).
+    #[test]
+    fn spinners_wake_on_loop_boundaries_and_completion() {
+        let mut rt = runtime(16);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 3;
+        // Two loops back to back: the first loop's termination must wake
+        // spinners so they can (re)evaluate for the second.
+        let mut app = vec![0u32; 120];
+        let loops: Vec<BoxTask<Vec<u32>>> = (0..2)
+            .map(|_| {
+                parallel_for(0..120, 10, |app: &mut Vec<u32>, range, _ctx| {
+                    for i in range.clone() {
+                        app[i] += 1;
+                    }
+                    Cost::compute(27_000_000, 0.5)
+                })
+            })
+            .collect();
+        let root = crate::adapters::sequential(loops);
+        let out = rt.run(&mut app, root);
+        assert!(app.iter().all(|&v| v == 2), "both loops ran fully");
+        assert!(out.stats.spin_entries > 0);
+        // All spin time is accounted even though the throttle never lifted
+        // (application-completion wake).
+        assert!(out.stats.throttled_worker_ns > 0);
+    }
+
+    /// DVFS interacts correctly with the fluid engine: the same bag at the
+    /// lowest P-state takes longer by the frequency ratio (pure-compute
+    /// work scales exactly with frequency).
+    #[test]
+    fn pstate_scales_compute_time() {
+        use maestro_machine::{PState, SocketId};
+        let elapsed = |pstate: PState| {
+            let mut rt = runtime(8);
+            for s in [SocketId(0), SocketId(1)] {
+                rt.machine_mut().set_pstate(s, pstate);
+            }
+            let children: Vec<BoxTask<()>> = (0..32).map(|_| compute_leaf(ms_cost(10))).collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            rt.run(&mut (), root).elapsed_s
+        };
+        let full = elapsed(PState::MAX);
+        let slow = elapsed(PState::MIN);
+        let ratio = slow / full;
+        let expected = PState::MAX.ghz() / PState::MIN.ghz(); // 2.25
+        assert!(
+            (ratio - expected).abs() < 0.05,
+            "ratio {ratio} vs frequency ratio {expected}"
+        );
+    }
+
+    #[test]
+    fn fine_grained_tasks_pay_contention_on_shared_pool() {
+        // With a steep contention slope, 16 workers on tiny tasks are slower
+        // than 1 worker — the paper's untuned fibonacci behaviour.
+        let elapsed = |workers: usize| {
+            let params = RuntimeParams::shared_pool_omp(workers, 3000);
+            let mut rt =
+                Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), params);
+            let children: Vec<BoxTask<()>> =
+                (0..3000).map(|_| compute_leaf(Cost::compute(600, 0.2))).collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            rt.run(&mut (), root).elapsed_s
+        };
+        let t1 = elapsed(1);
+        let t16 = elapsed(16);
+        assert!(t16 > t1, "shared-pool fine-grained: t1={t1} t16={t16}");
+    }
+}

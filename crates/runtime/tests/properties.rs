@@ -1,0 +1,126 @@
+//! Property-based tests for scheduler invariants.
+
+use maestro_machine::{Cost, Machine, MachineConfig};
+use maestro_runtime::{
+    compute_leaf, fork_join, leaf, parallel_for, BoxTask, Runtime, RuntimeParams, TaskCtx,
+    TaskValue,
+};
+use proptest::prelude::*;
+
+fn runtime(workers: usize) -> Runtime {
+    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// parallel_for touches every index exactly once, for arbitrary range
+    /// sizes, chunk sizes, and worker counts.
+    #[test]
+    fn parallel_for_exactly_once(
+        n in 0usize..700,
+        chunk in 1usize..100,
+        workers in 1usize..=16,
+    ) {
+        let mut rt = runtime(workers);
+        let mut app = vec![0u32; n];
+        let root = parallel_for(0..n, chunk, |app: &mut Vec<u32>, range, _ctx| {
+            for i in range.clone() {
+                app[i] += 1;
+            }
+            Cost::compute(100 * range.len() as u64, 0.5)
+        });
+        rt.run(&mut app, root);
+        prop_assert!(app.iter().all(|&v| v == 1));
+    }
+
+    /// Every spawned task completes exactly once and values arrive in spawn
+    /// order, for random fork-join trees.
+    #[test]
+    fn random_tree_all_tasks_complete(
+        seed_children in prop::collection::vec(1usize..6, 1..5),
+        workers in 1usize..=16,
+    ) {
+        // Build a two-level tree: each entry spawns that many leaves, each
+        // leaf returns its (level, index) tag.
+        let mut rt = runtime(workers);
+        let groups: Vec<BoxTask<Vec<(usize, usize)>>> = seed_children
+            .iter()
+            .enumerate()
+            .map(|(gi, &n)| {
+                let leaves: Vec<BoxTask<Vec<(usize, usize)>>> = (0..n)
+                    .map(|li| {
+                        leaf(move |app: &mut Vec<(usize, usize)>, _ctx: &mut TaskCtx| {
+                            app.push((gi, li));
+                            (Cost::compute(5000, 0.5), TaskValue::of((gi, li)))
+                        })
+                    })
+                    .collect();
+                fork_join(leaves, move |_app, mut vals| {
+                    // Values must arrive in spawn order.
+                    for (li, v) in vals.iter_mut().enumerate() {
+                        assert_eq!(v.take::<(usize, usize)>(), Some((gi, li)));
+                    }
+                    (Cost::ZERO, TaskValue::of(vals.len()))
+                })
+            })
+            .collect();
+        let expected_total: usize = seed_children.iter().sum();
+        let root = fork_join(groups, move |_app, mut vals| {
+            let total: usize = vals.iter_mut().map(|v| v.take::<usize>().unwrap()).sum();
+            (Cost::ZERO, TaskValue::of(total))
+        });
+        let mut app = Vec::new();
+        let out = rt.run(&mut app, root);
+        prop_assert_eq!(out.value_as::<usize>(), Some(expected_total));
+        prop_assert_eq!(app.len(), expected_total);
+        // Each (group, leaf) payload ran exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for pair in app {
+            prop_assert!(seen.insert(pair), "payload ran twice: {:?}", pair);
+        }
+    }
+
+    /// More workers never make compute-bound work slower by more than the
+    /// dispatch-overhead margin (no pathological scheduling).
+    #[test]
+    fn more_workers_never_catastrophic(tasks in 4usize..40) {
+        let elapsed = |workers: usize| {
+            let mut rt = runtime(workers);
+            let children: Vec<BoxTask<()>> = (0..tasks)
+                .map(|_| compute_leaf(Cost::compute(27_000_000, 0.8))) // 10 ms
+                .collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            rt.run(&mut (), root).elapsed_s
+        };
+        let t1 = elapsed(1);
+        let t16 = elapsed(16);
+        prop_assert!(t16 <= t1 * 1.10, "t16={t16} t1={t1}");
+    }
+
+    /// With throttling forced on, the per-shepherd active limit bounds
+    /// achieved parallelism: elapsed time is at least total work divided by
+    /// the permitted worker count.
+    #[test]
+    fn throttle_limit_is_respected(
+        limit in 1usize..=8,
+        tasks in 8usize..40,
+    ) {
+        let mut rt = runtime(16);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = limit;
+        let task_s = 0.010;
+        let children: Vec<BoxTask<()>> = (0..tasks)
+            .map(|_| compute_leaf(Cost::compute(27_000_000, 0.8)))
+            .collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root);
+        let allowed = (limit * 2).min(16); // two shepherds
+        let lower_bound = (tasks as f64 * task_s / allowed as f64) * 0.98;
+        prop_assert!(
+            out.elapsed_s >= lower_bound,
+            "elapsed {} < bound {lower_bound} (limit {limit}, tasks {tasks})",
+            out.elapsed_s
+        );
+    }
+}

@@ -1,0 +1,508 @@
+//! BOTS `health`: simulation of the Colombian health-care system.
+//!
+//! A tree of villages, each with a population of potential patients; sick
+//! patients visit their village hospital, may be treated locally, or are
+//! referred up the tree toward better-equipped hospitals. The benchmark
+//! processes each simulation step with one task per subtree below a cutoff
+//! level. It is the paper's canonical partially-scaling BOTS code (speedup
+//! ≈ 6.7 at 16 threads) and one of the four programs where dynamic
+//! throttling pays off (Table VI).
+//!
+//! The simulation here is real: patients move through susceptible → sick →
+//! in-treatment → recovered states with deterministic counter-based
+//! pseudo-randomness (so results are bit-identical for any worker count),
+//! and referrals travel up the village tree. Population is conserved.
+
+use maestro::{Maestro, RunReport};
+use maestro_machine::Cost;
+use maestro_runtime::{leaf, BoxTask, RuntimeParams, Step, TaskCtx, TaskLogic, TaskValue};
+
+use crate::compiler::CompilerConfig;
+use crate::profiles::{self, cost_split};
+use crate::registry::{Group, Scale, Workload};
+
+const OMP_DISPATCH_BASE: u64 = 900;
+const BRANCH: usize = 4;
+
+/// Patient state.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum PatientState {
+    Susceptible,
+    Sick(u8),        // remaining assessment time
+    InTreatment(u8), // remaining treatment time
+    WaitingReferral,
+}
+
+struct Patient {
+    state: PatientState,
+    home_village: u32,
+}
+
+struct Village {
+    id: u32,
+    parent: Option<u32>,
+    level: u32,
+    patients: Vec<Patient>,
+    /// Patients referred here, to be admitted next step.
+    incoming: Vec<Patient>,
+    treated_total: u64,
+}
+
+/// Deterministic counter-based hash "random" in `[0, 1)`.
+fn chance(village: u32, step: u32, idx: u32, salt: u32) -> f64 {
+    let mut x = (u64::from(village) << 40)
+        ^ (u64::from(step) << 20)
+        ^ (u64::from(idx) << 4)
+        ^ u64::from(salt)
+        ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The health system: a complete `BRANCH`-ary village tree.
+pub struct HealthSystem {
+    villages: Vec<Village>,
+    steps_done: u32,
+}
+
+impl HealthSystem {
+    /// Build a tree with `levels` levels and `patients_per_leaf` initial
+    /// patients in every village.
+    pub fn new(levels: u32, patients_per_village: usize) -> Self {
+        let mut villages = Vec::new();
+        // Breadth-first construction: level 0 is the root.
+        let mut level_start = vec![0usize];
+        for level in 0..levels {
+            let count = BRANCH.pow(level);
+            let start = villages.len();
+            level_start.push(start + count);
+            for i in 0..count {
+                let id = (start + i) as u32;
+                let parent = if level == 0 {
+                    None
+                } else {
+                    let prev_start = level_start[level as usize - 1];
+                    Some((prev_start + i / BRANCH) as u32)
+                };
+                villages.push(Village {
+                    id,
+                    parent,
+                    level,
+                    patients: (0..patients_per_village)
+                        .map(|_| Patient { state: PatientState::Susceptible, home_village: id })
+                        .collect(),
+                    incoming: Vec::new(),
+                    treated_total: 0,
+                });
+            }
+        }
+        HealthSystem { villages, steps_done: 0 }
+    }
+
+    /// Total patients across all villages (must be conserved).
+    pub fn total_patients(&self) -> usize {
+        self.villages.iter().map(|v| v.patients.len() + v.incoming.len()).sum()
+    }
+
+    /// Total treatments completed.
+    pub fn total_treated(&self) -> u64 {
+        self.villages.iter().map(|v| v.treated_total).sum()
+    }
+
+    /// A deterministic digest of the full simulation state.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in &self.villages {
+            for p in v.patients.iter().chain(v.incoming.iter()) {
+                let tag = match p.state {
+                    PatientState::Susceptible => 1u64,
+                    PatientState::Sick(t) => 0x100 | u64::from(t),
+                    PatientState::InTreatment(t) => 0x200 | u64::from(t),
+                    PatientState::WaitingReferral => 3,
+                };
+                h ^= tag ^ (u64::from(p.home_village) << 24) ^ (u64::from(v.id) << 44);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^= v.treated_total;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Villages in the subtree rooted at `root` (including it).
+    fn subtree(&self, root: u32) -> Vec<u32> {
+        let mut out = vec![root];
+        let mut i = 0;
+        while i < out.len() {
+            let cur = out[i];
+            for v in &self.villages {
+                if v.parent == Some(cur) {
+                    out.push(v.id);
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Advance one village by one step; referrals that must leave the
+    /// subtree are returned (village id they go to, patient).
+    fn step_village(&mut self, vid: u32, step: u32, within: &[u32]) -> Vec<(u32, Patient)> {
+        let mut escaped = Vec::new();
+        let v = &mut self.villages[vid as usize];
+        // Admit referrals that arrived last step.
+        let incoming = std::mem::take(&mut v.incoming);
+        v.patients.extend(incoming);
+        let parent = v.parent;
+        let level = v.level;
+        let id = v.id;
+        let mut referred: Vec<Patient> = Vec::new();
+        for (idx, p) in v.patients.iter_mut().enumerate() {
+            let idx = idx as u32;
+            match p.state {
+                PatientState::Susceptible => {
+                    if chance(id, step, idx, 0) < 0.10 {
+                        p.state = PatientState::Sick(2);
+                    }
+                }
+                PatientState::Sick(t) => {
+                    if t > 0 {
+                        p.state = PatientState::Sick(t - 1);
+                    } else if chance(id, step, idx, 1) < 0.7 || parent.is_none() {
+                        // Treated locally (the root can treat anyone).
+                        p.state = PatientState::InTreatment(2 + (level as u8 % 3));
+                    } else {
+                        p.state = PatientState::WaitingReferral;
+                    }
+                }
+                PatientState::InTreatment(t) => {
+                    if t > 0 {
+                        p.state = PatientState::InTreatment(t - 1);
+                    } else {
+                        p.state = PatientState::Susceptible;
+                        v.treated_total += 1;
+                    }
+                }
+                PatientState::WaitingReferral => {}
+            }
+        }
+        // Move referrals to the parent village.
+        let mut kept = Vec::with_capacity(v.patients.len());
+        for p in v.patients.drain(..) {
+            if p.state == PatientState::WaitingReferral {
+                let mut p = p;
+                p.state = PatientState::Sick(1);
+                referred.push(p);
+            } else {
+                kept.push(p);
+            }
+        }
+        v.patients = kept;
+        if let Some(parent) = parent {
+            for p in referred {
+                if within.contains(&parent) {
+                    self.villages[parent as usize].incoming.push(p);
+                } else {
+                    escaped.push((parent, p));
+                }
+            }
+        }
+        escaped
+    }
+
+    /// Sequential reference: advance the whole system one step.
+    pub fn step_sequential(&mut self) {
+        let step = self.steps_done;
+        let all: Vec<u32> = (0..self.villages.len() as u32).collect();
+        let mut escaped_all = Vec::new();
+        for vid in 0..self.villages.len() as u32 {
+            escaped_all.extend(self.step_village(vid, step, &all));
+        }
+        debug_assert!(escaped_all.is_empty());
+        self.steps_done += 1;
+    }
+}
+
+/// Per-step driver: one task per cutoff-level subtree, then a serial phase
+/// for the villages above the cutoff (where cross-subtree referrals land).
+struct HealthDriver {
+    steps: u32,
+    cutoff_level: u32,
+    heavy_cost: Cost,
+    light_cost: Cost,
+    serial_cost: Cost,
+    phase_block: u32,
+    phase: u8,
+    escaped: Vec<(u32, Patient)>,
+}
+
+impl TaskLogic<HealthSystem> for HealthDriver {
+    fn step(&mut self, app: &mut HealthSystem, ctx: &mut TaskCtx) -> Step<HealthSystem> {
+        if self.phase == 1 {
+            // Parallel subtree tasks done: collect escaped referrals and run
+            // the serial upper levels.
+            for mut v in ctx.children.drain(..) {
+                if let Some(esc) = v.take::<Vec<(u32, Patient)>>() {
+                    self.escaped.extend(esc);
+                }
+            }
+            let step = app.steps_done;
+            let uppers: Vec<u32> = app
+                .villages
+                .iter()
+                .filter(|v| v.level < self.cutoff_level)
+                .map(|v| v.id)
+                .collect();
+            let mut still_escaping = Vec::new();
+            for vid in &uppers {
+                still_escaping.extend(app.step_village(*vid, step, &uppers));
+            }
+            debug_assert!(still_escaping.is_empty(), "the root treats everyone");
+            for (dest, p) in self.escaped.drain(..) {
+                app.villages[dest as usize].incoming.push(p);
+            }
+            app.steps_done += 1;
+            self.steps -= 1;
+            self.phase = 2;
+            return Step::Compute(self.serial_cost);
+        }
+        if self.phase == 2 && self.steps == 0 {
+            return Step::Done(TaskValue::of(app.checksum()));
+        }
+        // Spawn one task per cutoff-level subtree for this step. Hot and
+        // quiet phases alternate in blocks long enough for the controller's
+        // smoothed power meter to track them.
+        let step = app.steps_done;
+        let cost =
+            if (step / self.phase_block).is_multiple_of(2) { self.heavy_cost } else { self.light_cost };
+        let roots: Vec<u32> = app
+            .villages
+            .iter()
+            .filter(|v| v.level == self.cutoff_level)
+            .map(|v| v.id)
+            .collect();
+        let children: Vec<BoxTask<HealthSystem>> = roots
+            .into_iter()
+            .map(|root| {
+                leaf(move |app: &mut HealthSystem, _ctx| {
+                    let within = app.subtree(root);
+                    let mut escaped = Vec::new();
+                    for vid in &within {
+                        escaped.extend(app.step_village(*vid, step, &within));
+                    }
+                    (cost, TaskValue::of(escaped))
+                })
+            })
+            .collect();
+        self.phase = 1;
+        Step::SpawnWait(children)
+    }
+
+    fn label(&self) -> &'static str {
+        "health-step"
+    }
+}
+
+/// Which evaluation the instance reproduces.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum HealthVariant {
+    Table,
+    Maestro,
+}
+
+/// The health-system benchmark.
+pub struct Health {
+    levels: u32,
+    cutoff_level: u32,
+    patients_per_village: usize,
+    steps: u32,
+    variant: HealthVariant,
+}
+
+impl Health {
+    /// Construct at the given input scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Health {
+                levels: 3,
+                cutoff_level: 1,
+                patients_per_village: 8,
+                steps: 6,
+                variant: HealthVariant::Table,
+            },
+            Scale::Paper => Health {
+                levels: 5,
+                cutoff_level: 2,
+                patients_per_village: 20,
+                steps: 40,
+                variant: HealthVariant::Table,
+            },
+        }
+    }
+
+    /// The Table VI configuration: finer subtree tasks (so 12 and 16
+    /// workers schedule smoothly) and hot/quiet phases long enough for the
+    /// RCR daemon's smoothing window to see them.
+    pub fn maestro_variant(scale: Scale) -> Self {
+        let mut h = Self::new(scale);
+        h.variant = HealthVariant::Maestro;
+        match scale {
+            Scale::Test => {
+                h.cutoff_level = 2; // 16 subtree tasks per step
+                h.steps = 8;
+            }
+            Scale::Paper => {
+                h.cutoff_level = 3; // 64 subtree tasks per step
+                h.steps = 48;
+            }
+        }
+        h
+    }
+
+    /// Heavy/quiet phase block length, in steps: blocks must span several
+    /// 0.1 s controller samples to be visible through the power window.
+    fn phase_block(&self) -> u32 {
+        match self.variant {
+            HealthVariant::Table => 1,
+            HealthVariant::Maestro => (self.steps / 3).max(1),
+        }
+    }
+
+    fn tasks(&self) -> u64 {
+        u64::from(self.steps) * (BRANCH as u64).pow(self.cutoff_level)
+    }
+}
+
+impl Workload for Health {
+    fn name(&self) -> &'static str {
+        "bots-health"
+    }
+
+    fn group(&self) -> Group {
+        Group::Bots
+    }
+
+    fn runtime_params(&self, cc: CompilerConfig, workers: usize) -> RuntimeParams {
+        match self.variant {
+            HealthVariant::Table => {
+                let plan = profiles::plan_bag(self.name(), cc, self.tasks(), OMP_DISPATCH_BASE);
+                // Patient-list walks contend while executing (shared village
+                // structures), not on the task pool.
+                let mut p = cc.omp_runtime_params(workers);
+                p.work_dilation_per_worker = plan.dilation_per_worker(0.60);
+                p
+            }
+            HealthVariant::Maestro => {
+                let plan = profiles::plan_bag(self.name(), cc, self.tasks(), OMP_DISPATCH_BASE);
+                let mut p = cc.qthreads_runtime_params(workers);
+                p.work_dilation_per_worker = plan.dilation_per_worker(0.60);
+                p
+            }
+        }
+    }
+
+    fn run(&self, m: &mut Maestro, cc: CompilerConfig) -> RunReport {
+        let plan = profiles::plan_bag(self.name(), cc, self.tasks(), OMP_DISPATCH_BASE);
+        let (heavy, light, serial) = match self.variant {
+            HealthVariant::Table => {
+                // Pointer-chasing through patient lists: memory-leaning.
+                let c = cost_split(plan.per_task_cycles, 0.60, 3.5, plan.intensity);
+                (c, c, Cost::ZERO)
+            }
+            HealthVariant::Maestro => {
+                // Table VI: the busy blocks run hot (≥75 W per socket, high
+                // memory concurrency) so the controller engages; the quiet
+                // blocks hold it via the Medium band. The input is scaled to
+                // the table's 1.26 s cell (0.79 of the Table II input).
+                let cycles = (plan.per_task_cycles as f64 * 0.79) as u64;
+                let heavy = cost_split(cycles, 0.65, 7.0, 0.95);
+                let light = cost_split(cycles, 0.45, 2.5, 0.30);
+                (heavy, light, Cost::ZERO)
+            }
+        };
+
+        let mut app = HealthSystem::new(self.levels, self.patients_per_village);
+        let initial_patients = app.total_patients();
+
+        // Sequential reference for the exact same simulation.
+        let mut reference = HealthSystem::new(self.levels, self.patients_per_village);
+        for _ in 0..self.steps {
+            reference.step_sequential();
+        }
+
+        let root: BoxTask<HealthSystem> = Box::new(HealthDriver {
+            steps: self.steps,
+            cutoff_level: self.cutoff_level,
+            heavy_cost: heavy,
+            light_cost: light,
+            serial_cost: serial,
+            phase_block: self.phase_block(),
+            phase: 0,
+            escaped: Vec::new(),
+        });
+        let mut report = m.run(self.name(), &mut app, root);
+        let checksum = report.value.take::<u64>().expect("health returns its checksum");
+        assert_eq!(app.total_patients(), initial_patients, "population must be conserved");
+        assert_eq!(checksum, reference.checksum(), "diverged from sequential reference");
+        assert_eq!(app.total_treated(), reference.total_treated());
+        report.value = TaskValue::of(checksum);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro::MaestroConfig;
+
+    #[test]
+    fn population_conserved_sequentially() {
+        let mut h = HealthSystem::new(3, 5);
+        let total = h.total_patients();
+        for _ in 0..20 {
+            h.step_sequential();
+        }
+        assert_eq!(h.total_patients(), total);
+        assert!(h.total_treated() > 0, "someone must get treated in 20 steps");
+    }
+
+    #[test]
+    fn referrals_actually_travel() {
+        let mut h = HealthSystem::new(3, 50);
+        for _ in 0..10 {
+            h.step_sequential();
+        }
+        // Patients whose home village differs from where they are now.
+        let moved = h
+            .villages
+            .iter()
+            .flat_map(|v| v.patients.iter().map(move |p| (v.id, p.home_village)))
+            .filter(|(here, home)| here != home)
+            .count();
+        assert!(moved > 0, "referral path never used");
+    }
+
+    #[test]
+    fn parallel_matches_reference_for_any_worker_count() {
+        let w = Health::new(Scale::Test);
+        let cc = CompilerConfig::gcc(crate::OptLevel::O2);
+        for workers in [1, 5, 16] {
+            let mut cfg = MaestroConfig::fixed(workers);
+            cfg.runtime = w.runtime_params(cc, workers);
+            let mut m = Maestro::new(cfg);
+            w.run(&mut m, cc); // panics on checksum mismatch
+        }
+    }
+
+    #[test]
+    fn chance_is_deterministic_and_uniformish() {
+        assert_eq!(chance(1, 2, 3, 4), chance(1, 2, 3, 4));
+        let mean: f64 =
+            (0..1000).map(|i| chance(i, i * 7, i * 13, 0)).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # maestro-workloads
+//!
+//! Rust re-implementations of every test program in the paper's evaluation:
+//!
+//! * **micro-benchmarks** (§II: "locally-written … not tuned and represent
+//!   default implementations of generic algorithms"): `reduction`,
+//!   `nqueens`, `mergesort`, `fibonacci`, `dijkstra`;
+//! * **the Barcelona OpenMP Tasks Suite** (BOTS, Duran et al., ICPP 2009):
+//!   protein `alignment` (for/single variants), `fib` with cutoff, `health`
+//!   with cutoff, `nqueens` with cutoff, `sort` with cutoff, `sparselu`
+//!   (for/single variants), `strassen` with cutoff;
+//! * **LULESH**, the LLNL shock-hydrodynamics mini-app (Sedov blast wave on
+//!   a Lagrangian hexahedral mesh).
+//!
+//! Each workload is a *real algorithm* — sorts sort, LU factorizes, the
+//! hydro step conserves what it should — structured as the same task graph
+//! the original OpenMP program generates, with every task carrying a
+//! calibrated [`Cost`](maestro_machine::Cost) so the virtual-time machine
+//! reproduces the paper's time/power/energy behaviour.
+//!
+//! ## Scaling
+//!
+//! The paper's inputs run for seconds to minutes of machine time; executing
+//! their full payloads on the host would make the harness take hours. Each
+//! workload therefore has two input scales:
+//!
+//! * [`Scale::Test`] — small inputs for unit/integration tests;
+//! * [`Scale::Paper`] — inputs whose *virtual* cost matches the paper's
+//!   (host payloads are the same algorithms on reduced data, with per-task
+//!   costs scaled up by a documented replication factor).
+//!
+//! ## Compiler model
+//!
+//! The paper's compiler/optimization study (Tables I-III) treats GCC/ICC ×
+//! O0-O3 as knobs that rescale work and power. [`compiler::CompilerConfig`]
+//! with the per-workload tables in [`profiles`] reproduces those knobs; the
+//! constants are calibrated against specific table cells, cited inline.
+
+#![warn(missing_docs)]
+
+pub mod bots;
+pub mod btc;
+pub mod compiler;
+pub mod lulesh;
+pub mod micro;
+pub mod profiles;
+pub mod registry;
+
+pub use compiler::{CompilerConfig, Family, OptLevel};
+pub use registry::{all_workloads, bots_workloads, by_name, micro_workloads, Group, Scale, Workload};

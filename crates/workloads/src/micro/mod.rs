@@ -1,0 +1,31 @@
+//! The locally-written micro-benchmarks (§II: "simple programs implement
+//! fundamental algorithms … not tuned and represent default implementations
+//! of generic algorithms").
+//!
+//! Their *untuned-ness* is what the paper's Figures 1-2 expose: fibonacci
+//! spawns a task per call with no cutoff, reduction uses falsely-shared
+//! accumulators and tiny chunks, mergesort only exposes two-way parallelism,
+//! dijkstra alternates parallel relaxation with synchronization. The task
+//! structures here reproduce those pathologies; the contention slopes and
+//! per-task work come from the calibration in [`crate::profiles`].
+
+pub mod dijkstra;
+pub mod fibonacci;
+pub mod mergesort;
+pub mod nqueens;
+pub mod reduction;
+
+use crate::compiler::CompilerConfig;
+use maestro_runtime::RuntimeParams;
+
+/// The family's OpenMP runtime parameters with a workload-specific
+/// contention slope installed.
+pub(crate) fn omp_params_with_slope(
+    cc: CompilerConfig,
+    workers: usize,
+    slope_cycles: u64,
+) -> RuntimeParams {
+    let mut p = cc.omp_runtime_params(workers);
+    p.queue_contention_cycles_per_worker = slope_cycles;
+    p
+}

@@ -1,0 +1,139 @@
+//! The `reduction` micro-benchmark.
+//!
+//! An untuned global sum: the OpenMP original accumulates into per-thread
+//! slots of a shared array — every update bounces the accumulator cache line
+//! between cores, so adding threads adds coherence traffic faster than it
+//! adds arithmetic. The paper measures the result: the serial version beats
+//! every parallel version, 16 threads taking 3.2× the serial time (§II-C-4),
+//! while drawing ~135 W.
+//!
+//! Here: a fork-join bag of chunk-sum tasks over a shared `f64` array. The
+//! real payload sums its slice (verified against a sequential sum); the
+//! coherence pathology appears as the calibrated contention slope.
+
+use maestro::{Maestro, RunReport};
+use maestro_runtime::{fork_join, leaf, BoxTask, RuntimeParams, TaskValue};
+
+use crate::compiler::CompilerConfig;
+use crate::profiles::{self, cost_split};
+use crate::registry::{Group, Scale, Workload};
+
+/// Memory-bound fraction of each chunk's time (streaming adds).
+const MEM_FRAC: f64 = 0.55;
+/// Memory-level parallelism of the streaming adds.
+const MLP: f64 = 4.0;
+/// Dispatch base of the shared-pool OpenMP runtimes (see `RuntimeParams`).
+const OMP_DISPATCH_BASE: u64 = 900;
+
+/// The reduction benchmark.
+pub struct Reduction {
+    elements: usize,
+    tasks: u64,
+}
+
+impl Reduction {
+    /// Construct at the given input scale.
+    pub fn new(scale: Scale) -> Self {
+        match scale {
+            Scale::Test => Reduction { elements: 40_000, tasks: 80 },
+            Scale::Paper => Reduction { elements: 2_000_000, tasks: 4_000 },
+        }
+    }
+
+    fn data(&self) -> Vec<f64> {
+        // Deterministic values with an exactly-known sum: k/2 scaled.
+        (0..self.elements).map(|i| (i % 1000) as f64 * 0.5).collect()
+    }
+}
+
+struct App {
+    data: Vec<f64>,
+}
+
+impl Workload for Reduction {
+    fn name(&self) -> &'static str {
+        "reduction"
+    }
+
+    fn group(&self) -> Group {
+        Group::Micro
+    }
+
+    fn runtime_params(&self, cc: CompilerConfig, workers: usize) -> RuntimeParams {
+        let plan = profiles::plan_bag(self.name(), cc, self.tasks, OMP_DISPATCH_BASE);
+        // False sharing accrues per element while summing, not per chunk
+        // dispatch: use the continuous dilation model.
+        let mut p = cc.omp_runtime_params(workers);
+        p.work_dilation_per_worker = plan.dilation_per_worker(MEM_FRAC);
+        p
+    }
+
+    fn run(&self, m: &mut Maestro, cc: CompilerConfig) -> RunReport {
+        let plan = profiles::plan_bag(self.name(), cc, self.tasks, OMP_DISPATCH_BASE);
+        let mut app = App { data: self.data() };
+        let expected: f64 = app.data.iter().sum();
+
+        let n = app.data.len();
+        let tasks = self.tasks as usize;
+        let chunk = n.div_ceil(tasks);
+        let children: Vec<BoxTask<App>> = (0..tasks)
+            .map(|t| {
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                let cost = cost_split(plan.per_task_cycles, MEM_FRAC, MLP, plan.intensity);
+                leaf(move |app: &mut App, _ctx| {
+                    let partial: f64 = app.data[lo..hi].iter().sum();
+                    (cost, TaskValue::of(partial))
+                })
+            })
+            .collect();
+        let root = fork_join(children, |_app, mut vals| {
+            let total: f64 = vals.iter_mut().map(|v| v.take::<f64>().unwrap()).sum();
+            (maestro_machine::Cost::ZERO, TaskValue::of(total))
+        });
+
+        let mut report = m.run(self.name(), &mut app, root);
+        let total = report.value.take::<f64>().expect("reduction returns its sum");
+        assert!(
+            (total - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "reduction computed {total}, expected {expected}"
+        );
+        report.value = TaskValue::of(total);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro::MaestroConfig;
+
+    fn run_with(workers: usize) -> RunReport {
+        let w = Reduction::new(Scale::Test);
+        let cc = CompilerConfig::gcc(crate::OptLevel::O2);
+        let mut cfg = MaestroConfig::fixed(workers);
+        cfg.runtime = w.runtime_params(cc, workers);
+        let mut m = Maestro::new(cfg);
+        w.run(&mut m, cc)
+    }
+
+    #[test]
+    fn computes_correct_sum() {
+        let mut report = run_with(4);
+        let sum = report.value.take::<f64>().unwrap();
+        let expected: f64 = Reduction::new(Scale::Test).data().iter().sum();
+        assert!((sum - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_is_slower_than_serial() {
+        // The paper's headline anti-scaling: 16 threads ≈ 3.2× serial time.
+        let t1 = run_with(1).elapsed_s;
+        let t16 = run_with(16).elapsed_s;
+        let ratio = t16 / t1;
+        assert!(
+            (1.5..=5.0).contains(&ratio),
+            "16T/1T ratio {ratio} should show the paper's slowdown"
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! Per-workload calibration against the paper's measured tables.
+//!
+//! The paper's compiler study treats each (compiler, optimization level)
+//! pair as an opaque knob observed through three numbers per workload:
+//! execution time, energy, and average power at 16 threads (Tables II and
+//! III). This module transcribes those tables and derives from them:
+//!
+//! * **work multipliers** — generated-code quality relative to GCC `-O2`
+//!   (time ratios; applied to both compute cycles and memory references,
+//!   i.e. to generated instruction count);
+//! * **execution intensity** — the power-model input that reproduces the
+//!   measured Watts for the workload's typical active-core count;
+//! * **bag calibration** — given a workload's serial and 16-thread time
+//!   targets, the per-task work and the contention slope (cycles per other
+//!   active worker) that land the fluid model on those times.
+//!
+//! Every constant cites the table cell it reproduces; `EXPERIMENTS.md`
+//! compares the regenerated numbers against these targets.
+
+use crate::compiler::CompilerConfig;
+use maestro_machine::Cost;
+
+/// Nominal frequency of the modeled node, GHz (Xeon E5-2680).
+pub const FREQ_GHZ: f64 = 2.7;
+
+/// Nominal memory latency of the modeled node, ns.
+pub const MEM_LATENCY_NS: f64 = 75.0;
+
+/// Measured behaviour of one workload across the compiler matrix.
+///
+/// `time_s[family][opt]` and `watts[family][opt]` are the paper's Tables
+/// II (GCC) and III (ICC), 16 threads.
+#[derive(Copy, Clone, Debug)]
+pub struct Calibration {
+    /// Workload name (matches `Workload::name`).
+    pub name: &'static str,
+    /// Single-thread (serial) execution time at GCC -O2, seconds — read off
+    /// the paper's speedup figures (serial = 16T time × speedup-at-16).
+    pub serial_time_s: f64,
+    /// Execution time at 16 threads, seconds.
+    pub time_s: [[f64; 4]; 2],
+    /// Average node power at 16 threads, Watts.
+    pub watts: [[f64; 4]; 2],
+    /// Typical number of busy cores at 16 threads (16 for scalable codes;
+    /// mergesort effectively keeps ~2 cores busy).
+    pub busy_cores: f64,
+    /// Typical memory-system utilization in `[0, 1]` while running.
+    pub mem_util: f64,
+}
+
+impl Calibration {
+    /// Work multiplier relative to this workload's GCC `-O2` cell.
+    pub fn work_mult(&self, cc: CompilerConfig) -> f64 {
+        self.time_s[cc.family.index()][cc.opt.index()] / self.time_s[0][2]
+    }
+
+    /// Paper time target for this configuration (16 threads), seconds.
+    pub fn time_target(&self, cc: CompilerConfig) -> f64 {
+        self.time_s[cc.family.index()][cc.opt.index()]
+    }
+
+    /// Paper power target for this configuration, Watts.
+    pub fn watts_target(&self, cc: CompilerConfig) -> f64 {
+        self.watts[cc.family.index()][cc.opt.index()]
+    }
+
+    /// The execution intensity that makes the machine model draw the paper's
+    /// Watts for this configuration.
+    pub fn intensity(&self, cc: CompilerConfig) -> f64 {
+        intensity_for_watts(self.watts_target(cc), self.busy_cores, self.mem_util)
+    }
+}
+
+/// Solve the machine power model for the execution intensity producing
+/// `watts` node power with `busy` busy cores (the rest idle) and the given
+/// memory utilization. Inverse of the default `PowerParams`:
+///
+/// `P = 2·23 + busy·(2.4 + 3.9·i) + (16−busy)·0.3 + 2·6·mem_util + leak(~4.6)`
+pub fn intensity_for_watts(watts: f64, busy: f64, mem_util: f64) -> f64 {
+    let base = 2.0 * 23.0;
+    let idle = (16.0 - busy).max(0.0) * 0.3;
+    let mem = 2.0 * 6.0 * mem_util.clamp(0.0, 1.0);
+    let leak = 4.6; // two warm packages, see ThermalParams::default
+    let per_core = ((watts - base - idle - mem - leak) / busy.max(1.0)).max(0.0);
+    ((per_core - 2.4) / 3.9).clamp(0.02, 1.0)
+}
+
+/// Per-task work and contention slope for a "bag of `tasks` uniform tasks"
+/// workload, solved from a serial time target and a `p`-worker time target.
+///
+/// The fluid model executes such a bag in
+/// `t(p) = tasks·(base + W + (p−1)·slope) / (p·F)`,
+/// so two time points determine `W` (work per task) and `slope` (the
+/// coherence/lock cost that grows with active workers). A near-linear
+/// workload solves to `slope ≈ 0`; the paper's untuned micro-benchmarks
+/// solve to slopes comparable to or larger than the work itself.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct BagShape {
+    /// Compute cycles per task.
+    pub work_cycles: u64,
+    /// Contention cycles per other active worker, per dispatch.
+    pub slope_cycles: u64,
+}
+
+/// Solve a [`BagShape`] from `(t1_s, tp_s)` at `p` workers, assuming the
+/// runtime charges `base_cycles` per dispatch.
+pub fn calibrate_bag(tasks: u64, t1_s: f64, tp_s: f64, p: u64, base_cycles: u64) -> BagShape {
+    assert!(tasks > 0 && p > 0);
+    let f = FREQ_GHZ * 1e9;
+    let work = (t1_s * f / tasks as f64 - base_cycles as f64).max(1.0);
+    let slope = ((tp_s * p as f64 * f / tasks as f64 - base_cycles as f64 - work)
+        / (p as f64 - 1.0).max(1.0))
+    .max(0.0);
+    BagShape { work_cycles: work as u64, slope_cycles: slope as u64 }
+}
+
+/// Build a [`Cost`] whose *uncontended* duration equals `total_cycles` of
+/// machine time, split `mem_frac` memory / rest compute, with the given
+/// memory-level parallelism and execution intensity.
+pub fn cost_split(total_cycles: u64, mem_frac: f64, mlp: f64, intensity: f64) -> Cost {
+    let mem_frac = mem_frac.clamp(0.0, 1.0);
+    let cpu_cycles = (total_cycles as f64 * (1.0 - mem_frac)) as u64;
+    let mem_ns = total_cycles as f64 / FREQ_GHZ * mem_frac;
+    let mem_refs = (mem_ns * mlp.max(1.0) / MEM_LATENCY_NS) as u64;
+    Cost::new(cpu_cycles, mem_refs, mlp, intensity)
+}
+
+/// A fully resolved execution plan for a bag-shaped workload under one
+/// compiler configuration: how much work each task carries, the contention
+/// slope to install in the runtime parameters, and the power intensity.
+#[derive(Copy, Clone, Debug)]
+pub struct BagPlan {
+    /// Uncontended cycles of work per task.
+    pub per_task_cycles: u64,
+    /// `queue_contention_cycles_per_worker` for the runtime parameters.
+    pub slope_cycles: u64,
+    /// Execution intensity for the tasks' costs.
+    pub intensity: f64,
+    /// The work multiplier that was applied (for cost distribution).
+    pub work_mult: f64,
+}
+
+impl BagPlan {
+    /// Coefficient for the runtime's *continuous* contention model
+    /// (`work_dilation_per_worker`), equivalent in aggregate to the lump
+    /// slope but accrued while executing — the right shape for
+    /// barrier-separated parallel loops with coherence traffic. Because the
+    /// dilation applies only to the compute share of a task, the lump slope
+    /// is rescaled by the task's compute fraction.
+    pub fn dilation_per_worker(&self, mem_frac: f64) -> f64 {
+        if self.per_task_cycles == 0 {
+            return 0.0;
+        }
+        let compute_frac = (1.0 - mem_frac).clamp(0.05, 1.0);
+        (self.slope_cycles as f64 / self.per_task_cycles as f64) / compute_frac
+    }
+}
+
+/// Resolve a [`BagPlan`] for workload `name` under `cc`, given that the
+/// workload generates `tasks` tasks and the runtime charges `base_cycles`
+/// per dispatch. Calibrates at the GCC `-O2` baseline, then scales work and
+/// slope by the configuration's work multiplier.
+pub fn plan_bag(name: &str, cc: CompilerConfig, tasks: u64, base_cycles: u64) -> BagPlan {
+    let cal = calibration(name);
+    let shape = calibrate_bag(tasks, cal.serial_time_s, cal.time_s[0][2], 16, base_cycles);
+    let mult = cal.work_mult(cc);
+    BagPlan {
+        per_task_cycles: (shape.work_cycles as f64 * mult) as u64,
+        slope_cycles: (shape.slope_cycles as f64 * mult) as u64,
+        intensity: cal.intensity(cc),
+        work_mult: mult,
+    }
+}
+
+/// Calibration rows, one per workload, from Tables II and III.
+///
+/// GCC has no separate `sparselu-for` row in Table II; the `-single`
+/// variant's numbers are reused (Table I shows the two variants within
+/// noise of each other under ICC).
+pub const CALIBRATIONS: &[Calibration] = &[
+    Calibration {
+        name: "reduction",
+        serial_time_s: 23.6,
+        time_s: [[79.1, 77.1, 75.6, 76.6], [80.1, 77.1, 77.1, 77.6]],
+        watts: [[133.7, 134.3, 134.9, 134.4], [135.9, 134.0, 135.1, 135.4]],
+        busy_cores: 16.0,
+        mem_util: 0.6,
+    },
+    Calibration {
+        name: "nqueens",
+        serial_time_s: 77.0,
+        time_s: [[14.5, 6.5, 5.5, 6.5], [15.5, 6.0, 6.0, 6.0]],
+        watts: [[135.2, 123.0, 118.0, 130.1], [138.1, 118.3, 119.0, 118.3]],
+        busy_cores: 15.0,
+        mem_util: 0.05,
+    },
+    Calibration {
+        name: "mergesort",
+        serial_time_s: 42.0,
+        time_s: [[77.0, 23.0, 22.5, 22.5], [112.1, 20.5, 20.5, 21.5]],
+        watts: [[61.7, 60.4, 60.6, 60.3], [62.1, 60.1, 59.0, 57.6]],
+        busy_cores: 2.0,
+        mem_util: 0.45,
+    },
+    Calibration {
+        name: "fibonacci",
+        serial_time_s: 94.4,
+        time_s: [[83.1, 83.6, 141.6, 77.1], [13.5, 13.5, 13.5, 13.5]],
+        watts: [[96.4, 96.1, 97.5, 92.3], [142.7, 143.0, 143.2, 143.4]],
+        busy_cores: 16.0,
+        mem_util: 0.1,
+    },
+    Calibration {
+        name: "dijkstra",
+        serial_time_s: 36.0,
+        time_s: [[8.5, 5.0, 4.5, 4.5], [7.5, 4.5, 4.5, 4.5]],
+        watts: [[140.5, 131.3, 127.6, 127.2], [140.4, 132.2, 130.9, 130.7]],
+        busy_cores: 16.0,
+        mem_util: 0.8,
+    },
+    Calibration {
+        name: "bots-alignment-for",
+        serial_time_s: 22.5,
+        time_s: [[5.9, 1.8, 1.5, 1.6], [5.6, 2.4, 2.1, 2.2]],
+        watts: [[151.0, 135.1, 124.3, 128.7], [152.8, 133.7, 130.7, 131.3]],
+        busy_cores: 15.0,
+        mem_util: 0.15,
+    },
+    Calibration {
+        name: "bots-alignment-single",
+        serial_time_s: 22.5,
+        time_s: [[5.7, 1.8, 1.5, 1.5], [5.5, 2.3, 2.0, 2.1]],
+        watts: [[150.9, 135.7, 129.4, 128.1], [153.0, 133.4, 130.1, 132.2]],
+        busy_cores: 15.0,
+        mem_util: 0.15,
+    },
+    Calibration {
+        name: "bots-fib",
+        serial_time_s: 99.0,
+        time_s: [[21.2, 14.2, 6.6, 10.1], [10.5, 7.7, 5.7, 5.7]],
+        watts: [[101.8, 100.0, 96.5, 99.9], [154.1, 150.3, 157.0, 156.2]],
+        busy_cores: 14.0,
+        mem_util: 0.05,
+    },
+    Calibration {
+        name: "bots-health",
+        serial_time_s: 10.7,
+        time_s: [[1.6, 1.6, 1.6, 1.6], [1.6, 1.5, 1.5, 1.5]],
+        watts: [[139.0, 135.4, 134.5, 134.6], [141.9, 135.8, 135.8, 135.0]],
+        busy_cores: 14.5,
+        mem_util: 0.75,
+    },
+    Calibration {
+        name: "bots-nqueens",
+        serial_time_s: 30.0,
+        time_s: [[5.6, 2.0, 2.0, 1.9], [5.0, 2.3, 1.9, 1.9]],
+        watts: [[148.5, 125.3, 124.2, 124.6], [154.0, 127.6, 126.7, 121.0]],
+        busy_cores: 15.0,
+        mem_util: 0.05,
+    },
+    Calibration {
+        name: "bots-sort",
+        serial_time_s: 18.9,
+        time_s: [[2.8, 1.5, 1.5, 1.5], [2.0, 1.3, 1.4, 1.3]],
+        watts: [[138.2, 123.1, 124.9, 121.0], [147.5, 134.0, 134.1, 134.3]],
+        busy_cores: 16.0,
+        mem_util: 0.4,
+    },
+    Calibration {
+        name: "bots-sparselu-for",
+        serial_time_s: 102.0,
+        time_s: [[35.6, 18.3, 6.8, 6.8], [30.4, 6.7, 6.8, 6.6]],
+        watts: [[154.8, 141.0, 145.9, 146.5], [158.7, 148.4, 148.4, 148.6]],
+        busy_cores: 13.5,
+        mem_util: 0.3,
+    },
+    Calibration {
+        name: "bots-sparselu-single",
+        serial_time_s: 102.0,
+        time_s: [[35.6, 18.3, 6.8, 6.8], [30.2, 6.7, 6.8, 6.6]],
+        watts: [[154.8, 141.0, 145.9, 146.5], [158.4, 148.1, 147.7, 148.0]],
+        busy_cores: 13.5,
+        mem_util: 0.3,
+    },
+    Calibration {
+        name: "bots-strassen",
+        serial_time_s: 118.0,
+        time_s: [[34.5, 24.3, 24.1, 24.1], [37.2, 25.8, 25.2, 24.8]],
+        watts: [[159.6, 152.3, 153.7, 152.3], [147.3, 145.8, 138.3, 140.0]],
+        busy_cores: 13.0,
+        mem_util: 0.85,
+    },
+    Calibration {
+        name: "lulesh",
+        serial_time_s: 194.4,
+        time_s: [[79.6, 48.6, 48.6, 47.6], [52.1, 15.5, 14.5, 14.5]],
+        watts: [[152.4, 145.7, 145.4, 145.8], [156.2, 152.1, 154.5, 153.8]],
+        // Barrier-separated loop phases keep ~13 of 16 workers busy on
+        // average; the intensity inversion uses the effective count so the
+        // modeled node power lands on the table's Watts.
+        busy_cores: 12.8,
+        mem_util: 0.85,
+    },
+];
+
+/// Look up a workload's calibration row. Panics on unknown names (a bug:
+/// registry names and calibration rows are maintained together).
+pub fn calibration(name: &str) -> &'static Calibration {
+    CALIBRATIONS
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("no calibration row for workload {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{Family, OptLevel};
+
+    #[test]
+    fn work_mult_baseline_is_one() {
+        for c in CALIBRATIONS {
+            let m = c.work_mult(CompilerConfig::gcc(OptLevel::O2));
+            assert!((m - 1.0).abs() < 1e-12, "{}: {m}", c.name);
+        }
+    }
+
+    #[test]
+    fn o0_is_never_faster_than_the_family_best() {
+        for c in CALIBRATIONS {
+            for family in Family::all() {
+                let o0 = c.time_s[family.index()][0];
+                let best =
+                    c.time_s[family.index()].iter().cloned().fold(f64::INFINITY, f64::min);
+                assert!(o0 >= best, "{}: O0 {o0} < best {best}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_inverts_power_model() {
+        // Round-trip: intensity_for_watts must reproduce the forward model.
+        use maestro_machine::{CoreActivity, Machine, MachineConfig, SocketId, NS_PER_SEC};
+        for &(watts, busy, mem_util) in
+            &[(134.9, 16.0, 0.6), (118.0, 16.0, 0.05), (153.7, 16.0, 0.85)]
+        {
+            let i = intensity_for_watts(watts, busy, mem_util);
+            let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+            // Approximate the OCR that yields the target utilization.
+            let ocr = mem_util * 36.0 / 8.0;
+            for c in m.topology().all_cores() {
+                m.set_activity(c, CoreActivity::Busy { intensity: i, ocr });
+            }
+            m.advance(5 * NS_PER_SEC); // settle leakage
+            let p = m.node_power_w();
+            assert!(
+                (p - watts).abs() < 8.0,
+                "target {watts} W -> intensity {i} -> {p} W"
+            );
+            let _ = SocketId(0);
+        }
+    }
+
+    #[test]
+    fn calibrate_bag_reproduces_targets() {
+        let f = FREQ_GHZ * 1e9;
+        let shape = calibrate_bag(10_000, 23.6, 75.6, 16, 900);
+        // Forward model check.
+        let t1 = 10_000.0 * (900.0 + shape.work_cycles as f64) / f;
+        let t16 =
+            10_000.0 * (900.0 + shape.work_cycles as f64 + 15.0 * shape.slope_cycles as f64)
+                / (16.0 * f);
+        assert!((t1 - 23.6).abs() / 23.6 < 0.01, "t1={t1}");
+        assert!((t16 - 75.6).abs() / 75.6 < 0.01, "t16={t16}");
+    }
+
+    #[test]
+    fn calibrate_bag_linear_workload_zero_slope() {
+        let shape = calibrate_bag(1000, 16.0, 1.0, 16, 500);
+        assert_eq!(shape.slope_cycles, 0);
+    }
+
+    #[test]
+    fn cost_split_duration_preserved() {
+        let c = cost_split(2_700_000, 0.5, 4.0, 0.7); // 1 ms total
+        let dur = c.duration_ns(FREQ_GHZ, MEM_LATENCY_NS);
+        assert!((dur - 1_000_000.0).abs() < 1_000.0, "duration {dur}");
+        assert!((c.mem_fraction(FREQ_GHZ, MEM_LATENCY_NS) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn lookup_panics_on_unknown() {
+        assert!(std::panic::catch_unwind(|| calibration("nope")).is_err());
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let mut names: Vec<_> = CALIBRATIONS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CALIBRATIONS.len());
+    }
+}

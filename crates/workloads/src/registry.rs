@@ -1,0 +1,118 @@
+//! The workload registry: a uniform interface over every benchmark.
+
+use maestro::{Maestro, RunReport};
+use maestro_runtime::RuntimeParams;
+
+use crate::compiler::CompilerConfig;
+
+/// Input scale.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Small inputs for fast (debug-build) tests.
+    Test,
+    /// Inputs calibrated so virtual times match the paper's evaluation.
+    Paper,
+}
+
+/// Which suite a workload belongs to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Group {
+    /// Locally-written micro-benchmark (§II, "SIMPLE" in the figures).
+    Micro,
+    /// Barcelona OpenMP Tasks Suite benchmark.
+    Bots,
+    /// Proxy application.
+    MiniApp,
+}
+
+/// One benchmark program.
+pub trait Workload {
+    /// Registry name (matches the calibration table).
+    fn name(&self) -> &'static str;
+
+    /// Suite membership.
+    fn group(&self) -> Group;
+
+    /// The tasking-runtime parameters this workload runs under for the
+    /// compiler study: the family's OpenMP pool with the workload's
+    /// calibrated contention slope.
+    fn runtime_params(&self, cc: CompilerConfig, workers: usize) -> RuntimeParams;
+
+    /// Build inputs, run to completion under `m`, verify the computed
+    /// result, and return the measurement. Panics on a wrong result (the
+    /// payloads are real algorithms with known answers).
+    fn run(&self, m: &mut Maestro, cc: CompilerConfig) -> RunReport;
+}
+
+/// All five micro-benchmarks.
+pub fn micro_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::micro::reduction::Reduction::new(scale)),
+        Box::new(crate::micro::nqueens::NQueens::new(scale)),
+        Box::new(crate::micro::mergesort::MergeSort::new(scale)),
+        Box::new(crate::micro::fibonacci::Fibonacci::new(scale)),
+        Box::new(crate::micro::dijkstra::Dijkstra::new(scale)),
+    ]
+}
+
+/// All nine BOTS benchmarks (including the for/single variants).
+pub fn bots_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::bots::alignment::Alignment::new(scale, crate::bots::Variant::For)),
+        Box::new(crate::bots::alignment::Alignment::new(scale, crate::bots::Variant::Single)),
+        Box::new(crate::bots::fib::FibCutoff::new(scale)),
+        Box::new(crate::bots::health::Health::new(scale)),
+        Box::new(crate::bots::nqueens::NQueensCutoff::new(scale)),
+        Box::new(crate::bots::sort::SortCutoff::new(scale)),
+        Box::new(crate::bots::sparselu::SparseLu::new(scale, crate::bots::Variant::For)),
+        Box::new(crate::bots::sparselu::SparseLu::new(scale, crate::bots::Variant::Single)),
+        Box::new(crate::bots::strassen::Strassen::new(scale)),
+    ]
+}
+
+/// Every workload in the paper's evaluation, in table order:
+/// 5 micro + 9 BOTS + LULESH.
+pub fn all_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
+    let mut v = micro_workloads(scale);
+    v.extend(bots_workloads(scale));
+    v.push(Box::new(crate::lulesh::Lulesh::new(scale)));
+    v
+}
+
+/// Find a workload by registry name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    all_workloads(scale).into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_calibrations() {
+        let workloads = all_workloads(Scale::Test);
+        assert_eq!(workloads.len(), 15);
+        for w in &workloads {
+            // Every workload must have a calibration row (panics otherwise).
+            let cal = crate::profiles::calibration(w.name());
+            assert_eq!(cal.name, w.name());
+        }
+    }
+
+    #[test]
+    fn names_unique_and_lookup_works() {
+        let names: Vec<_> = all_workloads(Scale::Test).iter().map(|w| w.name()).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert!(by_name("lulesh", Scale::Test).is_some());
+        assert!(by_name("unknown", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn groups_partition() {
+        let all = all_workloads(Scale::Test);
+        assert_eq!(all.iter().filter(|w| w.group() == Group::Micro).count(), 5);
+        assert_eq!(all.iter().filter(|w| w.group() == Group::Bots).count(), 9);
+        assert_eq!(all.iter().filter(|w| w.group() == Group::MiniApp).count(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Energy survey: speedup and energy versus thread count, per workload —
+//! the paper's Figures 1-4 in miniature.
+//!
+//! ```text
+//! cargo run --release --example energy_survey [workload ...]
+//! ```
+//!
+//! With no arguments, surveys one workload from each scaling class
+//! (near-linear, bandwidth-capped, anti-scaling, mini-app). Pass registry
+//! names (`reduction`, `nqueens`, `mergesort`, `fibonacci`, `dijkstra`,
+//! `bots-*`, `lulesh`) to pick your own.
+
+use maestro::{Maestro, MaestroConfig};
+use maestro_workloads::{by_name, CompilerConfig, OptLevel, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<String> = if args.is_empty() {
+        ["bots-nqueens", "dijkstra", "fibonacci", "lulesh"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    let cc = CompilerConfig::gcc(OptLevel::O2);
+
+    for name in &names {
+        let Some(w) = by_name(name, Scale::Test) else {
+            eprintln!("unknown workload {name:?} — see maestro_workloads::all_workloads");
+            std::process::exit(2);
+        };
+        println!("\n{name} (GCC -O2, test-scale input)");
+        println!("{:>8} {:>10} {:>10} {:>9} {:>9}", "threads", "time(s)", "joules", "speedup", "energy/1T");
+        let mut t1 = None;
+        let mut e1 = None;
+        for workers in [1usize, 2, 4, 8, 12, 16] {
+            let mut cfg = MaestroConfig::fixed(workers);
+            cfg.runtime = w.runtime_params(cc, workers);
+            let mut m = Maestro::new(cfg);
+            let r = w.run(&mut m, cc);
+            let t1 = *t1.get_or_insert(r.elapsed_s);
+            let e1 = *e1.get_or_insert(r.joules);
+            println!(
+                "{:>8} {:>10.3} {:>10.1} {:>9.2} {:>9.2}",
+                workers,
+                r.elapsed_s,
+                r.joules,
+                t1 / r.elapsed_s,
+                r.joules / e1
+            );
+        }
+    }
+    println!(
+        "\nPrograms whose speedup flattens before 16 threads reach their \
+         energy minimum below 16 threads — the opening observation of §II-C-4."
+    );
+}

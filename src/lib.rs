@@ -1,0 +1,27 @@
+//! # maestro-repro
+//!
+//! Umbrella crate for the reproduction of Porterfield, Olivier,
+//! Bhalachandra & Prins, *"Power Measurement and Concurrency Throttling for
+//! Energy Reduction in OpenMP Programs"* (IPDPS workshops / HPPAC, 2013).
+//!
+//! Everything lives in the workspace crates; this package re-exports them
+//! under one roof, hosts the runnable [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and the cross-crate integration tests.
+//!
+//! | Crate | What it is |
+//! |---|---|
+//! | [`machine`] | the simulated two-socket Sandybridge node |
+//! | [`rapl`] | RAPL energy metering (simulated MSR + Linux powercap) |
+//! | [`rcr`] | the RCR daemon, blackboard, classifier, region API |
+//! | [`runtime`] | the Qthreads/Sherwood tasking runtime |
+//! | [`core`](mod@core) | the adaptive throttling controller + facade |
+//! | [`workloads`] | micro-benchmarks, BOTS, LULESH |
+//! | [`bench`](mod@bench) | the table/figure reproduction harness |
+
+pub use maestro as core;
+pub use maestro_bench as bench;
+pub use maestro_machine as machine;
+pub use maestro_rapl as rapl;
+pub use maestro_rcr as rcr;
+pub use maestro_runtime as runtime;
+pub use maestro_workloads as workloads;

@@ -1,0 +1,106 @@
+//! Integration tests for the alternative mechanisms (DVFS, power capping)
+//! and the design-choice ablation the paper's §IV argues from.
+
+use maestro::{Maestro, MaestroConfig, Policy};
+use maestro_bench::experiments::{ablation, maestro_params, run_maestro};
+use maestro_machine::PState;
+use maestro_workloads::lulesh::Lulesh;
+use maestro_workloads::{CompilerConfig, OptLevel, Scale, Workload};
+
+const CC: CompilerConfig =
+    CompilerConfig { family: maestro_workloads::Family::Gcc, opt: OptLevel::O3 };
+
+/// §IV's design argument, as measurement: on LULESH, duty-cycle concurrency
+/// throttling saves more energy for less slowdown than package-global DVFS.
+#[test]
+fn duty_cycle_beats_dvfs_on_lulesh() {
+    let rows = ablation(Scale::Test);
+    let by = |name: &str| {
+        rows.iter().find(|r| r.mechanism.starts_with(name)).unwrap_or_else(|| panic!("{name}"))
+    };
+    let fixed = by("fixed");
+    let duty = by("duty-cycle");
+    let dvfs = by("DVFS");
+
+    // Both mechanisms cut power below fixed.
+    assert!(duty.model.watts < fixed.model.watts);
+    assert!(dvfs.model.watts < fixed.model.watts);
+    // Duty-cycle throttling costs less time than frequency scaling …
+    assert!(
+        duty.model.time_s < dvfs.model.time_s,
+        "duty {} s must beat DVFS {} s",
+        duty.model.time_s,
+        dvfs.model.time_s
+    );
+    // … and wins on energy too (DVFS slows the memory-bound phases' compute
+    // share without touching the memory wall, so it mostly just stretches
+    // the run).
+    assert!(
+        duty.model.joules < dvfs.model.joules,
+        "duty {} J must beat DVFS {} J",
+        duty.model.joules,
+        dvfs.model.joules
+    );
+}
+
+/// The DVFS controller must never violate its configured frequency floor.
+#[test]
+fn dvfs_respects_floor() {
+    let w = Lulesh::new(Scale::Test);
+    let floor = PState::floor_of(2.1);
+    let mut cfg = MaestroConfig::fixed(16);
+    cfg.policy = Policy::Dvfs { floor };
+    cfg.runtime = maestro_params(&w, CC, 16);
+    let mut m = Maestro::new(cfg);
+    w.run(&mut m, CC);
+    let trace = m.dvfs_trace().expect("dvfs policy records a trace").borrow();
+    assert!(!trace.samples.is_empty());
+    assert!(
+        trace.samples.iter().all(|&(_, idx)| idx >= floor.index()),
+        "P-state fell below the floor"
+    );
+}
+
+/// Power capping: a bound below the unconstrained draw is (a) mostly
+/// respected and (b) costs time, never correctness.
+#[test]
+fn power_cap_holds_and_costs_time() {
+    let w = Lulesh::new(Scale::Test);
+    let unconstrained = run_maestro(&w, CC, 16, Policy::Fixed);
+    let cap_w = unconstrained.avg_watts - 15.0;
+
+    let w = Lulesh::new(Scale::Test);
+    let mut cfg = MaestroConfig::fixed(16);
+    cfg.policy = Policy::PowerCap { watts: cap_w };
+    cfg.runtime = maestro_params(&w, CC, 16);
+    let mut m = Maestro::new(cfg);
+    let capped = w.run(&mut m, CC); // panics internally if physics diverges
+    assert!(
+        capped.avg_watts < unconstrained.avg_watts,
+        "cap must reduce average power: {} vs {}",
+        capped.avg_watts,
+        unconstrained.avg_watts
+    );
+    assert!(capped.elapsed_s > unconstrained.elapsed_s, "power is not free");
+    let trace = m.powercap_trace().expect("cap policy records a trace").borrow();
+    assert!(
+        trace.compliance(cap_w) > 0.5,
+        "the controller should track the cap most of the time: {:.2}",
+        trace.compliance(cap_w)
+    );
+}
+
+/// A cap far above the draw must change nothing measurable.
+#[test]
+fn generous_power_cap_is_free() {
+    let w = Lulesh::new(Scale::Test);
+    let free = run_maestro(&w, CC, 16, Policy::Fixed);
+    let w = Lulesh::new(Scale::Test);
+    let capped = run_maestro(&w, CC, 16, Policy::PowerCap { watts: 400.0 });
+    assert!(
+        (capped.elapsed_s - free.elapsed_s).abs() / free.elapsed_s < 0.01,
+        "{} vs {} s",
+        capped.elapsed_s,
+        free.elapsed_s
+    );
+}

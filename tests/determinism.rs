@@ -1,0 +1,52 @@
+//! Full-stack determinism: identical configurations produce bit-identical
+//! measurements, regardless of host timing — the property that makes every
+//! experiment in this repository exactly reproducible.
+
+use maestro::{Maestro, MaestroConfig};
+use maestro_bench::experiments::{run_fixed, run_maestro};
+use maestro_workloads::{all_workloads, by_name, CompilerConfig, OptLevel, Scale};
+
+/// Every workload, run twice under the same configuration, reports the
+/// exact same time and energy.
+#[test]
+fn every_workload_is_bit_reproducible() {
+    let cc = CompilerConfig::icc(OptLevel::O1);
+    for w in all_workloads(Scale::Test) {
+        let a = run_fixed(w.as_ref(), cc, 11);
+        let b = run_fixed(w.as_ref(), cc, 11);
+        assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits(), "{} time", w.name());
+        assert_eq!(a.joules.to_bits(), b.joules.to_bits(), "{} energy", w.name());
+        assert_eq!(a.stats, b.stats, "{} scheduler counters", w.name());
+    }
+}
+
+/// The adaptive controller is deterministic too: same trace, same decisions.
+#[test]
+fn adaptive_runs_are_reproducible() {
+    let cc = CompilerConfig::gcc(OptLevel::O3);
+    let run = || {
+        let w = by_name("lulesh", Scale::Test).expect("registered");
+        let r = run_maestro(w.as_ref(), cc, 16, maestro::Policy::Adaptive { limit_per_shepherd: 6 });
+        (r.elapsed_s.to_bits(), r.joules.to_bits(), r.throttle.map(|t| (t.decisions, t.duty_writes)))
+    };
+    assert_eq!(run(), run());
+}
+
+/// Workload *results* (not just timings) are independent of worker count:
+/// the LULESH field state is bit-identical from 1 to 16 workers, and sorts,
+/// counts, and factorizations verify internally at every width.
+#[test]
+fn results_independent_of_worker_count() {
+    let cc = CompilerConfig::gcc(OptLevel::O2);
+    for name in ["mergesort", "bots-sort", "dijkstra", "lulesh", "bots-sparselu-for"] {
+        for workers in [1usize, 6, 16] {
+            let w = by_name(name, Scale::Test).expect("registered");
+            let mut cfg = MaestroConfig::fixed(workers);
+            cfg.runtime = w.runtime_params(cc, workers);
+            let mut m = Maestro::new(cfg);
+            // Each workload panics internally if its computed result
+            // diverges from its sequential reference.
+            w.run(&mut m, cc);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests over the full stack: random throttle-flag schedules and
+//! machine knobs must never break correctness, determinism, or accounting.
+
+use maestro_machine::{Cost, Machine, MachineConfig, PState, SocketId};
+use maestro_runtime::{
+    compute_leaf, fork_join, parallel_for, BoxTask, Monitor, Runtime, RuntimeParams,
+    TaskValue, ThrottleState,
+};
+use proptest::prelude::*;
+
+/// A monitor that toggles the throttle flag at a scripted set of times.
+struct ScriptedToggles {
+    times_ns: Vec<u64>,
+    next: usize,
+}
+
+impl Monitor for ScriptedToggles {
+    fn next_due_ns(&self) -> Option<u64> {
+        self.times_ns.get(self.next).copied()
+    }
+    fn fire(&mut self, _m: &mut Machine, throttle: &mut ThrottleState) {
+        throttle.active = !throttle.active;
+        self.next += 1;
+    }
+}
+
+fn runtime(workers: usize) -> Runtime {
+    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary throttle toggling mid-run never loses or duplicates work,
+    /// and the run still terminates with correct results.
+    #[test]
+    fn random_throttle_toggles_preserve_exactly_once(
+        mut toggle_ms in prop::collection::vec(1u64..400, 0..12),
+        limit in 1usize..=8,
+        workers in 2usize..=16,
+    ) {
+        toggle_ms.sort_unstable();
+        toggle_ms.dedup();
+        let mut rt = runtime(workers);
+        rt.throttle_mut().limit_per_shepherd = limit;
+        rt.add_monitor(Box::new(ScriptedToggles {
+            times_ns: toggle_ms.iter().map(|ms| ms * 1_000_000).collect(),
+            next: 0,
+        }));
+        let n = 400;
+        let mut app = vec![0u32; n];
+        let root = parallel_for(0..n, 7, |app: &mut Vec<u32>, range, _ctx| {
+            for i in range.clone() {
+                app[i] += 1;
+            }
+            Cost::new(2_700_000, 10_000, 3.0, 0.7)
+        });
+        let out = rt.run(&mut app, root);
+        prop_assert!(app.iter().all(|&v| v == 1), "exactly-once violated");
+        prop_assert!(out.elapsed_s > 0.0 && out.joules > 0.0);
+        // Spin accounting is consistent: spin entries imply duty writes and
+        // nonzero throttled time (when low-power spin is enabled).
+        if out.stats.spin_entries > 0 {
+            prop_assert!(out.stats.duty_writes >= out.stats.spin_entries);
+        }
+    }
+
+    /// Identical toggle scripts give bit-identical outcomes.
+    #[test]
+    fn scripted_runs_are_deterministic(
+        toggles in prop::collection::vec(1u64..200, 0..6),
+        workers in 1usize..=16,
+    ) {
+        let run = || {
+            let mut rt = runtime(workers);
+            let mut t = toggles.clone();
+            t.sort_unstable();
+            t.dedup();
+            rt.add_monitor(Box::new(ScriptedToggles {
+                times_ns: t.iter().map(|ms| ms * 1_000_000).collect(),
+                next: 0,
+            }));
+            let children: Vec<BoxTask<()>> = (0..40)
+                .map(|i| compute_leaf(Cost::new(1_000_000 + i * 31, 5_000, 2.0, 0.5)))
+                .collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            let out = rt.run(&mut (), root);
+            (out.elapsed_s.to_bits(), out.joules.to_bits())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Any P-state configuration slows compute-bound work by exactly the
+    /// frequency ratio of the slowest socket actually used, never less.
+    #[test]
+    fn pstates_never_speed_things_up(
+        p0 in 0u8..6,
+        p1 in 0u8..6,
+    ) {
+        let elapsed = |a: Option<(PState, PState)>| {
+            let mut rt = runtime(16);
+            if let Some((s0, s1)) = a {
+                rt.machine_mut().set_pstate(SocketId(0), s0);
+                rt.machine_mut().set_pstate(SocketId(1), s1);
+            }
+            let children: Vec<BoxTask<()>> =
+                (0..32).map(|_| compute_leaf(Cost::compute(27_000_000, 0.8))).collect();
+            let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+            rt.run(&mut (), root).elapsed_s
+        };
+        let nominal = elapsed(None);
+        let scaled = elapsed(Some((
+            PState::new(p0).expect("in range"),
+            PState::new(p1).expect("in range"),
+        )));
+        prop_assert!(scaled >= nominal * 0.999, "P-states cannot beat nominal: {scaled} vs {nominal}");
+    }
+}
