@@ -71,7 +71,9 @@ impl Monitor for DvfsController {
     }
 
     fn fire(&mut self, machine: &mut Machine, _throttle: &mut ThrottleState) {
-        self.daemon.sample(machine);
+        // A failed or dropped sample leaves the blackboard holding the last
+        // good snapshots; the controller then simply holds its P-state.
+        let _ = self.daemon.sample(machine);
         let snaps = self.daemon.blackboard().snapshot_all();
         let power_w = snaps.iter().map(|s| s.power_w).fold(0.0, f64::max);
         let mem = snaps.iter().map(|s| s.mem_concurrency).fold(0.0, f64::max);
@@ -165,7 +167,9 @@ impl Monitor for PowerCapController {
     }
 
     fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState) {
-        self.daemon.sample(machine);
+        // As above: on a failed tick the cap logic runs on the last good
+        // power reading, which biases toward keeping the current limit.
+        let _ = self.daemon.sample(machine);
         let node_w: f64 =
             self.daemon.blackboard().snapshot_all().iter().map(|s| s.power_w).sum();
         if self.daemon.samples_taken() >= 2 {

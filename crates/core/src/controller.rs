@@ -16,12 +16,53 @@
 //! the paper's architecture (and lets tests and tools watch the same region
 //! the controller sees).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use maestro_machine::Machine;
+use maestro_machine::{FaultPlan, Machine};
+use maestro_rapl::RetryPolicy;
 use maestro_rcr::{Level, MeterThresholds, RcrDaemon, ThrottleSignals};
 use maestro_runtime::{Monitor, ThrottleState};
+
+/// When the controller gives up on its measurements and fails safe.
+///
+/// The controller's view of the node comes entirely from the blackboard; if
+/// the daemon behind it stalls or its meters go untrustworthy, continuing to
+/// throttle on those numbers can starve a healthy workload. Safe mode
+/// deactivates throttling (restoring the full duty cycle) until the
+/// measurement pipeline proves itself again.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SafeModeConfig {
+    /// Enter safe mode after this many consecutive controller periods with a
+    /// stale or unhealthy blackboard view.
+    pub degraded_after_periods: u32,
+    /// Leave safe mode after this many consecutive fresh, healthy periods.
+    pub recover_after_periods: u32,
+}
+
+impl Default for SafeModeConfig {
+    /// Enter after 5 bad periods (0.5 s at the paper's cadence — long enough
+    /// to ride out a retried sample or two), recover after 2 good ones.
+    fn default() -> Self {
+        SafeModeConfig { degraded_after_periods: 5, recover_after_periods: 2 }
+    }
+}
+
+/// Everything [`ThrottleController::with_config`] can customize.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerConfig {
+    /// Power thresholds; `None` uses the paper's 75 W / 50 W per socket.
+    pub power: Option<MeterThresholds>,
+    /// Memory thresholds; `None` uses the paper's 75 % / 25 % of the
+    /// machine's effective maximum outstanding references.
+    pub memory: Option<MeterThresholds>,
+    /// Safe-mode entry/exit thresholds.
+    pub safe_mode: SafeModeConfig,
+    /// Probe retry policy; `None` uses [`RetryPolicy::default`].
+    pub retry: Option<RetryPolicy>,
+    /// Scripted faults for the embedded daemon (tests and experiments).
+    pub faults: Option<FaultPlan>,
+}
 
 /// One controller decision, recorded for analysis.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -38,6 +79,9 @@ pub struct ControllerSample {
     pub memory_level: Level,
     /// The throttle flag after applying the rule.
     pub throttled: bool,
+    /// True when this decision was forced by safe mode rather than the
+    /// classification rule.
+    pub safe_mode: bool,
 }
 
 /// The full decision history of one controller.
@@ -66,11 +110,18 @@ impl ControllerTrace {
 /// Shared handle to a controller's trace (usable after the run finishes).
 pub type TraceHandle = Rc<RefCell<ControllerTrace>>;
 
-/// The adaptive controller: an RCR daemon plus the both-High/both-Low rule.
+/// The adaptive controller: an RCR daemon plus the both-High/both-Low rule,
+/// wrapped in a safe-mode supervisor that fails open when the measurement
+/// pipeline degrades.
 pub struct ThrottleController {
     daemon: RcrDaemon,
     power_thresholds: MeterThresholds,
     memory_thresholds: MeterThresholds,
+    safe_cfg: SafeModeConfig,
+    safe_mode: bool,
+    degraded_streak: u32,
+    healthy_streak: u32,
+    heartbeat: Rc<Cell<u64>>,
     trace: TraceHandle,
 }
 
@@ -80,12 +131,7 @@ impl ThrottleController {
     /// maximum outstanding references). Returns the controller and a handle
     /// to its decision trace.
     pub fn new(machine: &Machine) -> (Self, TraceHandle) {
-        let memory_max = machine.config().memory.max_outstanding_refs;
-        Self::with_thresholds(
-            machine,
-            MeterThresholds::paper_power_w(),
-            MeterThresholds::paper_memory(memory_max),
-        )
+        Self::with_config(machine, ControllerConfig::default())
     }
 
     /// Build with custom thresholds.
@@ -94,12 +140,36 @@ impl ThrottleController {
         power: MeterThresholds,
         memory: MeterThresholds,
     ) -> (Self, TraceHandle) {
+        Self::with_config(
+            machine,
+            ControllerConfig { power: Some(power), memory: Some(memory), ..Default::default() },
+        )
+    }
+
+    /// Build with full control over thresholds, safe mode, retries, and
+    /// fault injection.
+    pub fn with_config(machine: &Machine, cfg: ControllerConfig) -> (Self, TraceHandle) {
+        let memory_max = machine.config().memory.max_outstanding_refs;
         let trace: TraceHandle = Rc::new(RefCell::new(ControllerTrace::default()));
+        let mut daemon = RcrDaemon::new(machine);
+        if let Some(retry) = cfg.retry {
+            daemon = daemon.with_retry(retry);
+        }
+        if let Some(plan) = cfg.faults {
+            daemon = daemon.with_faults(plan);
+        }
         (
             ThrottleController {
-                daemon: RcrDaemon::new(machine),
-                power_thresholds: power,
-                memory_thresholds: memory,
+                daemon,
+                power_thresholds: cfg.power.unwrap_or_else(MeterThresholds::paper_power_w),
+                memory_thresholds: cfg
+                    .memory
+                    .unwrap_or_else(|| MeterThresholds::paper_memory(memory_max)),
+                safe_cfg: cfg.safe_mode,
+                safe_mode: false,
+                degraded_streak: 0,
+                healthy_streak: 0,
+                heartbeat: Rc::new(Cell::new(0)),
                 trace: Rc::clone(&trace),
             },
             trace,
@@ -110,6 +180,29 @@ impl ThrottleController {
     pub fn blackboard(&self) -> &maestro_rcr::Blackboard {
         self.daemon.blackboard()
     }
+
+    /// Health tallies of the embedded daemon.
+    pub fn daemon_health(&self) -> maestro_rcr::DaemonHealth {
+        self.daemon.health()
+    }
+
+    /// True while the controller is failing safe (throttling deactivated
+    /// because its measurements cannot be trusted).
+    pub fn in_safe_mode(&self) -> bool {
+        self.safe_mode
+    }
+
+    /// A counter bumped every time the embedded daemon publishes fresh
+    /// snapshots — a watchdog can watch it to detect a wedged pipeline.
+    pub fn heartbeat(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.heartbeat)
+    }
+
+    /// A blackboard view older than this is considered stale: 1.5 daemon
+    /// periods, i.e. one missed publication plus scheduling slack.
+    fn staleness_bound_ns(&self) -> u64 {
+        self.daemon.period_ns() + self.daemon.period_ns() / 2
+    }
 }
 
 impl Monitor for ThrottleController {
@@ -118,7 +211,26 @@ impl Monitor for ThrottleController {
     }
 
     fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState) {
-        self.daemon.sample(machine);
+        let outcome = self.daemon.sample(machine);
+        if outcome.published() {
+            self.heartbeat.set(self.heartbeat.get() + 1);
+        }
+        let now = machine.now_ns();
+        let bb = self.daemon.blackboard();
+        let stale = bb.staleness_ns(now) > self.staleness_bound_ns();
+        let degraded = !outcome.published() || stale || !bb.is_healthy();
+        if degraded {
+            self.degraded_streak += 1;
+            self.healthy_streak = 0;
+        } else {
+            self.healthy_streak += 1;
+            self.degraded_streak = 0;
+        }
+        if !self.safe_mode && self.degraded_streak >= self.safe_cfg.degraded_after_periods {
+            self.safe_mode = true;
+        } else if self.safe_mode && self.healthy_streak >= self.safe_cfg.recover_after_periods {
+            self.safe_mode = false;
+        }
         let snaps = self.daemon.blackboard().snapshot_all();
         // Per-socket thresholds: the hottest socket drives the decision.
         let power_w = snaps.iter().map(|s| s.power_w).fold(0.0, f64::max);
@@ -127,12 +239,15 @@ impl Monitor for ThrottleController {
             power: self.power_thresholds.classify(power_w),
             memory: self.memory_thresholds.classify(mem),
         };
-        // The smoothed power meter needs two readings before it is valid;
-        // hold the current state during warm-up instead of reacting to a
-        // zero-Watt artifact.
-        let new_flag = if self.daemon.samples_taken() >= 2 {
+        let new_flag = if self.safe_mode {
+            // Fail open: full duty cycle until the meters are trustworthy.
+            false
+        } else if self.daemon.samples_taken() >= 2 {
             signals.apply(throttle.active)
         } else {
+            // The smoothed power meter needs two readings before it is
+            // valid; hold the current state during warm-up instead of
+            // reacting to a zero-Watt artifact.
             throttle.active
         };
         throttle.active = new_flag;
@@ -143,6 +258,7 @@ impl Monitor for ThrottleController {
             power_level: signals.power,
             memory_level: signals.memory,
             throttled: new_flag,
+            safe_mode: self.safe_mode,
         });
     }
 }
@@ -206,6 +322,71 @@ mod tests {
             fire_over(&mut m2, &mut ctrl, &mut throttle, 1.0);
             assert_eq!(throttle.active, initial, "must hold {initial}");
         }
+    }
+
+    #[test]
+    fn stalled_daemon_enters_safe_mode_and_recovers() {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.95, ocr: 4.0 });
+        }
+        // The daemon blacks out from t=2 s to t=4 s.
+        let plan = FaultPlan::new(31).with_stall(2 * NS_PER_SEC, 4 * NS_PER_SEC);
+        let (mut ctrl, trace) = ThrottleController::with_config(
+            &m,
+            ControllerConfig { faults: Some(plan), ..Default::default() },
+        );
+        let mut throttle = ThrottleState::new(6);
+        fire_over(&mut m, &mut ctrl, &mut throttle, 2.0);
+        assert!(throttle.active, "hot+contended throttles before the stall");
+        assert!(!ctrl.in_safe_mode());
+        let beats_before = ctrl.heartbeat().get();
+
+        // Within the stall: safe mode within 5 periods (0.5 s) of the first
+        // missed publication, throttle released, full duty restored.
+        fire_over(&mut m, &mut ctrl, &mut throttle, 1.0);
+        assert!(ctrl.in_safe_mode(), "stale view must trip safe mode");
+        assert!(!throttle.active, "safe mode deactivates throttling");
+        assert_eq!(throttle.effective_limit(), usize::MAX, "full duty restored");
+        assert_eq!(ctrl.heartbeat().get(), beats_before, "no heartbeats while stalled");
+        let entered_at = trace
+            .borrow()
+            .samples
+            .iter()
+            .find(|s| s.safe_mode)
+            .map(|s| s.t_ns)
+            .expect("a safe-mode decision was recorded");
+        assert!(
+            entered_at <= 2 * NS_PER_SEC + 6 * maestro_rcr::DEFAULT_SAMPLE_PERIOD_NS,
+            "entered within ~5 periods of the stall: {entered_at}"
+        );
+
+        // After the stall clears: recovery, then normal throttling resumes.
+        fire_over(&mut m, &mut ctrl, &mut throttle, 3.0);
+        assert!(!ctrl.in_safe_mode(), "fresh samples end safe mode");
+        assert!(throttle.active, "classification rule re-throttles the hot node");
+        assert!(ctrl.heartbeat().get() > beats_before);
+        assert!(ctrl.daemon_health().dropped >= 10, "{:?}", ctrl.daemon_health());
+    }
+
+    #[test]
+    fn transient_fault_storm_does_not_trip_safe_mode() {
+        // Retried-but-successful sampling is degraded service, not a reason
+        // to abandon throttling.
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.95, ocr: 4.0 });
+        }
+        let plan = FaultPlan::new(32).with_transient_error_rate(0.3);
+        let (mut ctrl, _trace) = ThrottleController::with_config(
+            &m,
+            ControllerConfig { faults: Some(plan), ..Default::default() },
+        );
+        let mut throttle = ThrottleState::new(6);
+        fire_over(&mut m, &mut ctrl, &mut throttle, 3.0);
+        assert!(!ctrl.in_safe_mode());
+        assert!(throttle.active, "throttling still engages under a retry storm");
+        assert!(ctrl.daemon_health().retried_samples > 0);
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! The MAESTRO facade: machine + runtime + controller, one call to run and
 //! measure a workload.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use maestro_machine::{Machine, MachineConfig, PState};
-use maestro_rcr::Region;
-use maestro_runtime::{BoxTask, RunStats, Runtime, RuntimeParams, TaskValue};
+use maestro_rcr::{Region, DEFAULT_SAMPLE_PERIOD_NS};
+use maestro_runtime::{BoxTask, RunStats, Runtime, RuntimeParams, TaskValue, Watchdog};
 
 use crate::alternatives::{
     DvfsController, DvfsTraceHandle, PowerCapController, PowerCapTraceHandle,
 };
-use crate::controller::{ThrottleController, TraceHandle};
+use crate::controller::{ControllerConfig, ThrottleController, TraceHandle};
 
 /// Concurrency policy for a run, matching the paper's table rows (plus the
 /// alternative mechanisms evaluated by the `ablation`/`powercap` targets).
@@ -48,6 +51,9 @@ pub struct MaestroConfig {
     pub runtime: RuntimeParams,
     /// Fixed or adaptive concurrency.
     pub policy: Policy,
+    /// Thresholds, safe mode, retries, and fault injection for the adaptive
+    /// controller (ignored by the other policies).
+    pub controller: ControllerConfig,
 }
 
 impl MaestroConfig {
@@ -57,6 +63,7 @@ impl MaestroConfig {
             machine: MachineConfig::sandybridge_2x8(),
             runtime: RuntimeParams::qthreads(workers),
             policy: Policy::Fixed,
+            controller: ControllerConfig::default(),
         }
     }
 
@@ -67,6 +74,7 @@ impl MaestroConfig {
             machine: MachineConfig::sandybridge_2x8(),
             runtime: RuntimeParams::qthreads(workers),
             policy: Policy::Adaptive { limit_per_shepherd: 6 },
+            controller: ControllerConfig::default(),
         }
     }
 }
@@ -84,6 +92,11 @@ pub struct ThrottleSummary {
     pub throttled_worker_s: f64,
     /// Duty-register writes performed.
     pub duty_writes: u64,
+    /// Decisions forced by the controller's safe mode (measurement pipeline
+    /// degraded — throttling deactivated, full duty cycle restored).
+    pub safe_mode_decisions: usize,
+    /// Daemon publication deadlines the watchdog saw missed during the run.
+    pub missed_deadlines: u64,
 }
 
 /// Everything measured about one run: the region report fields (time,
@@ -122,6 +135,13 @@ impl std::fmt::Display for RunReport {
                 t.throttled_fraction * 100.0,
                 t.activations
             )?;
+            if t.safe_mode_decisions > 0 || t.missed_deadlines > 0 {
+                write!(
+                    f,
+                    " [degraded: {} safe-mode decision(s), {} missed deadline(s)]",
+                    t.safe_mode_decisions, t.missed_deadlines
+                )?;
+            }
         }
         Ok(())
     }
@@ -134,6 +154,7 @@ pub struct Maestro {
     trace: Option<TraceHandle>,
     dvfs_trace: Option<DvfsTraceHandle>,
     powercap_trace: Option<PowerCapTraceHandle>,
+    watchdog_missed: Option<Rc<Cell<u64>>>,
     policy: Policy,
 }
 
@@ -146,12 +167,20 @@ impl Maestro {
         let mut trace = None;
         let mut dvfs_trace = None;
         let mut powercap_trace = None;
+        let mut watchdog_missed = None;
         match config.policy {
             Policy::Fixed => {}
             Policy::Adaptive { limit_per_shepherd } => {
                 runtime.throttle_mut().limit_per_shepherd = limit_per_shepherd;
-                let (controller, t) = ThrottleController::new(runtime.machine());
+                let (controller, t) =
+                    ThrottleController::with_config(runtime.machine(), config.controller);
+                // Supervise the controller's publication heartbeat at twice
+                // the sampling period, so one late sample is not yet a miss.
+                let watchdog =
+                    Watchdog::new(2 * DEFAULT_SAMPLE_PERIOD_NS, controller.heartbeat());
+                watchdog_missed = Some(watchdog.missed_handle());
                 runtime.add_monitor(Box::new(controller));
+                runtime.add_monitor(Box::new(watchdog));
                 trace = Some(t);
             }
             Policy::Dvfs { floor } => {
@@ -165,7 +194,7 @@ impl Maestro {
                 powercap_trace = Some(t);
             }
         }
-        Maestro { runtime, trace, dvfs_trace, powercap_trace, policy: config.policy }
+        Maestro { runtime, trace, dvfs_trace, powercap_trace, watchdog_missed, policy: config.policy }
     }
 
     /// The DVFS decision trace, when running under [`Policy::Dvfs`].
@@ -196,6 +225,7 @@ impl Maestro {
     /// Execute `root` against `app`, measured with the RCR region API.
     pub fn run<C>(&mut self, name: &str, app: &mut C, root: BoxTask<C>) -> RunReport {
         let decisions_before = self.trace.as_ref().map_or(0, |t| t.borrow().samples.len());
+        let missed_before = self.watchdog_missed.as_ref().map_or(0, |m| m.get());
         let region = Region::start(name, self.runtime.machine());
         let outcome = self.runtime.run(app, root);
         let report = region.end(self.runtime.machine());
@@ -218,6 +248,9 @@ impl Maestro {
                 decisions: run_samples.len(),
                 throttled_worker_s: outcome.stats.throttled_worker_ns as f64 * 1e-9,
                 duty_writes: outcome.stats.duty_writes,
+                safe_mode_decisions: run_samples.iter().filter(|s| s.safe_mode).count(),
+                missed_deadlines: self.watchdog_missed.as_ref().map_or(0, |m| m.get())
+                    - missed_before,
             }
         });
         RunReport {
@@ -299,6 +332,15 @@ mod tests {
         assert_eq!(t.activations, 0, "must never throttle: {t:?}");
         let overhead = (ra.elapsed_s - rf.elapsed_s) / rf.elapsed_s;
         assert!(overhead.abs() < 0.006, "overhead {overhead}");
+    }
+
+    #[test]
+    fn healthy_run_reports_clean_watchdog_and_no_safe_mode() {
+        let mut m = Maestro::new(MaestroConfig::adaptive(16));
+        let r = m.run("contended", &mut (), contended_root(500));
+        let t = r.throttle.expect("adaptive run has a summary");
+        assert_eq!(t.missed_deadlines, 0, "healthy daemon never misses: {t:?}");
+        assert_eq!(t.safe_mode_decisions, 0, "healthy meters never fail safe: {t:?}");
     }
 
     #[test]

@@ -39,5 +39,8 @@ pub mod controller;
 pub mod facade;
 
 pub use alternatives::{DvfsController, DvfsTrace, PowerCapController, PowerCapTrace};
-pub use controller::{ControllerSample, ControllerTrace, TraceHandle, ThrottleController};
+pub use controller::{
+    ControllerConfig, ControllerSample, ControllerTrace, SafeModeConfig, ThrottleController,
+    TraceHandle,
+};
 pub use facade::{Maestro, MaestroConfig, Policy, RunReport, ThrottleSummary};

@@ -1,0 +1,341 @@
+//! Deterministic fault injection for the measurement pipeline.
+//!
+//! Real RAPL deployments are not the happy path this simulation started as:
+//! MSR reads fail transiently (EAGAIN from `/dev/cpu/N/msr`, IPMI hiccups),
+//! firmware bugs leave `MSR_PKG_ENERGY_STATUS` stuck for many milliseconds,
+//! readings occasionally jump backwards as if the 32-bit counter had wrapped
+//! when it had not, and the sampling daemon itself gets descheduled — jitter
+//! on the 0.1 s period, dropped ticks, or multi-second stalls.
+//!
+//! A [`FaultPlan`] scripts all of those against the simulated node so the
+//! downstream stack (probe retry, window outlier rejection, blackboard
+//! staleness, controller safe mode) can be tested and benchmarked under
+//! failure. Every fault draw comes from a seeded [SplitMix64] stream, so a
+//! plan reproduces the same fault schedule on every run.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! The MSR-level faults are applied by [`FaultyMsr`], a read-side decorator
+//! over any [`MsrDevice`]; the daemon-level faults (drops, jitter, stalls)
+//! are consumed by the RCR daemon in `maestro-rcr`, which carries the plan.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::msr::{MsrDevice, MsrError, MSR_PKG_ENERGY_STATUS};
+use crate::topology::CoreId;
+
+/// An energy-counter freeze: after `after_reads` reads of the energy MSR,
+/// the next `for_reads` reads return the frozen value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StuckWindow {
+    /// Energy-counter reads before the freeze begins.
+    pub after_reads: u64,
+    /// Energy-counter reads the freeze lasts for.
+    pub for_reads: u64,
+}
+
+/// A daemon blackout: no samples are published in `[from_ns, until_ns)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StallWindow {
+    /// Virtual time the stall begins, nanoseconds.
+    pub from_ns: u64,
+    /// Virtual time the stall ends, nanoseconds.
+    pub until_ns: u64,
+}
+
+/// A scripted, reproducible set of measurement-pipeline faults.
+///
+/// All rates are probabilities in `[0, 1]` evaluated per event on the plan's
+/// own deterministic PRNG. The default plan injects nothing.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    transient_error_rate: f64,
+    extra_wrap_rate: f64,
+    drop_sample_rate: f64,
+    sample_jitter_ns: u64,
+    stuck: Option<StuckWindow>,
+    stall: Option<StallWindow>,
+    rng: Cell<u64>,
+    energy_reads: Cell<u64>,
+    frozen: Mutex<HashMap<u16, u64>>,
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> Self {
+        FaultPlan {
+            transient_error_rate: self.transient_error_rate,
+            extra_wrap_rate: self.extra_wrap_rate,
+            drop_sample_rate: self.drop_sample_rate,
+            sample_jitter_ns: self.sample_jitter_ns,
+            stuck: self.stuck,
+            stall: self.stall,
+            rng: self.rng.clone(),
+            energy_reads: self.energy_reads.clone(),
+            frozen: Mutex::new(self.frozen.lock().expect("fault plan lock").clone()),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults, drawing from a stream seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { rng: Cell::new(seed ^ 0x5DEE_CE66_D1CE_4E5B), ..FaultPlan::default() }
+    }
+
+    /// Each MSR read fails with probability `rate` (a retriable
+    /// [`MsrError::Transient`]).
+    pub fn with_transient_error_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        self.transient_error_rate = rate;
+        self
+    }
+
+    /// Each energy-counter read back-jumps with probability `rate`, as if
+    /// the 32-bit counter had wrapped when it had not.
+    pub fn with_extra_wrap_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        self.extra_wrap_rate = rate;
+        self
+    }
+
+    /// Each daemon tick is dropped whole with probability `rate`.
+    pub fn with_drop_sample_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        self.drop_sample_rate = rate;
+        self
+    }
+
+    /// Each daemon tick lands up to `jitter_ns` late (uniform).
+    pub fn with_sample_jitter(mut self, jitter_ns: u64) -> Self {
+        self.sample_jitter_ns = jitter_ns;
+        self
+    }
+
+    /// Freeze the energy counter per [`StuckWindow`].
+    pub fn with_stuck_counter(mut self, after_reads: u64, for_reads: u64) -> Self {
+        self.stuck = Some(StuckWindow { after_reads, for_reads });
+        self
+    }
+
+    /// Black out the daemon for `[from_ns, until_ns)` of virtual time.
+    pub fn with_stall(mut self, from_ns: u64, until_ns: u64) -> Self {
+        assert!(from_ns <= until_ns, "stall window must not be inverted");
+        self.stall = Some(StallWindow { from_ns, until_ns });
+        self
+    }
+
+    /// The configured stall window, if any.
+    pub fn stall(&self) -> Option<StallWindow> {
+        self.stall
+    }
+
+    /// True when the daemon is blacked out at `now_ns`.
+    pub fn stalled_at(&self, now_ns: u64) -> bool {
+        self.stall.is_some_and(|s| (s.from_ns..s.until_ns).contains(&now_ns))
+    }
+
+    /// Roll the drop-sample fault for one daemon tick.
+    pub fn should_drop_sample(&self) -> bool {
+        self.roll(self.drop_sample_rate)
+    }
+
+    /// Draw this tick's scheduling jitter, nanoseconds.
+    pub fn draw_jitter_ns(&self) -> u64 {
+        if self.sample_jitter_ns == 0 {
+            return 0;
+        }
+        self.next_u64() % (self.sample_jitter_ns + 1)
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_unit() < p
+    }
+
+    fn next_u64(&self) -> u64 {
+        let mut s = self.rng.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.rng.set(s);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        s ^ (s >> 31)
+    }
+
+    fn next_unit(&self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Apply MSR-read faults to a reading of `msr` via `core` whose true
+    /// value is `value`. Returns the possibly-corrupted value, or a
+    /// transient error.
+    fn filter_read(&self, core: CoreId, msr: u32, value: u64) -> Result<u64, MsrError> {
+        if self.roll(self.transient_error_rate) {
+            return Err(MsrError::Transient(msr));
+        }
+        if msr != MSR_PKG_ENERGY_STATUS {
+            return Ok(value);
+        }
+        let read_idx = self.energy_reads.get();
+        self.energy_reads.set(read_idx + 1);
+        if let Some(w) = self.stuck {
+            let mut frozen = self.frozen.lock().expect("fault plan lock");
+            if (w.after_reads..w.after_reads.saturating_add(w.for_reads)).contains(&read_idx) {
+                return Ok(*frozen.entry(core.0).or_insert(value));
+            }
+            frozen.remove(&core.0);
+        }
+        if self.roll(self.extra_wrap_rate) {
+            // A back-jump of up to half the modulus: the wrap tracker sees a
+            // spurious wrap worth 2^31..2^32 counts (~33-66 kJ).
+            let jump = 1 + self.next_u64() % (1u64 << 31);
+            return Ok(value.wrapping_sub(jump) & 0xFFFF_FFFF);
+        }
+        Ok(value)
+    }
+}
+
+/// A read-side fault decorator over any [`MsrDevice`].
+///
+/// Reads pass through `plan`'s MSR-level faults; writes are refused (the
+/// measurement pipeline never writes through its probe device, and faults
+/// must not reach the control registers).
+pub struct FaultyMsr<'a> {
+    dev: &'a dyn MsrDevice,
+    plan: &'a FaultPlan,
+}
+
+impl<'a> FaultyMsr<'a> {
+    /// Decorate `dev` with the faults scripted in `plan`.
+    pub fn new(dev: &'a dyn MsrDevice, plan: &'a FaultPlan) -> Self {
+        FaultyMsr { dev, plan }
+    }
+}
+
+impl MsrDevice for FaultyMsr<'_> {
+    fn read_msr(&self, core: CoreId, msr: u32) -> Result<u64, MsrError> {
+        let value = self.dev.read_msr(core, msr)?;
+        self.plan.filter_read(core, msr, value)
+    }
+
+    fn write_msr(&mut self, _core: CoreId, msr: u32, _value: u64) -> Result<(), MsrError> {
+        Err(MsrError::ReadOnly(msr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Machine, MachineConfig};
+    use crate::NS_PER_SEC;
+
+    fn machine_after_1s() -> Machine {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        m.advance(NS_PER_SEC);
+        m
+    }
+
+    #[test]
+    fn default_plan_is_transparent() {
+        let m = machine_after_1s();
+        let plan = FaultPlan::new(1);
+        let faulty = FaultyMsr::new(&m, &plan);
+        let truth = m.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap();
+        for _ in 0..100 {
+            assert_eq!(faulty.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS), Ok(truth));
+        }
+    }
+
+    #[test]
+    fn transient_rate_produces_transient_errors() {
+        let m = machine_after_1s();
+        let plan = FaultPlan::new(2).with_transient_error_rate(0.5);
+        let faulty = FaultyMsr::new(&m, &plan);
+        let mut errors = 0;
+        for _ in 0..200 {
+            match faulty.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS) {
+                Err(MsrError::Transient(msr)) => {
+                    assert_eq!(msr, MSR_PKG_ENERGY_STATUS);
+                    errors += 1;
+                }
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!((40..160).contains(&errors), "rate 0.5 gave {errors}/200 errors");
+    }
+
+    #[test]
+    fn stuck_window_freezes_the_counter() {
+        let mut m = machine_after_1s();
+        let plan = FaultPlan::new(3).with_stuck_counter(2, 3);
+        let mut reads = Vec::new();
+        for _ in 0..8 {
+            let faulty = FaultyMsr::new(&m, &plan);
+            reads.push(faulty.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap());
+            m.advance(NS_PER_SEC / 10);
+        }
+        // Reads 2, 3, 4 are frozen at read 2's value; the rest advance.
+        assert!(reads[1] > reads[0]);
+        assert_eq!(reads[2], reads[3]);
+        assert_eq!(reads[3], reads[4]);
+        assert!(reads[5] > reads[4], "counter must resume after the window");
+        assert!(reads[7] > reads[6]);
+    }
+
+    #[test]
+    fn extra_wrap_back_jumps_the_counter() {
+        let m = machine_after_1s();
+        let plan = FaultPlan::new(4).with_extra_wrap_rate(1.0);
+        let faulty = FaultyMsr::new(&m, &plan);
+        let truth = m.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap();
+        let corrupted = faulty.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap();
+        assert_ne!(corrupted, truth);
+        assert!(corrupted < 1u64 << 32, "stays a 32-bit value");
+    }
+
+    #[test]
+    fn stall_window_contains_half_open() {
+        let plan = FaultPlan::new(5).with_stall(100, 200);
+        assert!(!plan.stalled_at(99));
+        assert!(plan.stalled_at(100));
+        assert!(plan.stalled_at(199));
+        assert!(!plan.stalled_at(200));
+    }
+
+    #[test]
+    fn jitter_draw_is_bounded() {
+        let plan = FaultPlan::new(6).with_sample_jitter(5_000_000);
+        for _ in 0..100 {
+            assert!(plan.draw_jitter_ns() <= 5_000_000);
+        }
+        let quiet = FaultPlan::new(7);
+        assert_eq!(quiet.draw_jitter_ns(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let draws = |seed: u64| {
+            let plan = FaultPlan::new(seed).with_drop_sample_rate(0.3);
+            (0..32).map(|_| plan.should_drop_sample()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(42), draws(42));
+        assert_ne!(draws(42), draws(43));
+    }
+
+    #[test]
+    fn writes_through_the_decorator_are_refused() {
+        let m = machine_after_1s();
+        let plan = FaultPlan::new(8);
+        let mut faulty = FaultyMsr::new(&m, &plan);
+        assert_eq!(
+            faulty.write_msr(CoreId(0), crate::msr::IA32_CLOCK_MODULATION, 0),
+            Err(MsrError::ReadOnly(crate::msr::IA32_CLOCK_MODULATION))
+        );
+    }
+}

@@ -43,6 +43,7 @@ pub mod cost;
 pub mod duty;
 pub mod dvfs;
 pub mod engine;
+pub mod fault;
 pub mod msr;
 pub mod power;
 pub mod thermal;
@@ -53,8 +54,10 @@ pub use cost::Cost;
 pub use duty::DutyCycle;
 pub use dvfs::{DvfsParams, PState};
 pub use engine::{CoreActivity, Machine, MachineConfig};
+pub use fault::{FaultPlan, FaultyMsr, StallWindow, StuckWindow};
 pub use msr::{
-    MsrError, IA32_CLOCK_MODULATION, IA32_PERF_CTL, IA32_THERM_STATUS, MSR_PKG_ENERGY_STATUS,
+    MsrDevice, MsrError, IA32_CLOCK_MODULATION, IA32_PERF_CTL, IA32_THERM_STATUS,
+    MSR_PKG_ENERGY_STATUS,
 };
 pub use power::PowerParams;
 pub use thermal::ThermalParams;

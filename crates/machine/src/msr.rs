@@ -45,6 +45,12 @@ pub enum MsrError {
     },
     /// The register is read-only.
     ReadOnly(u32),
+    /// The read failed transiently (EAGAIN-style); the caller may retry.
+    ///
+    /// Real `/dev/cpu/N/msr` reads fail this way under interrupt pressure;
+    /// in the simulation it is produced only by fault injection
+    /// (see [`crate::fault::FaultPlan`]).
+    Transient(u32),
 }
 
 impl std::fmt::Display for MsrError {
@@ -56,6 +62,7 @@ impl std::fmt::Display for MsrError {
                 write!(f, "invalid value {value:#x} for MSR {msr:#x}")
             }
             MsrError::ReadOnly(a) => write!(f, "MSR {a:#x} is read-only"),
+            MsrError::Transient(a) => write!(f, "transient failure reading MSR {a:#x}"),
         }
     }
 }

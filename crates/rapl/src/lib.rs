@@ -34,7 +34,7 @@ pub mod wrap;
 
 pub use msr_backend::MsrEnergySource;
 pub use powercap::PowercapDomain;
-pub use probe::{NodeProbe, SocketProbe};
+pub use probe::{NodeProbe, NodeReading, ProbeError, RetryPolicy, SocketProbe, SocketReading};
 pub use window::PowerWindow;
 pub use wrap::WrapTracker;
 
@@ -54,6 +54,15 @@ pub enum RaplError {
     },
     /// No RAPL domain was found under the given root.
     NoDomains(std::path::PathBuf),
+}
+
+impl RaplError {
+    /// True when the failure is momentary and a retry may succeed (e.g. an
+    /// EAGAIN-style MSR read failure). Parse errors, missing domains, and
+    /// structural MSR errors are not transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RaplError::Msr(maestro_machine::MsrError::Transient(_)))
+    }
 }
 
 impl std::fmt::Display for RaplError {

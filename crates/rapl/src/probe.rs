@@ -7,6 +7,132 @@ use crate::msr_backend::MsrEnergySource;
 use crate::wrap::WrapTracker;
 use crate::RaplError;
 
+/// How a probe handles readings that fail or look wrong.
+///
+/// Retries are immediate re-reads: the caller runs on a virtual clock, so
+/// "backoff" is expressed as a bounded attempt budget per sample period
+/// rather than wall-clock sleeps — a sample that exhausts its budget is
+/// reported as failed and the period's cadence provides the backoff.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total read attempts per socket per sample (≥ 1).
+    pub max_attempts: u32,
+    /// Largest believable energy step between two consecutive committed
+    /// samples, Joules. Steps above this are treated as corrupt readings
+    /// (e.g. a spurious counter back-jump misread as a full 32-bit wrap,
+    /// worth 33–66 kJ) and re-read instead of committed. Use
+    /// `f64::INFINITY` to disable the check.
+    pub max_step_joules: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 30 kJ plausibility bound — far above any legitimate
+    /// step at sane sampling periods (a 150 W node needs 200 s between
+    /// samples to accumulate 30 kJ) yet below the smallest spurious-wrap
+    /// step of a 32-bit RAPL counter (≈33 kJ).
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, max_step_joules: 30_000.0 }
+    }
+}
+
+/// Why a retried sample ultimately failed.
+#[derive(Debug)]
+pub enum ProbeError {
+    /// Every attempt failed transiently; the next sample period may succeed.
+    Transient {
+        /// Socket whose counter could not be read.
+        socket: SocketId,
+        /// Attempts spent before giving up.
+        attempts: u32,
+        /// The final attempt's error.
+        source: RaplError,
+    },
+    /// A non-retriable failure (bad topology, unmodeled register, ...).
+    Fatal {
+        /// Socket whose counter could not be read.
+        socket: SocketId,
+        /// The underlying error.
+        source: RaplError,
+    },
+    /// Every attempt produced an implausibly large energy step; nothing was
+    /// committed, so the cumulative total is still trustworthy.
+    Implausible {
+        /// Socket whose counter misbehaved.
+        socket: SocketId,
+        /// Attempts spent before giving up.
+        attempts: u32,
+        /// The offending step, Joules.
+        step_joules: f64,
+    },
+}
+
+impl ProbeError {
+    /// The socket the failed sample was for.
+    pub fn socket(&self) -> SocketId {
+        match self {
+            ProbeError::Transient { socket, .. }
+            | ProbeError::Fatal { socket, .. }
+            | ProbeError::Implausible { socket, .. } => *socket,
+        }
+    }
+
+    /// True when the next sample period may succeed without intervention.
+    pub fn is_recoverable(&self) -> bool {
+        !matches!(self, ProbeError::Fatal { .. })
+    }
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::Transient { socket, attempts, source } => {
+                write!(f, "socket{} sample failed after {attempts} attempts: {source}", socket.0)
+            }
+            ProbeError::Fatal { socket, source } => {
+                write!(f, "socket{} sample failed fatally: {source}", socket.0)
+            }
+            ProbeError::Implausible { socket, attempts, step_joules } => write!(
+                f,
+                "socket{} read an implausible {step_joules:.1} J step on all {attempts} attempts",
+                socket.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProbeError::Transient { source, .. } | ProbeError::Fatal { source, .. } => {
+                Some(source)
+            }
+            ProbeError::Implausible { .. } => None,
+        }
+    }
+}
+
+/// One successful (possibly retried) socket sample.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SocketReading {
+    /// The sampled socket.
+    pub socket: SocketId,
+    /// Cumulative Joules since the probe's first sample.
+    pub joules: f64,
+    /// Read attempts spent (1 = clean first read).
+    pub attempts: u32,
+}
+
+/// One successful (possibly retried) whole-node sample.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NodeReading {
+    /// Cumulative node Joules since the probe's first sample.
+    pub joules: f64,
+    /// Total read attempts across all sockets.
+    pub attempts: u32,
+    /// True when any socket needed more than one attempt.
+    pub retried: bool,
+}
+
 /// A per-socket Joule meter over the MSR backend.
 ///
 /// Call [`SocketProbe::sample`] with the device at least once per wrap
@@ -36,6 +162,46 @@ impl SocketProbe {
         let raw = self.source.read_raw_from(dev)?;
         let total_units = self.tracker.update(raw);
         Ok(total_units as f64 * self.source.unit_joules())
+    }
+
+    /// Take a reading under a [`RetryPolicy`]: transient read errors and
+    /// implausible counter jumps are re-read up to the attempt budget, and
+    /// nothing is committed to the cumulative total until a reading passes
+    /// the plausibility check — so a failed sample never corrupts energy
+    /// accounting.
+    pub fn sample_with_retry(
+        &mut self,
+        dev: &dyn MsrDevice,
+        policy: &RetryPolicy,
+    ) -> Result<SocketReading, ProbeError> {
+        assert!(policy.max_attempts >= 1, "retry policy needs at least one attempt");
+        let socket = self.socket();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.source.read_raw_from(dev) {
+                Ok(raw) => {
+                    let step = self.tracker.peek(raw) as f64 * self.source.unit_joules();
+                    if step <= policy.max_step_joules {
+                        let total = self.tracker.update(raw);
+                        return Ok(SocketReading {
+                            socket,
+                            joules: total as f64 * self.source.unit_joules(),
+                            attempts,
+                        });
+                    }
+                    if attempts >= policy.max_attempts {
+                        return Err(ProbeError::Implausible { socket, attempts, step_joules: step });
+                    }
+                }
+                Err(source) if source.is_transient() => {
+                    if attempts >= policy.max_attempts {
+                        return Err(ProbeError::Transient { socket, attempts, source });
+                    }
+                }
+                Err(source) => return Err(ProbeError::Fatal { socket, source }),
+            }
+        }
     }
 
     /// Cumulative Joules as of the last sample.
@@ -75,6 +241,30 @@ impl NodeProbe {
             total += p.sample(dev)?;
         }
         Ok(total)
+    }
+
+    /// Sample every package under a [`RetryPolicy`].
+    ///
+    /// Sockets that were committed before a later socket failed keep their
+    /// committed totals (they simply advance again on the next successful
+    /// sample), so a partial failure never skews cumulative energy.
+    pub fn sample_with_retry(
+        &mut self,
+        dev: &dyn MsrDevice,
+        policy: &RetryPolicy,
+    ) -> Result<NodeReading, ProbeError> {
+        let mut total = 0.0;
+        let mut attempts = 0u32;
+        for p in &mut self.probes {
+            let r = p.sample_with_retry(dev, policy)?;
+            total += r.joules;
+            attempts += r.attempts;
+        }
+        Ok(NodeReading {
+            joules: total,
+            attempts,
+            retried: attempts > self.probes.len() as u32,
+        })
     }
 
     /// Cumulative node Joules as of the last sample.
@@ -144,6 +334,99 @@ mod tests {
         assert_eq!(per.len(), 2);
         let sum: f64 = per.iter().map(|(_, j)| j).sum();
         assert!((sum - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_errors_with_exact_energy() {
+        use maestro_machine::{FaultPlan, FaultyMsr};
+        let mut m = loaded_machine();
+        let mut probe = SocketProbe::new(m.topology(), SocketId(0));
+        let policy = RetryPolicy::default();
+        // 40% of reads fail transiently; with 4 attempts per sample the odds
+        // of a whole sample failing are ~2.6%, so most samples land.
+        let plan = FaultPlan::new(11).with_transient_error_rate(0.4);
+        probe.sample_with_retry(&FaultyMsr::new(&m, &plan), &policy).unwrap();
+        let baseline = m.energy_joules(SocketId(0));
+        let mut retried = 0u32;
+        let mut failed = 0u32;
+        for _ in 0..100 {
+            m.advance(NS_PER_SEC / 10);
+            match probe.sample_with_retry(&FaultyMsr::new(&m, &plan), &policy) {
+                Ok(r) if r.attempts > 1 => retried += 1,
+                Ok(_) => {}
+                Err(ProbeError::Transient { .. }) => failed += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        // Take one guaranteed-clean closing sample so the meter is current.
+        m.advance(NS_PER_SEC / 10);
+        let quiet = FaultPlan::new(0);
+        probe.sample_with_retry(&FaultyMsr::new(&m, &quiet), &policy).unwrap();
+        assert!(retried > 10, "expected plenty of retried samples, saw {retried}");
+        let truth = m.energy_joules(SocketId(0)) - baseline;
+        let measured = probe.joules();
+        assert!(
+            (measured - truth).abs() / truth < 1e-6,
+            "energy drifted under retries: measured={measured} truth={truth} (failed={failed})"
+        );
+    }
+
+    #[test]
+    fn implausible_jumps_are_rejected_without_poisoning_the_total() {
+        use maestro_machine::{FaultPlan, FaultyMsr};
+        let mut m = loaded_machine();
+        let mut probe = SocketProbe::new(m.topology(), SocketId(0));
+        let policy = RetryPolicy::default();
+        let quiet = FaultPlan::new(0);
+        probe.sample_with_retry(&FaultyMsr::new(&m, &quiet), &policy).unwrap();
+        m.advance(NS_PER_SEC / 10);
+        // Every read back-jumps, which the wrap tracker would book as a full
+        // ~33-66 kJ wrap. All attempts look implausible, nothing commits.
+        let always_wrap = FaultPlan::new(12).with_extra_wrap_rate(1.0);
+        let before = probe.joules();
+        match probe.sample_with_retry(&FaultyMsr::new(&m, &always_wrap), &policy) {
+            Err(ProbeError::Implausible { attempts, step_joules, .. }) => {
+                assert_eq!(attempts, policy.max_attempts);
+                assert!(step_joules > policy.max_step_joules);
+            }
+            other => panic!("expected implausible-step failure, got {other:?}"),
+        }
+        assert_eq!(probe.joules(), before, "failed sample must not move the meter");
+        // Once the corruption clears, accounting picks up where it left off.
+        let r = probe.sample_with_retry(&FaultyMsr::new(&m, &quiet), &policy).unwrap();
+        assert!(r.joules > before, "clean sample resumes accumulation");
+        assert!(r.joules < 100.0, "0.1 s of load is a few Joules, not a wrap");
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let m = loaded_machine();
+        // A probe for a socket that does not exist on the device.
+        let mut probe = SocketProbe::new(m.topology(), SocketId(0));
+        let policy = RetryPolicy { max_attempts: 3, max_step_joules: f64::INFINITY };
+        // A device that fails structurally (not transiently) on every read.
+        struct Dead;
+        impl maestro_machine::msr::MsrDevice for Dead {
+            fn read_msr(
+                &self,
+                _core: maestro_machine::CoreId,
+                msr: u32,
+            ) -> Result<u64, maestro_machine::MsrError> {
+                Err(maestro_machine::MsrError::UnknownMsr(msr))
+            }
+            fn write_msr(
+                &mut self,
+                _core: maestro_machine::CoreId,
+                msr: u32,
+                _value: u64,
+            ) -> Result<(), maestro_machine::MsrError> {
+                Err(maestro_machine::MsrError::ReadOnly(msr))
+            }
+        }
+        match probe.sample_with_retry(&Dead, &policy) {
+            Err(ProbeError::Fatal { source, .. }) => assert!(!source.is_transient()),
+            other => panic!("expected fatal error, got {other:?}"),
+        }
     }
 
     #[test]

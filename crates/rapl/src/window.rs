@@ -5,14 +5,28 @@
 //! daemon's 0.1 s granularity "was chosen to allow fluctuations in the energy
 //! counters to dissipate". [`PowerWindow`] averages (time, Joules) samples
 //! over a configurable horizon and reports Watts.
+//!
+//! The window is also the last line of defense against corrupt meter data:
+//! non-finite energies, clock or energy regressions, and samples implying an
+//! absurd instantaneous power are rejected (counted, not stored), and a
+//! stuck-counter heuristic tracks how many consecutive samples advanced time
+//! without advancing energy — physically impossible on a powered package.
 
 use std::collections::VecDeque;
+
+/// Default bound on believable instantaneous power between two samples,
+/// Watts. The modeled node peaks below 200 W; 10 kW is unambiguously a
+/// corrupt reading rather than a workload.
+pub const DEFAULT_MAX_STEP_WATTS: f64 = 10_000.0;
 
 /// Average power over a sliding time window of energy samples.
 #[derive(Clone, Debug)]
 pub struct PowerWindow {
     horizon_ns: u64,
+    max_step_watts: f64,
     samples: VecDeque<(u64, f64)>, // (virtual time ns, cumulative joules)
+    rejected: u64,
+    flat_run: u32,
 }
 
 impl PowerWindow {
@@ -21,18 +35,60 @@ impl PowerWindow {
     /// soon as two readings exist).
     pub fn new(horizon_ns: u64) -> Self {
         assert!(horizon_ns > 0, "window horizon must be positive");
-        PowerWindow { horizon_ns, samples: VecDeque::new() }
+        PowerWindow {
+            horizon_ns,
+            max_step_watts: DEFAULT_MAX_STEP_WATTS,
+            samples: VecDeque::new(),
+            rejected: 0,
+            flat_run: 0,
+        }
+    }
+
+    /// Override the outlier bound: samples implying more than `watts` of
+    /// instantaneous power since the previous sample are rejected. Use
+    /// `f64::INFINITY` to disable outlier rejection.
+    pub fn with_max_step_watts(mut self, watts: f64) -> Self {
+        assert!(watts > 0.0, "power bound must be positive");
+        self.max_step_watts = watts;
+        self
     }
 
     /// Record one cumulative-energy sample at virtual time `t_ns`.
     ///
-    /// Out-of-order samples (clock going backwards) are rejected with
-    /// `false`; callers in this codebase never produce them, but a defensive
-    /// daemon should not corrupt its window if one appears.
+    /// Returns `false` — counting but not storing the sample — when it is
+    /// corrupt: non-finite energy, time or energy regression, or an energy
+    /// step implying more than the configured maximum power (a zero-duration
+    /// step with an energy increase implies infinite power and is likewise
+    /// rejected). Callers in this codebase only produce such samples under
+    /// fault injection, but a defensive daemon must not corrupt its window
+    /// when one appears.
     pub fn push(&mut self, t_ns: u64, joules: f64) -> bool {
+        if !joules.is_finite() {
+            self.rejected += 1;
+            return false;
+        }
         if let Some(&(last_t, last_j)) = self.samples.back() {
             if t_ns < last_t || joules < last_j {
+                self.rejected += 1;
                 return false;
+            }
+            let dj = joules - last_j;
+            if t_ns == last_t {
+                if dj > 0.0 {
+                    self.rejected += 1;
+                    return false;
+                }
+            } else if dj / ((t_ns - last_t) as f64 * 1e-9) > self.max_step_watts {
+                self.rejected += 1;
+                return false;
+            }
+            // Stuck-counter heuristic: time moved, energy did not. Even an
+            // idle package burns watts, so a flat cumulative counter across
+            // whole sample periods means the meter is stuck, not the load.
+            if t_ns > last_t && dj == 0.0 {
+                self.flat_run += 1;
+            } else if dj > 0.0 {
+                self.flat_run = 0;
             }
         }
         self.samples.push_back((t_ns, joules));
@@ -54,7 +110,20 @@ impl PowerWindow {
         if t1 == t0 {
             return None;
         }
-        Some((j1 - j0) / ((t1 - t0) as f64 * 1e-9))
+        let watts = (j1 - j0) / ((t1 - t0) as f64 * 1e-9);
+        watts.is_finite().then_some(watts)
+    }
+
+    /// Samples rejected as corrupt since construction (or [`Self::clear`]).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Consecutive accepted samples that advanced time without advancing
+    /// energy. A run of ≥ 2 across real sample periods indicates a stuck
+    /// counter (an idle package still accumulates millijoules per period).
+    pub fn flat_run(&self) -> u32 {
+        self.flat_run
     }
 
     /// Number of samples currently retained.
@@ -67,9 +136,11 @@ impl PowerWindow {
         self.samples.is_empty()
     }
 
-    /// Drop all samples.
+    /// Drop all samples and reset the rejection and stuck counters.
     pub fn clear(&mut self) {
         self.samples.clear();
+        self.rejected = 0;
+        self.flat_run = 0;
     }
 }
 
@@ -136,6 +207,65 @@ mod tests {
         assert!(!w.push(50, 2.0));
         assert!(!w.push(200, 0.5));
         assert_eq!(w.len(), 1);
+        assert_eq!(w.rejected(), 2);
+    }
+
+    #[test]
+    fn rejects_non_finite_energy() {
+        let mut w = PowerWindow::new(S);
+        assert!(!w.push(0, f64::NAN));
+        assert!(!w.push(0, f64::INFINITY));
+        assert!(w.is_empty());
+        assert!(w.push(0, 1.0));
+        assert!(!w.push(S, f64::NAN));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.rejected(), 3);
+        assert_eq!(w.average_watts(), None);
+    }
+
+    #[test]
+    fn rejects_zero_duration_energy_jump() {
+        let mut w = PowerWindow::new(S);
+        assert!(w.push(100, 1.0));
+        assert!(!w.push(100, 2.0), "energy in zero time is infinite power");
+        assert!(w.push(100, 1.0), "a same-time duplicate is harmless");
+        assert_eq!(w.average_watts(), None, "no distinct-time pair yet");
+    }
+
+    #[test]
+    fn rejects_outlier_power_step() {
+        let mut w = PowerWindow::new(10 * S);
+        w.push(0, 0.0);
+        w.push(S / 10, 7.5); // 75 W: plausible
+        // A spurious 33 kJ wrap over 0.1 s would read as 330 kW.
+        assert!(!w.push(2 * S / 10, 7.5 + 33_000.0));
+        assert_eq!(w.rejected(), 1);
+        assert!(w.push(2 * S / 10, 15.0), "the clean re-read is accepted");
+        let p = w.average_watts().unwrap();
+        assert!((p - 75.0).abs() < 1e-9, "outlier left no trace: {p}");
+    }
+
+    #[test]
+    fn outlier_bound_is_configurable() {
+        let mut strict = PowerWindow::new(S).with_max_step_watts(100.0);
+        strict.push(0, 0.0);
+        assert!(!strict.push(S, 150.0), "150 W step over a 100 W bound");
+        let mut lax = PowerWindow::new(S).with_max_step_watts(f64::INFINITY);
+        lax.push(0, 0.0);
+        assert!(lax.push(S, 1e9), "disabled bound accepts anything finite");
+    }
+
+    #[test]
+    fn flat_run_counts_stuck_counter() {
+        let mut w = PowerWindow::new(10 * S);
+        w.push(0, 5.0);
+        assert_eq!(w.flat_run(), 0);
+        w.push(S / 10, 5.0);
+        w.push(2 * S / 10, 5.0);
+        w.push(3 * S / 10, 5.0);
+        assert_eq!(w.flat_run(), 3, "three flat periods");
+        w.push(4 * S / 10, 6.0);
+        assert_eq!(w.flat_run(), 0, "energy moved, counter is live again");
     }
 
     #[test]
@@ -143,8 +273,11 @@ mod tests {
         let mut w = PowerWindow::new(S);
         w.push(0, 0.0);
         w.push(S, 1.0);
+        w.push(S, 5.0); // rejected
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.average_watts(), None);
+        assert_eq!(w.rejected(), 0);
+        assert_eq!(w.flat_run(), 0);
     }
 }

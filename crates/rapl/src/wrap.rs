@@ -51,6 +51,24 @@ impl WrapTracker {
         self.total
     }
 
+    /// The delta (in raw units) that [`WrapTracker::update`] *would* add for
+    /// `raw`, without committing it.
+    ///
+    /// Lets a caller sanity-check a reading before it poisons the cumulative
+    /// total — e.g. a spurious back-jump that would be misread as a full
+    /// counter wrap shows up here as an implausibly large delta. Returns 0
+    /// before the first committed reading (the first reading only sets the
+    /// baseline).
+    pub fn peek(&self, raw: u64) -> u128 {
+        let raw = raw % self.modulus;
+        match self.last_raw {
+            None => 0,
+            Some(prev) => {
+                u128::from(if raw >= prev { raw - prev } else { self.modulus - prev + raw })
+            }
+        }
+    }
+
     /// The monotone total in raw units accumulated so far.
     pub fn total(&self) -> u128 {
         self.total
@@ -140,5 +158,18 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_modulus_rejected() {
         WrapTracker::new(1);
+    }
+
+    #[test]
+    fn peek_matches_update_without_committing() {
+        let m = 1u64 << 32;
+        let mut t = WrapTracker::new(m);
+        assert_eq!(t.peek(999), 0, "no baseline yet");
+        t.update(m - 10);
+        assert_eq!(t.peek(5), 15, "peek sees the wrap delta");
+        assert_eq!(t.wraps(), 0, "but does not count the wrap");
+        assert_eq!(t.total(), 0, "and does not accumulate");
+        assert_eq!(t.update(5), 15, "a later update commits the same delta");
+        assert_eq!(t.wraps(), 1);
     }
 }

@@ -31,6 +31,54 @@ pub struct MeterDesc {
     pub unit: &'static str,
 }
 
+/// Health annotations stamped on a [`SocketSnapshot`] by the publisher.
+///
+/// A bitmask so new conditions compose without changing the record layout
+/// (the flags travel as one word through the seqlock).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthFlags(u64);
+
+impl HealthFlags {
+    /// No anomalies: the sample committed cleanly on the first read.
+    pub const OK: HealthFlags = HealthFlags(0);
+    /// The underlying MSR read needed retries before it committed.
+    pub const RETRIED: HealthFlags = HealthFlags(1);
+    /// The energy counter has been flat across multiple sample periods —
+    /// the meter, not the workload, is suspect.
+    pub const STUCK: HealthFlags = HealthFlags(1 << 1);
+    /// The latest reading was rejected as an outlier; the published meters
+    /// carry forward the last good values.
+    pub const OUTLIER: HealthFlags = HealthFlags(1 << 2);
+
+    /// The union of `self` and `other`.
+    #[must_use]
+    pub fn with(self, other: HealthFlags) -> HealthFlags {
+        HealthFlags(self.0 | other.0)
+    }
+
+    /// True when every flag in `other` is set in `self`.
+    pub fn contains(self, other: HealthFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True when the snapshot's meters can be trusted for control decisions.
+    /// Retries and isolated outliers still publish good data; a stuck
+    /// counter means the power meter is lying.
+    pub fn is_healthy(self) -> bool {
+        !self.contains(HealthFlags::STUCK)
+    }
+
+    /// The raw bitmask (for transport through an atomic word).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw bitmask (unknown bits are preserved).
+    pub fn from_bits(bits: u64) -> HealthFlags {
+        HealthFlags(bits)
+    }
+}
+
 /// A consistent snapshot of one socket's meters.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct SocketSnapshot {
@@ -44,12 +92,24 @@ pub struct SocketSnapshot {
     pub energy_j: f64,
     /// Virtual time of the last update, nanoseconds.
     pub updated_at_ns: u64,
+    /// Publication serial number (1 for the first publish). Lets a reader
+    /// tell "fresh data" from "same data re-read".
+    pub seq: u64,
+    /// Publisher's health annotations for this sample.
+    pub flags: HealthFlags,
 }
 
 impl SocketSnapshot {
     /// The all-zero snapshot a record holds before its first publish.
-    pub const EMPTY: SocketSnapshot =
-        SocketSnapshot { power_w: 0.0, mem_concurrency: 0.0, temp_c: 0.0, energy_j: 0.0, updated_at_ns: 0 };
+    pub const EMPTY: SocketSnapshot = SocketSnapshot {
+        power_w: 0.0,
+        mem_concurrency: 0.0,
+        temp_c: 0.0,
+        energy_j: 0.0,
+        updated_at_ns: 0,
+        seq: 0,
+        flags: HealthFlags::OK,
+    };
 }
 
 #[derive(Debug)]
@@ -60,6 +120,8 @@ struct SocketRecord {
     temp_c: AtomicU64,
     energy_j: AtomicU64,
     updated_at_ns: AtomicU64,
+    pub_seq: AtomicU64,
+    flags: AtomicU64,
 }
 
 impl SocketRecord {
@@ -71,6 +133,8 @@ impl SocketRecord {
             temp_c: AtomicU64::new(0),
             energy_j: AtomicU64::new(0),
             updated_at_ns: AtomicU64::new(0),
+            pub_seq: AtomicU64::new(0),
+            flags: AtomicU64::new(0),
         }
     }
 
@@ -83,6 +147,8 @@ impl SocketRecord {
         self.temp_c.store(snap.temp_c.to_bits(), Ordering::Relaxed);
         self.energy_j.store(snap.energy_j.to_bits(), Ordering::Relaxed);
         self.updated_at_ns.store(snap.updated_at_ns, Ordering::Relaxed);
+        self.pub_seq.store(snap.seq, Ordering::Relaxed);
+        self.flags.store(snap.flags.bits(), Ordering::Relaxed);
         self.seq.store(s.wrapping_add(2), Ordering::Release);
     }
 
@@ -99,6 +165,8 @@ impl SocketRecord {
                 temp_c: f64::from_bits(self.temp_c.load(Ordering::Relaxed)),
                 energy_j: f64::from_bits(self.energy_j.load(Ordering::Relaxed)),
                 updated_at_ns: self.updated_at_ns.load(Ordering::Relaxed),
+                seq: self.pub_seq.load(Ordering::Relaxed),
+                flags: HealthFlags::from_bits(self.flags.load(Ordering::Relaxed)),
             };
             // Acquire pairs with the writer's final Release store.
             let s2 = self.seq.load(Ordering::Acquire);
@@ -149,12 +217,13 @@ impl Blackboard {
 
     /// The self-describing meter inventory of the region.
     pub fn schema(&self) -> Vec<MeterDesc> {
-        let mut v = Vec::with_capacity(self.sockets() * 4);
+        let mut v = Vec::with_capacity(self.sockets() * 5);
         for s in 0..self.sockets() {
             v.push(MeterDesc { path: format!("node.socket{s}.power"), unit: "W" });
             v.push(MeterDesc { path: format!("node.socket{s}.mem_concurrency"), unit: "refs" });
             v.push(MeterDesc { path: format!("node.socket{s}.temperature"), unit: "C" });
             v.push(MeterDesc { path: format!("node.socket{s}.energy"), unit: "J" });
+            v.push(MeterDesc { path: format!("node.socket{s}.health"), unit: "flags" });
         }
         v
     }
@@ -162,6 +231,23 @@ impl Blackboard {
     /// True until the daemon has published at least once for every socket.
     pub fn is_warming_up(&self) -> bool {
         self.snapshot_all().iter().any(|s| s.updated_at_ns == 0 && s.power_w == 0.0)
+    }
+
+    /// Age of the stalest socket record at virtual time `now_ns`,
+    /// nanoseconds. A record never published counts as `now_ns` old.
+    pub fn staleness_ns(&self, now_ns: u64) -> u64 {
+        self.snapshot_all()
+            .iter()
+            .map(|s| now_ns.saturating_sub(s.updated_at_ns))
+            .max()
+            .unwrap_or(now_ns)
+    }
+
+    /// True when every socket's latest snapshot is flagged trustworthy
+    /// (see [`HealthFlags::is_healthy`]). Staleness is a separate check —
+    /// use [`Blackboard::staleness_ns`].
+    pub fn is_healthy(&self) -> bool {
+        self.snapshot_all().iter().all(|s| s.flags.is_healthy())
     }
 }
 
@@ -179,6 +265,8 @@ mod tests {
             temp_c: 71.0,
             energy_j: 1234.5,
             updated_at_ns: 42,
+            seq: 7,
+            flags: HealthFlags::RETRIED,
         };
         bb.publish(1, snap);
         assert_eq!(bb.snapshot(1), snap);
@@ -189,9 +277,45 @@ mod tests {
     fn schema_is_self_describing() {
         let bb = Blackboard::new(2);
         let schema = bb.schema();
-        assert_eq!(schema.len(), 8);
+        assert_eq!(schema.len(), 10);
         assert!(schema.iter().any(|m| m.path == "node.socket0.power" && m.unit == "W"));
         assert!(schema.iter().any(|m| m.path == "node.socket1.mem_concurrency"));
+        assert!(schema.iter().any(|m| m.path == "node.socket0.health" && m.unit == "flags"));
+    }
+
+    #[test]
+    fn health_flags_compose() {
+        let f = HealthFlags::RETRIED.with(HealthFlags::OUTLIER);
+        assert!(f.contains(HealthFlags::RETRIED));
+        assert!(f.contains(HealthFlags::OUTLIER));
+        assert!(!f.contains(HealthFlags::STUCK));
+        assert!(f.is_healthy(), "retried + outlier data is degraded but usable");
+        assert!(!f.with(HealthFlags::STUCK).is_healthy());
+        assert_eq!(HealthFlags::from_bits(f.bits()), f);
+    }
+
+    #[test]
+    fn staleness_tracks_oldest_socket() {
+        let bb = Blackboard::new(2);
+        assert_eq!(bb.staleness_ns(500), 500, "never-published records are maximally stale");
+        let mk = |t| SocketSnapshot { power_w: 1.0, updated_at_ns: t, ..SocketSnapshot::EMPTY };
+        bb.publish(0, mk(400));
+        bb.publish(1, mk(100));
+        assert_eq!(bb.staleness_ns(500), 400);
+        bb.publish(1, mk(450));
+        assert_eq!(bb.staleness_ns(500), 100);
+    }
+
+    #[test]
+    fn board_health_follows_flags() {
+        let bb = Blackboard::new(2);
+        assert!(bb.is_healthy(), "empty records carry no distrust flags");
+        let mk = |flags| SocketSnapshot { updated_at_ns: 1, flags, ..SocketSnapshot::EMPTY };
+        bb.publish(0, mk(HealthFlags::OK));
+        bb.publish(1, mk(HealthFlags::STUCK));
+        assert!(!bb.is_healthy());
+        bb.publish(1, mk(HealthFlags::RETRIED));
+        assert!(bb.is_healthy());
     }
 
     #[test]
@@ -220,13 +344,7 @@ mod tests {
     #[test]
     fn concurrent_readers_see_consistent_records() {
         let bb = Blackboard::new(1);
-        bb.publish(0, SocketSnapshot {
-            power_w: 0.0,
-            mem_concurrency: 0.0,
-            temp_c: 0.0,
-            energy_j: 0.0,
-            updated_at_ns: 1,
-        });
+        bb.publish(0, SocketSnapshot { updated_at_ns: 1, ..SocketSnapshot::EMPTY });
         let writer_bb = bb.clone();
         let writer = thread::spawn(move || {
             for i in 1..50_000u64 {
@@ -237,6 +355,8 @@ mod tests {
                     temp_c: v,
                     energy_j: v,
                     updated_at_ns: i,
+                    seq: i,
+                    flags: HealthFlags::OK,
                 });
             }
         });
@@ -249,6 +369,7 @@ mod tests {
                         assert_eq!(s.power_w, s.mem_concurrency, "torn read: {s:?}");
                         assert_eq!(s.power_w, s.temp_c, "torn read: {s:?}");
                         assert_eq!(s.power_w, s.energy_j, "torn read: {s:?}");
+                        assert_eq!(s.seq as f64, s.power_w, "torn read: {s:?}");
                     }
                 })
             })

@@ -6,13 +6,66 @@
 //! [`SocketSnapshot`] per package to the
 //! blackboard. The polling period is adjustable "to allow control of
 //! overhead versus responsiveness" (§IV).
+//!
+//! The daemon is built to degrade, not die: MSR reads go through the probe's
+//! retry policy, corrupt readings are rejected by the power window and
+//! published as carried-forward values flagged [`HealthFlags::OUTLIER`],
+//! stuck counters are detected and flagged [`HealthFlags::STUCK`], and a
+//! failed or dropped tick simply reschedules — every outcome is reported to
+//! the caller as a [`SampleOutcome`] and tallied in [`DaemonHealth`], and no
+//! fault reachable through a `FaultPlan` panics.
 
-use maestro_machine::{Machine, SocketId};
-use maestro_rapl::{NodeProbe, PowerWindow};
+use maestro_machine::{FaultPlan, FaultyMsr, Machine, SocketId};
+use maestro_rapl::{NodeProbe, PowerWindow, ProbeError, RetryPolicy};
 
-use crate::blackboard::{Blackboard, SocketSnapshot};
+use crate::blackboard::{Blackboard, HealthFlags, SocketSnapshot};
 use crate::history::SampleHistory;
 use crate::DEFAULT_SAMPLE_PERIOD_NS;
+
+/// Why a daemon tick published nothing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The daemon is inside a configured stall window (descheduled).
+    Stalled,
+    /// The tick was dropped by fault injection (missed wakeup).
+    FaultInjected,
+}
+
+/// What one call to [`RcrDaemon::sample`] did.
+#[derive(Debug)]
+#[must_use = "a robust caller must notice when the daemon failed to publish"]
+pub enum SampleOutcome {
+    /// Fresh snapshots were published for every socket.
+    Published,
+    /// Nothing was published this tick; the daemon rescheduled itself.
+    Dropped(DropReason),
+    /// The probe failed even after retries; nothing was published.
+    Failed(ProbeError),
+}
+
+impl SampleOutcome {
+    /// True when fresh snapshots reached the blackboard.
+    pub fn published(&self) -> bool {
+        matches!(self, SampleOutcome::Published)
+    }
+}
+
+/// Running tallies of the daemon's sampling outcomes.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DaemonHealth {
+    /// Ticks that published fresh snapshots.
+    pub published: u64,
+    /// Ticks dropped whole (stall windows, missed wakeups).
+    pub dropped: u64,
+    /// Ticks on which the probe failed after exhausting its retries.
+    pub probe_failures: u64,
+    /// Published ticks that needed more than one MSR read attempt.
+    pub retried_samples: u64,
+    /// Published ticks on which at least one socket's counter looked stuck.
+    pub stuck_periods: u64,
+    /// Published ticks on which at least one window rejected the reading.
+    pub outlier_periods: u64,
+}
 
 /// The RCR daemon: owns the probes, publishes to a [`Blackboard`].
 #[derive(Clone, Debug)]
@@ -24,6 +77,10 @@ pub struct RcrDaemon {
     next_due_ns: u64,
     samples_taken: u64,
     history: Option<SampleHistory>,
+    retry: RetryPolicy,
+    stuck_threshold: u32,
+    faults: Option<FaultPlan>,
+    health: DaemonHealth,
 }
 
 impl RcrDaemon {
@@ -46,6 +103,10 @@ impl RcrDaemon {
             next_due_ns: machine.now_ns(),
             samples_taken: 0,
             history: None,
+            retry: RetryPolicy::default(),
+            stuck_threshold: 2,
+            faults: None,
+            health: DaemonHealth::default(),
         }
     }
 
@@ -53,6 +114,27 @@ impl RcrDaemon {
     /// published samples (for tools and post-mortem analysis).
     pub fn with_history(mut self, capacity: usize) -> Self {
         self.history = Some(SampleHistory::new(capacity));
+        self
+    }
+
+    /// Override the probe retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Flag a socket [`HealthFlags::STUCK`] once its energy counter has been
+    /// flat for `periods` consecutive published samples (default 2).
+    pub fn with_stuck_threshold(mut self, periods: u32) -> Self {
+        assert!(periods >= 1, "stuck threshold must be at least one period");
+        self.stuck_threshold = periods;
+        self
+    }
+
+    /// Run all sampling through `plan`'s scripted faults (tests and
+    /// resilience experiments).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -82,20 +164,77 @@ impl RcrDaemon {
         self.samples_taken
     }
 
+    /// Outcome tallies since construction.
+    pub fn health(&self) -> DaemonHealth {
+        self.health
+    }
+
+    fn schedule_next(&mut self, now: u64) {
+        let jitter = self.faults.as_ref().map_or(0, |p| p.draw_jitter_ns());
+        self.next_due_ns = now + self.period_ns + jitter;
+    }
+
     /// Take one sample *now* and publish it; schedules the next due time.
     ///
     /// The scheduler calls this when virtual time reaches
-    /// [`RcrDaemon::next_due_ns`].
-    pub fn sample(&mut self, machine: &Machine) {
+    /// [`RcrDaemon::next_due_ns`]. Never panics: probe failures, dropped
+    /// ticks, and corrupt readings are reported in the returned
+    /// [`SampleOutcome`] (and tallied in [`RcrDaemon::health`]) while the
+    /// daemon reschedules itself and keeps going.
+    pub fn sample(&mut self, machine: &Machine) -> SampleOutcome {
         let now = machine.now_ns();
-        let per_socket: Vec<(SocketId, f64)> = {
-            // NodeProbe::sample updates every socket's wrap tracker.
-            let _ = self.probe.sample(machine).expect("simulated MSR reads cannot fail");
-            self.probe.joules_per_socket()
+        // Daemon-level faults: a stalled or dropped tick publishes nothing
+        // and retries at the next period boundary.
+        if let Some(plan) = &self.faults {
+            if plan.stalled_at(now) {
+                self.health.dropped += 1;
+                self.next_due_ns = now + self.period_ns;
+                return SampleOutcome::Dropped(DropReason::Stalled);
+            }
+            if plan.should_drop_sample() {
+                self.health.dropped += 1;
+                self.schedule_next(now);
+                return SampleOutcome::Dropped(DropReason::FaultInjected);
+            }
+        }
+        // NodeProbe::sample_with_retry updates every socket's wrap tracker;
+        // a failure commits nothing, so cumulative energy stays correct.
+        let read = match &self.faults {
+            Some(plan) => {
+                let dev = FaultyMsr::new(machine, plan);
+                self.probe.sample_with_retry(&dev, &self.retry)
+            }
+            None => self.probe.sample_with_retry(machine, &self.retry),
         };
+        let reading = match read {
+            Ok(r) => r,
+            Err(e) => {
+                self.health.probe_failures += 1;
+                self.schedule_next(now);
+                return SampleOutcome::Failed(e);
+            }
+        };
+        let base_flags =
+            if reading.retried { HealthFlags::RETRIED } else { HealthFlags::OK };
+        if reading.retried {
+            self.health.retried_samples += 1;
+        }
+        let per_socket: Vec<(SocketId, f64)> = self.probe.joules_per_socket();
+        let mut any_stuck = false;
+        let mut any_outlier = false;
         for (socket, joules) in per_socket {
             let idx = socket.index();
-            self.windows[idx].push(now, joules);
+            let mut flags = base_flags;
+            if !self.windows[idx].push(now, joules) {
+                // Rejected as corrupt: carry the last good meters forward,
+                // honestly labeled.
+                flags = flags.with(HealthFlags::OUTLIER);
+                any_outlier = true;
+            }
+            if self.windows[idx].flat_run() >= self.stuck_threshold {
+                flags = flags.with(HealthFlags::STUCK);
+                any_stuck = true;
+            }
             let power = self.windows[idx].average_watts().unwrap_or(0.0);
             let snap = SocketSnapshot {
                 power_w: power,
@@ -103,14 +242,20 @@ impl RcrDaemon {
                 temp_c: machine.temperature_c(socket),
                 energy_j: joules,
                 updated_at_ns: now,
+                seq: self.samples_taken + 1,
+                flags,
             };
             self.blackboard.publish(idx, snap);
             if let Some(h) = &mut self.history {
                 h.push(idx, snap);
             }
         }
+        self.health.published += 1;
+        self.health.stuck_periods += u64::from(any_stuck);
+        self.health.outlier_periods += u64::from(any_outlier);
         self.samples_taken += 1;
-        self.next_due_ns = now + self.period_ns;
+        self.schedule_next(now);
+        SampleOutcome::Published
     }
 }
 
@@ -127,11 +272,11 @@ mod tests {
         let end = m.now_ns() + duration_ns;
         while m.now_ns() < end {
             if m.now_ns() >= d.next_due_ns() {
-                d.sample(m);
+                let _ = d.sample(m);
             }
             m.advance(d.period_ns());
         }
-        d.sample(m);
+        let _ = d.sample(m);
     }
 
     #[test]
@@ -150,7 +295,11 @@ mod tests {
             assert!(s.power_w > 50.0, "per-socket power {s:?}");
             assert!(s.temp_c > 40.0);
             assert!(s.energy_j > 0.0);
+            assert_eq!(s.flags, HealthFlags::OK);
+            assert_eq!(s.seq, d.samples_taken());
         }
+        assert_eq!(d.health().published, d.samples_taken());
+        assert_eq!(d.health().probe_failures, 0);
     }
 
     #[test]
@@ -172,10 +321,10 @@ mod tests {
         let mut m = machine();
         let mut d = RcrDaemon::with_period(&m, 50_000_000);
         assert_eq!(d.next_due_ns(), 0);
-        d.sample(&m);
+        assert!(d.sample(&m).published());
         assert_eq!(d.next_due_ns(), 50_000_000);
         m.advance(50_000_000);
-        d.sample(&m);
+        assert!(d.sample(&m).published());
         assert_eq!(d.samples_taken(), 2);
         assert_eq!(d.next_due_ns(), 100_000_000);
     }
@@ -211,5 +360,72 @@ mod tests {
     fn zero_period_rejected() {
         let m = machine();
         RcrDaemon::with_period(&m, 0);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_flagged() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.9, ocr: 1.5 });
+        }
+        let plan = FaultPlan::new(21).with_transient_error_rate(0.3);
+        let mut d = RcrDaemon::new(&m).with_faults(plan);
+        run_daemon(&mut m, &mut d, 3 * NS_PER_SEC);
+        let h = d.health();
+        assert!(h.retried_samples > 0, "retries should have happened: {h:?}");
+        assert!(h.published > 20, "most ticks still publish: {h:?}");
+        // Published power stays physical despite the fault storm.
+        let node_power = d.blackboard().node_power_w();
+        assert!((120.0..=170.0).contains(&node_power), "node {node_power} W");
+    }
+
+    #[test]
+    fn stall_window_drops_ticks_and_recovers() {
+        let mut m = machine();
+        let plan = FaultPlan::new(22).with_stall(NS_PER_SEC, 2 * NS_PER_SEC);
+        let mut d = RcrDaemon::new(&m).with_faults(plan);
+        run_daemon(&mut m, &mut d, 3 * NS_PER_SEC);
+        let h = d.health();
+        assert!(h.dropped >= 9, "a 1 s stall at 0.1 s period drops ~10 ticks: {h:?}");
+        let stale = d.blackboard().staleness_ns(m.now_ns());
+        assert!(stale <= 2 * d.period_ns(), "publishing resumed after the stall: {stale}");
+    }
+
+    #[test]
+    fn stuck_counter_is_flagged_and_clears() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.9, ocr: 1.5 });
+        }
+        // Freeze the energy counter for 8 node samples (16 socket reads)
+        // after the first 10 socket reads.
+        let plan = FaultPlan::new(23).with_stuck_counter(10, 16);
+        let mut d = RcrDaemon::new(&m).with_faults(plan);
+        let mut saw_stuck = false;
+        for _ in 0..30 {
+            m.advance(d.period_ns());
+            let _ = d.sample(&m);
+            if !d.blackboard().is_healthy() {
+                saw_stuck = true;
+            }
+        }
+        assert!(saw_stuck, "stuck window should mark the board unhealthy");
+        assert!(d.health().stuck_periods > 0);
+        assert!(d.blackboard().is_healthy(), "flag clears once the counter moves again");
+    }
+
+    #[test]
+    fn jitter_delays_but_never_skips_scheduling() {
+        let mut m = machine();
+        let plan = FaultPlan::new(24).with_sample_jitter(20_000_000);
+        let mut d = RcrDaemon::new(&m).with_faults(plan);
+        let mut last_due = 0;
+        for _ in 0..20 {
+            m.advance(d.next_due_ns() - m.now_ns());
+            let _ = d.sample(&m);
+            assert!(d.next_due_ns() >= last_due + d.period_ns());
+            assert!(d.next_due_ns() <= m.now_ns() + d.period_ns() + 20_000_000);
+            last_due = d.next_due_ns();
+        }
     }
 }

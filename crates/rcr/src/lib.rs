@@ -42,9 +42,9 @@ pub mod daemon;
 pub mod history;
 pub mod region;
 
-pub use blackboard::{Blackboard, MeterDesc, SocketSnapshot};
+pub use blackboard::{Blackboard, HealthFlags, MeterDesc, SocketSnapshot};
 pub use classify::{Level, MeterThresholds, ThrottleSignals};
-pub use daemon::RcrDaemon;
+pub use daemon::{DaemonHealth, DropReason, RcrDaemon, SampleOutcome};
 pub use history::SampleHistory;
 pub use region::{Region, RegionReport};
 

@@ -46,7 +46,7 @@ pub mod scheduler;
 pub mod task;
 
 pub use adapters::{compute_leaf, fork_join, leaf, parallel_for, sequential, single, taskloop};
-pub use monitor::{Monitor, ThrottleState};
+pub use monitor::{Monitor, ThrottleState, Watchdog};
 pub use params::RuntimeParams;
 pub use report::{RunOutcome, RunStats};
 pub use scheduler::Runtime;

@@ -8,6 +8,9 @@
 //! scheduling events. The adaptive controller in the `maestro` crate is the
 //! canonical implementation.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use maestro_machine::Machine;
 
 /// Shared throttle directives the scheduler consults at every
@@ -87,6 +90,61 @@ impl Monitor for PowerTrace {
     }
 }
 
+/// A deadline supervisor over another component's heartbeat counter.
+///
+/// The supervised component (the sampling daemon, via its controller) bumps
+/// a shared counter every time it completes its periodic work; the watchdog
+/// fires once per check period and counts a **missed deadline** whenever the
+/// counter has not moved since the previous check. The tally is shared
+/// (via [`Watchdog::missed_handle`]) so a run report can surface it after
+/// the monitor has been consumed by the scheduler.
+#[derive(Clone, Debug)]
+pub struct Watchdog {
+    period_ns: u64,
+    next_ns: u64,
+    heartbeat: Rc<Cell<u64>>,
+    last_beat: u64,
+    missed: Rc<Cell<u64>>,
+}
+
+impl Watchdog {
+    /// Watch `heartbeat`, checking every `period_ns`. The period should be
+    /// comfortably longer than the supervised component's own period (2× is
+    /// typical) so one late beat is not already a miss. The first check
+    /// happens one full period in, not at time zero.
+    pub fn new(period_ns: u64, heartbeat: Rc<Cell<u64>>) -> Self {
+        assert!(period_ns > 0, "watchdog period must be positive");
+        let last_beat = heartbeat.get();
+        Watchdog { period_ns, next_ns: period_ns, heartbeat, last_beat, missed: Rc::new(Cell::new(0)) }
+    }
+
+    /// Deadlines missed so far.
+    pub fn missed(&self) -> u64 {
+        self.missed.get()
+    }
+
+    /// A shared handle to the missed-deadline tally (stays readable after
+    /// the watchdog is handed to the scheduler).
+    pub fn missed_handle(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.missed)
+    }
+}
+
+impl Monitor for Watchdog {
+    fn next_due_ns(&self) -> Option<u64> {
+        Some(self.next_ns)
+    }
+
+    fn fire(&mut self, machine: &mut Machine, _throttle: &mut ThrottleState) {
+        let beat = self.heartbeat.get();
+        if beat == self.last_beat {
+            self.missed.set(self.missed.get() + 1);
+        }
+        self.last_beat = beat;
+        self.next_ns = machine.now_ns() + self.period_ns;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +161,44 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_limit_rejected() {
         ThrottleState::new(0);
+    }
+
+    #[test]
+    fn watchdog_counts_only_silent_periods() {
+        use maestro_machine::MachineConfig;
+        let mut machine = Machine::new(MachineConfig::sandybridge_2x8());
+        let mut throttle = ThrottleState::new(6);
+        let heartbeat = Rc::new(Cell::new(0u64));
+        let mut dog = Watchdog::new(200, Rc::clone(&heartbeat));
+        let handle = dog.missed_handle();
+        assert_eq!(dog.next_due_ns(), Some(200), "first check is one period in");
+
+        // Beating component alive: no misses.
+        machine.advance(200);
+        heartbeat.set(1);
+        dog.fire(&mut machine, &mut throttle);
+        assert_eq!(dog.missed(), 0);
+
+        // Component wedged for two checks: two misses.
+        machine.advance(200);
+        dog.fire(&mut machine, &mut throttle);
+        machine.advance(200);
+        dog.fire(&mut machine, &mut throttle);
+        assert_eq!(dog.missed(), 2);
+        assert_eq!(handle.get(), 2, "shared handle sees the tally");
+
+        // Recovery: beats resume, no further misses.
+        machine.advance(200);
+        heartbeat.set(2);
+        dog.fire(&mut machine, &mut throttle);
+        assert_eq!(dog.missed(), 2);
+        assert_eq!(dog.next_due_ns(), Some(machine.now_ns() + 200));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn watchdog_zero_period_rejected() {
+        Watchdog::new(0, Rc::new(Cell::new(0)));
     }
 
     #[test]

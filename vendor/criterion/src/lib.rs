@@ -1,0 +1,184 @@
+//! Offline stub of `criterion`.
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! provides the slice of the criterion API the workspace's benches use —
+//! `Criterion::benchmark_group`, `bench_function`, `iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple median-of-samples wall-clock timer instead of
+//! criterion's full statistical machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized (accepted, ignored: every batch is size 1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units-per-iteration annotation for throughput reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, sample_size: 10, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            routine(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => println!(
+                "  {name}: {:.3} µs/iter ({:.1} Melem/s)",
+                median * 1e6,
+                n as f64 / median / 1e6
+            ),
+            Some(Throughput::Bytes(n)) if median > 0.0 => println!(
+                "  {name}: {:.3} µs/iter ({:.1} MiB/s)",
+                median * 1e6,
+                n as f64 / median / (1024.0 * 1024.0)
+            ),
+            _ => println!("  {name}: {:.3} µs/iter", median * 1e6),
+        }
+        self
+    }
+
+    /// Finish the group (printing is incremental; nothing further to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark routine to time its hot loop.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const ITERS: u64 = 10;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const ITERS: u64 = 10;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += ITERS;
+    }
+}
+
+/// Build a `fn` bundling benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_probe(c: &mut Criterion) {
+        let mut g = c.benchmark_group("probe");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, bench_probe);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,73 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for [`vec`]: an exact size or a range of sizes.
+#[derive(Copy, Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Generates `Vec`s of `element` draws with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.u64_in(self.size.min as u64, self.size.max as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = TestRng::for_case("vec", 0);
+        assert_eq!(vec(0u8..=1, 16).generate(&mut rng).len(), 16);
+    }
+
+    #[test]
+    fn half_open_size_excludes_upper_bound() {
+        let mut rng = TestRng::for_case("vec2", 0);
+        for _ in 0..200 {
+            let v = vec(0u8..=1, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

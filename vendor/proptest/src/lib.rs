@@ -1,0 +1,147 @@
+//! Offline stub of `proptest`.
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! re-implements the slice of the proptest API this workspace uses:
+//! `proptest!` with an optional `#![proptest_config(..)]`, integer and float
+//! range strategies, tuples, `Just`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop_map`, and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure seeds:
+//! each test runs a fixed number of cases drawn from a deterministic PRNG
+//! seeded by the test name, so failures reproduce bit-for-bit across runs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run the body for a configured number of deterministically seeded cases,
+/// binding each `pat in strategy` argument to a fresh draw.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        u64::from(__case),
+                    );
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Assert inside a property body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3u64..10,
+            b in 5usize..=5,
+            x in -2.0f64..2.0,
+        ) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert_eq!(b, 5);
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in prop::collection::vec(0u64..100, 2..7),
+            exact in prop::collection::vec(0u8..=255, 4),
+        ) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 4);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                Just(0u64),
+                (1u64..5, 10u64..50).prop_map(|(a, b)| a + b),
+            ],
+        ) {
+            prop_assert!(v == 0 || (11..55).contains(&v));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let draw = || {
+            let mut rng = TestRng::for_case("determinism", 7);
+            (0u64..1_000_000).generate(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

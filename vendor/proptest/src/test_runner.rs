@@ -1,0 +1,102 @@
+//! Test configuration and the deterministic PRNG behind every draw.
+
+/// How many cases each property runs (the subset of real proptest's config
+/// this workspace uses).
+#[derive(Copy, Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps hermetic CI runs fast while
+        // still exploring the space (tests that want more ask explicitly).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64: tiny, full-period, and plenty random for test generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from the test's identity and case index, so every
+    /// run of the suite draws identical values.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive both ends).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = u128::from(hi - lo) + 1;
+        lo + (u128::from(self.next_u64()) % span) as u64
+    }
+
+    /// Uniform draw in `[lo, hi]` for signed bounds.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128) as u128 + 1;
+        (lo as i128 + (u128::from(self.next_u64()) % span) as i128) as i64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = TestRng::for_case("range", 0);
+        for _ in 0..100 {
+            let _ = rng.u64_in(0, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn unit_draws_in_half_open_interval() {
+        let mut rng = TestRng::for_case("unit", 0);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        let a = TestRng::for_case("t", 0).next_u64();
+        let b = TestRng::for_case("t", 1).next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace builds in a hermetic environment with no crates.io access,
+//! and nothing in it ever serializes at runtime — the `#[derive(Serialize,
+//! Deserialize)]` attributes exist so the types are serde-ready when the real
+//! dependency is available. These derives accept the same input and expand to
+//! nothing; the `serde` stub provides blanket trait impls so `T: Serialize`
+//! bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
