@@ -7,7 +7,7 @@ use maestro_runtime::{compute_leaf, fork_join, BoxTask, Runtime, RuntimeParams, 
 use std::hint::black_box;
 
 fn runtime(workers: usize) -> Runtime {
-    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers)).unwrap()
 }
 
 fn flat_bag(tasks: usize) -> BoxTask<()> {
@@ -34,7 +34,7 @@ fn bench_scheduler(c: &mut Criterion) {
     g.bench_function("flat_bag_4096_tasks_16_workers", |b| {
         b.iter(|| {
             let mut rt = runtime(16);
-            black_box(rt.run(&mut (), flat_bag(BAG)))
+            black_box(rt.run(&mut (), flat_bag(BAG)).unwrap())
         });
     });
 
@@ -42,7 +42,7 @@ fn bench_scheduler(c: &mut Criterion) {
     g.bench_function("binary_tree_depth12_16_workers", |b| {
         b.iter(|| {
             let mut rt = runtime(16);
-            black_box(rt.run(&mut (), binary_tree(12)))
+            black_box(rt.run(&mut (), binary_tree(12)).unwrap())
         });
     });
 
@@ -50,7 +50,7 @@ fn bench_scheduler(c: &mut Criterion) {
     g.bench_function("flat_bag_4096_tasks_1_worker", |b| {
         b.iter(|| {
             let mut rt = runtime(1);
-            black_box(rt.run(&mut (), flat_bag(BAG)))
+            black_box(rt.run(&mut (), flat_bag(BAG)).unwrap())
         });
     });
 
@@ -60,7 +60,7 @@ fn bench_scheduler(c: &mut Criterion) {
             let mut rt = runtime(16);
             rt.throttle_mut().active = true;
             rt.throttle_mut().limit_per_shepherd = 6;
-            black_box(rt.run(&mut (), flat_bag(BAG)))
+            black_box(rt.run(&mut (), flat_bag(BAG)).unwrap())
         });
     });
 

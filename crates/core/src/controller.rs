@@ -21,7 +21,9 @@ use std::rc::Rc;
 
 use maestro_machine::{FaultPlan, Machine};
 use maestro_rapl::RetryPolicy;
-use maestro_rcr::{Level, MeterThresholds, RcrDaemon, ThrottleSignals};
+use maestro_rcr::{
+    Level, MeterThresholds, Supervisor, SupervisorConfig, SupervisorStats, ThrottleSignals,
+};
 use maestro_runtime::{Monitor, ThrottleState};
 
 /// When the controller gives up on its measurements and fails safe.
@@ -62,6 +64,8 @@ pub struct ControllerConfig {
     pub retry: Option<RetryPolicy>,
     /// Scripted faults for the embedded daemon (tests and experiments).
     pub faults: Option<FaultPlan>,
+    /// Restart policy for the supervised daemon.
+    pub supervisor: SupervisorConfig,
 }
 
 /// One controller decision, recorded for analysis.
@@ -110,17 +114,58 @@ impl ControllerTrace {
 /// Shared handle to a controller's trace (usable after the run finishes).
 pub type TraceHandle = Rc<RefCell<ControllerTrace>>;
 
-/// The adaptive controller: an RCR daemon plus the both-High/both-Low rule,
-/// wrapped in a safe-mode supervisor that fails open when the measurement
-/// pipeline degrades.
+/// The controller state worth carrying across a daemon restart: the last
+/// trusted classification and the throttle flag (which *is* the hysteresis
+/// band position — `ThrottleSignals::apply` folds the flag forward).
+///
+/// Restoring it on an epoch change keeps recovery from re-deciding off
+/// post-restart warm-up artifacts (an empty power window classifies as
+/// zero Watts, i.e. Low) and re-triggering a spurious transition.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ControllerCheckpoint {
+    /// Throttle flag after the last trusted decision.
+    pub throttled: bool,
+    /// Power classification of that decision.
+    pub power_level: Level,
+    /// Memory classification of that decision.
+    pub memory_level: Level,
+}
+
+/// Control-plane robustness tallies, updated on every controller period and
+/// readable after the run through the shared handle
+/// ([`ThrottleController::control_plane`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ControlPlaneStats {
+    /// Daemon deaths the supervisor observed (scripted + wedge).
+    pub daemon_kills: u64,
+    /// Daemon restarts the supervisor performed.
+    pub daemon_restarts: u64,
+    /// Deaths attributed to wedge detection.
+    pub wedge_kills: u64,
+    /// True once the supervisor exhausted its restart budget.
+    pub daemon_gave_up: bool,
+    /// Blackboard epoch (restart generation) at the last period.
+    pub blackboard_epoch: u64,
+    /// Times the controller resumed from its checkpoint after an epoch change.
+    pub checkpoint_restores: u64,
+    /// Controller periods spent in safe mode.
+    pub safe_mode_periods: u64,
+}
+
+/// The adaptive controller: a supervised RCR daemon plus the
+/// both-High/both-Low rule, wrapped in a safe-mode monitor that fails open
+/// when the measurement pipeline degrades.
 pub struct ThrottleController {
-    daemon: RcrDaemon,
+    supervisor: Supervisor,
     power_thresholds: MeterThresholds,
     memory_thresholds: MeterThresholds,
     safe_cfg: SafeModeConfig,
     safe_mode: bool,
     degraded_streak: u32,
     healthy_streak: u32,
+    last_epoch: u64,
+    checkpoint: Option<ControllerCheckpoint>,
+    cp_stats: Rc<Cell<ControlPlaneStats>>,
     heartbeat: Rc<Cell<u64>>,
     trace: TraceHandle,
 }
@@ -151,16 +196,16 @@ impl ThrottleController {
     pub fn with_config(machine: &Machine, cfg: ControllerConfig) -> (Self, TraceHandle) {
         let memory_max = machine.config().memory.max_outstanding_refs;
         let trace: TraceHandle = Rc::new(RefCell::new(ControllerTrace::default()));
-        let mut daemon = RcrDaemon::new(machine);
+        let mut supervisor = Supervisor::new(machine, cfg.supervisor);
         if let Some(retry) = cfg.retry {
-            daemon = daemon.with_retry(retry);
+            supervisor = supervisor.with_retry(retry);
         }
         if let Some(plan) = cfg.faults {
-            daemon = daemon.with_faults(plan);
+            supervisor = supervisor.with_faults(plan);
         }
         (
             ThrottleController {
-                daemon,
+                supervisor,
                 power_thresholds: cfg.power.unwrap_or_else(MeterThresholds::paper_power_w),
                 memory_thresholds: cfg
                     .memory
@@ -169,6 +214,9 @@ impl ThrottleController {
                 safe_mode: false,
                 degraded_streak: 0,
                 healthy_streak: 0,
+                last_epoch: 0,
+                checkpoint: None,
+                cp_stats: Rc::new(Cell::new(ControlPlaneStats::default())),
                 heartbeat: Rc::new(Cell::new(0)),
                 trace: Rc::clone(&trace),
             },
@@ -176,14 +224,19 @@ impl ThrottleController {
         )
     }
 
-    /// The blackboard the embedded RCR daemon publishes into.
+    /// The blackboard the supervised RCR daemon publishes into.
     pub fn blackboard(&self) -> &maestro_rcr::Blackboard {
-        self.daemon.blackboard()
+        self.supervisor.blackboard()
     }
 
-    /// Health tallies of the embedded daemon.
+    /// Health tallies aggregated across every daemon incarnation.
     pub fn daemon_health(&self) -> maestro_rcr::DaemonHealth {
-        self.daemon.health()
+        self.supervisor.health()
+    }
+
+    /// Kill/restart tallies of the daemon supervisor.
+    pub fn supervisor_stats(&self) -> SupervisorStats {
+        self.supervisor.stats()
     }
 
     /// True while the controller is failing safe (throttling deactivated
@@ -192,31 +245,37 @@ impl ThrottleController {
         self.safe_mode
     }
 
-    /// A counter bumped every time the embedded daemon publishes fresh
+    /// A counter bumped every time the supervised daemon publishes fresh
     /// snapshots — a watchdog can watch it to detect a wedged pipeline.
     pub fn heartbeat(&self) -> Rc<Cell<u64>> {
         Rc::clone(&self.heartbeat)
     }
 
+    /// Shared handle to the control-plane tallies, refreshed every period;
+    /// the facade reads it after the controller has been consumed by the run.
+    pub fn control_plane(&self) -> Rc<Cell<ControlPlaneStats>> {
+        Rc::clone(&self.cp_stats)
+    }
+
     /// A blackboard view older than this is considered stale: 1.5 daemon
     /// periods, i.e. one missed publication plus scheduling slack.
     fn staleness_bound_ns(&self) -> u64 {
-        self.daemon.period_ns() + self.daemon.period_ns() / 2
+        self.supervisor.period_ns() + self.supervisor.period_ns() / 2
     }
 }
 
 impl Monitor for ThrottleController {
     fn next_due_ns(&self) -> Option<u64> {
-        Some(self.daemon.next_due_ns())
+        Some(self.supervisor.next_due_ns())
     }
 
     fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState) {
-        let outcome = self.daemon.sample(machine);
+        let outcome = self.supervisor.sample(machine);
         if outcome.published() {
             self.heartbeat.set(self.heartbeat.get() + 1);
         }
         let now = machine.now_ns();
-        let bb = self.daemon.blackboard();
+        let bb = self.supervisor.blackboard();
         let stale = bb.staleness_ns(now) > self.staleness_bound_ns();
         let degraded = !outcome.published() || stale || !bb.is_healthy();
         if degraded {
@@ -231,7 +290,22 @@ impl Monitor for ThrottleController {
         } else if self.safe_mode && self.healthy_streak >= self.safe_cfg.recover_after_periods {
             self.safe_mode = false;
         }
-        let snaps = self.daemon.blackboard().snapshot_all();
+        // Epoch change means the blackboard's writer is a fresh daemon
+        // incarnation: resume from the pre-crash checkpoint rather than
+        // reacting to whatever the restart left behind.
+        let epoch = bb.epoch();
+        if epoch != self.last_epoch {
+            self.last_epoch = epoch;
+            if let Some(cp) = self.checkpoint {
+                if !self.safe_mode {
+                    throttle.active = cp.throttled;
+                }
+                let mut s = self.cp_stats.get();
+                s.checkpoint_restores += 1;
+                self.cp_stats.set(s);
+            }
+        }
+        let snaps = self.supervisor.blackboard().snapshot_all();
         // Per-socket thresholds: the hottest socket drives the decision.
         let power_w = snaps.iter().map(|s| s.power_w).fold(0.0, f64::max);
         let mem = snaps.iter().map(|s| s.mem_concurrency).fold(0.0, f64::max);
@@ -239,18 +313,39 @@ impl Monitor for ThrottleController {
             power: self.power_thresholds.classify(power_w),
             memory: self.memory_thresholds.classify(mem),
         };
+        // Only trust the classification when this period's view is fresh,
+        // healthy, and finite. A NaN power (NO_POWER warm-up after a
+        // restart) folds to 0 W above — Low — and deciding on it could
+        // spuriously release a legitimately throttled workload.
+        let meters_valid = !degraded && snaps.iter().all(|s| s.power_w.is_finite());
         let new_flag = if self.safe_mode {
             // Fail open: full duty cycle until the meters are trustworthy.
             false
-        } else if self.daemon.samples_taken() >= 2 {
+        } else if meters_valid && self.supervisor.samples_taken() >= 2 {
             signals.apply(throttle.active)
         } else {
             // The smoothed power meter needs two readings before it is
-            // valid; hold the current state during warm-up instead of
-            // reacting to a zero-Watt artifact.
+            // valid; hold the current state during warm-up (and across
+            // degraded periods) instead of reacting to a zero-Watt artifact.
             throttle.active
         };
         throttle.active = new_flag;
+        if meters_valid {
+            self.checkpoint = Some(ControllerCheckpoint {
+                throttled: new_flag,
+                power_level: signals.power,
+                memory_level: signals.memory,
+            });
+        }
+        let sup_stats = self.supervisor.stats();
+        let mut s = self.cp_stats.get();
+        s.daemon_kills = sup_stats.kills;
+        s.daemon_restarts = sup_stats.restarts;
+        s.wedge_kills = sup_stats.wedge_kills;
+        s.daemon_gave_up = sup_stats.gave_up;
+        s.blackboard_epoch = epoch;
+        s.safe_mode_periods += u64::from(self.safe_mode);
+        self.cp_stats.set(s);
         self.trace.borrow_mut().samples.push(ControllerSample {
             t_ns: machine.now_ns(),
             power_w,
@@ -387,6 +482,69 @@ mod tests {
         assert!(!ctrl.in_safe_mode());
         assert!(throttle.active, "throttling still engages under a retry storm");
         assert!(ctrl.daemon_health().retried_samples > 0);
+    }
+
+    #[test]
+    fn daemon_kill_recovers_without_spurious_transition() {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.95, ocr: 4.0 });
+        }
+        // The daemon dies at t=1.5 s; the default supervisor restarts it
+        // within one backoff (50 ms), well before safe mode's 5 periods.
+        let plan = FaultPlan::new(33).with_daemon_kills(&[3 * NS_PER_SEC / 2]);
+        let (mut ctrl, trace) = ThrottleController::with_config(
+            &m,
+            ControllerConfig { faults: Some(plan), ..Default::default() },
+        );
+        let stats = ctrl.control_plane();
+        let mut throttle = ThrottleState::new(6);
+        fire_over(&mut m, &mut ctrl, &mut throttle, 4.0);
+
+        let s = stats.get();
+        assert_eq!(s.daemon_kills, 1, "{s:?}");
+        assert_eq!(s.daemon_restarts, 1, "{s:?}");
+        assert_eq!(s.blackboard_epoch, 1, "{s:?}");
+        assert!(s.checkpoint_restores >= 1, "{s:?}");
+        assert!(throttle.active, "hot+contended stays throttled through the crash");
+        let t = trace.borrow();
+        assert_eq!(t.activations(), 1, "no flapping across the restart");
+        let first_on = t.samples.iter().position(|x| x.throttled).unwrap();
+        assert!(
+            t.samples[first_on..].iter().all(|x| x.throttled),
+            "once on, the flag never spuriously drops across the crash window"
+        );
+        assert!(!t.samples.iter().any(|x| x.safe_mode), "fast restart beats safe mode");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_fails_open_permanently() {
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.95, ocr: 4.0 });
+        }
+        // A crash-looping daemon: killed every 300 ms, budget of 2 restarts.
+        let kills: Vec<u64> = (1..=10).map(|i| NS_PER_SEC + i * 3 * NS_PER_SEC / 10).collect();
+        let plan = FaultPlan::new(34).with_daemon_kills(&kills);
+        let (mut ctrl, _trace) = ThrottleController::with_config(
+            &m,
+            ControllerConfig {
+                faults: Some(plan),
+                supervisor: SupervisorConfig { restart_budget: 2, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let stats = ctrl.control_plane();
+        let mut throttle = ThrottleState::new(6);
+        fire_over(&mut m, &mut ctrl, &mut throttle, 5.0);
+
+        let s = stats.get();
+        assert!(s.daemon_gave_up, "{s:?}");
+        assert_eq!(s.daemon_restarts, 2, "budget caps restarts: {s:?}");
+        assert!(ctrl.in_safe_mode(), "a permanently dark pipeline is safe mode");
+        assert!(!throttle.active, "fails open at full duty");
+        assert_eq!(throttle.effective_limit(), usize::MAX);
+        assert!(s.safe_mode_periods >= 10, "{s:?}");
     }
 
     #[test]

@@ -6,12 +6,14 @@ use std::rc::Rc;
 
 use maestro_machine::{Machine, MachineConfig, PState};
 use maestro_rcr::{Region, DEFAULT_SAMPLE_PERIOD_NS};
-use maestro_runtime::{BoxTask, RunStats, Runtime, RuntimeParams, TaskValue, Watchdog};
+use maestro_runtime::{
+    BoxTask, RunStats, Runtime, RuntimeError, RuntimeParams, TaskValue, Watchdog,
+};
 
 use crate::alternatives::{
     DvfsController, DvfsTraceHandle, PowerCapController, PowerCapTraceHandle,
 };
-use crate::controller::{ControllerConfig, ThrottleController, TraceHandle};
+use crate::controller::{ControlPlaneStats, ControllerConfig, ThrottleController, TraceHandle};
 
 /// Concurrency policy for a run, matching the paper's table rows (plus the
 /// alternative mechanisms evaluated by the `ablation`/`powercap` targets).
@@ -97,6 +99,21 @@ pub struct ThrottleSummary {
     pub safe_mode_decisions: usize,
     /// Daemon publication deadlines the watchdog saw missed during the run.
     pub missed_deadlines: u64,
+    /// Daemon deaths the supervisor observed during the run.
+    pub daemon_kills: u64,
+    /// Daemon restarts the supervisor performed during the run.
+    pub daemon_restarts: u64,
+    /// True once the supervisor exhausted its restart budget (the pipeline
+    /// stayed dark and the controller failed open for the remainder).
+    pub daemon_gave_up: bool,
+    /// Times the controller resumed from its checkpoint after a restart.
+    pub checkpoint_restores: u64,
+    /// Duty-write transactions that exhausted their retries during the run.
+    pub failed_duty_applies: u64,
+    /// Per-core actuator circuit breakers tripped during the run.
+    pub breaker_trips: u64,
+    /// Cores forcibly reset to FULL duty by the actuator during the run.
+    pub forced_duty_resets: u64,
 }
 
 /// Everything measured about one run: the region report fields (time,
@@ -142,6 +159,23 @@ impl std::fmt::Display for RunReport {
                     t.safe_mode_decisions, t.missed_deadlines
                 )?;
             }
+            if t.daemon_kills > 0 || t.daemon_restarts > 0 {
+                write!(
+                    f,
+                    " [recovery: {} daemon death(s), {} restart(s), {} checkpoint restore(s){}]",
+                    t.daemon_kills,
+                    t.daemon_restarts,
+                    t.checkpoint_restores,
+                    if t.daemon_gave_up { ", gave up" } else { "" }
+                )?;
+            }
+            if t.breaker_trips > 0 || t.failed_duty_applies > 0 {
+                write!(
+                    f,
+                    " [actuation: {} failed apply(s), {} breaker trip(s), {} forced reset(s)]",
+                    t.failed_duty_applies, t.breaker_trips, t.forced_duty_resets
+                )?;
+            }
         }
         Ok(())
     }
@@ -155,19 +189,28 @@ pub struct Maestro {
     dvfs_trace: Option<DvfsTraceHandle>,
     powercap_trace: Option<PowerCapTraceHandle>,
     watchdog_missed: Option<Rc<Cell<u64>>>,
+    control_plane: Option<Rc<Cell<ControlPlaneStats>>>,
     policy: Policy,
 }
 
 impl Maestro {
     /// Assemble machine, runtime, and (for adaptive policies) the RCR
-    /// daemon + throttle controller.
+    /// daemon + throttle controller. Panics on an invalid configuration;
+    /// use [`Maestro::try_new`] for the fallible form.
     pub fn new(config: MaestroConfig) -> Self {
+        Self::try_new(config).expect("invalid Maestro configuration")
+    }
+
+    /// Fallible assembly: rejects invalid runtime parameters and worker
+    /// counts beyond the machine's cores with a typed error.
+    pub fn try_new(config: MaestroConfig) -> Result<Self, RuntimeError> {
         let machine = Machine::new(config.machine);
-        let mut runtime = Runtime::new(machine, config.runtime);
+        let mut runtime = Runtime::new(machine, config.runtime)?;
         let mut trace = None;
         let mut dvfs_trace = None;
         let mut powercap_trace = None;
         let mut watchdog_missed = None;
+        let mut control_plane = None;
         match config.policy {
             Policy::Fixed => {}
             Policy::Adaptive { limit_per_shepherd } => {
@@ -179,6 +222,7 @@ impl Maestro {
                 let watchdog =
                     Watchdog::new(2 * DEFAULT_SAMPLE_PERIOD_NS, controller.heartbeat());
                 watchdog_missed = Some(watchdog.missed_handle());
+                control_plane = Some(controller.control_plane());
                 runtime.add_monitor(Box::new(controller));
                 runtime.add_monitor(Box::new(watchdog));
                 trace = Some(t);
@@ -194,7 +238,15 @@ impl Maestro {
                 powercap_trace = Some(t);
             }
         }
-        Maestro { runtime, trace, dvfs_trace, powercap_trace, watchdog_missed, policy: config.policy }
+        Ok(Maestro {
+            runtime,
+            trace,
+            dvfs_trace,
+            powercap_trace,
+            watchdog_missed,
+            control_plane,
+            policy: config.policy,
+        })
     }
 
     /// The DVFS decision trace, when running under [`Policy::Dvfs`].
@@ -223,11 +275,25 @@ impl Maestro {
     }
 
     /// Execute `root` against `app`, measured with the RCR region API.
+    /// Panics on a scheduler error; use [`Maestro::try_run`] for the
+    /// fallible form.
     pub fn run<C>(&mut self, name: &str, app: &mut C, root: BoxTask<C>) -> RunReport {
+        self.try_run(name, app, root).expect("scheduler failed")
+    }
+
+    /// Execute `root` against `app`, surfacing scheduler failures (e.g. a
+    /// deadlocked task graph) as a typed error instead of panicking.
+    pub fn try_run<C>(
+        &mut self,
+        name: &str,
+        app: &mut C,
+        root: BoxTask<C>,
+    ) -> Result<RunReport, RuntimeError> {
         let decisions_before = self.trace.as_ref().map_or(0, |t| t.borrow().samples.len());
         let missed_before = self.watchdog_missed.as_ref().map_or(0, |m| m.get());
+        let cp_before = self.control_plane.as_ref().map_or_else(ControlPlaneStats::default, |h| h.get());
         let region = Region::start(name, self.runtime.machine());
-        let outcome = self.runtime.run(app, root);
+        let outcome = self.runtime.run(app, root)?;
         let report = region.end(self.runtime.machine());
         let throttle = self.trace.as_ref().map(|t| {
             let trace = t.borrow();
@@ -238,6 +304,7 @@ impl Maestro {
                 .filter(|w| !w[0].throttled && w[1].throttled)
                 .count()
                 + usize::from(run_samples.first().is_some_and(|s| s.throttled));
+            let cp = self.control_plane.as_ref().map_or_else(ControlPlaneStats::default, |h| h.get());
             ThrottleSummary {
                 throttled_fraction: if run_samples.is_empty() {
                     0.0
@@ -251,9 +318,16 @@ impl Maestro {
                 safe_mode_decisions: run_samples.iter().filter(|s| s.safe_mode).count(),
                 missed_deadlines: self.watchdog_missed.as_ref().map_or(0, |m| m.get())
                     - missed_before,
+                daemon_kills: cp.daemon_kills - cp_before.daemon_kills,
+                daemon_restarts: cp.daemon_restarts - cp_before.daemon_restarts,
+                daemon_gave_up: cp.daemon_gave_up,
+                checkpoint_restores: cp.checkpoint_restores - cp_before.checkpoint_restores,
+                failed_duty_applies: outcome.stats.failed_duty_applies,
+                breaker_trips: outcome.stats.breaker_trips,
+                forced_duty_resets: outcome.stats.forced_duty_resets,
             }
         });
-        RunReport {
+        Ok(RunReport {
             name: name.to_string(),
             elapsed_s: report.elapsed_s,
             joules: report.joules,
@@ -262,7 +336,7 @@ impl Maestro {
             stats: outcome.stats,
             throttle,
             value: outcome.value,
-        }
+        })
     }
 }
 

@@ -40,7 +40,7 @@ pub mod facade;
 
 pub use alternatives::{DvfsController, DvfsTrace, PowerCapController, PowerCapTrace};
 pub use controller::{
-    ControllerConfig, ControllerSample, ControllerTrace, SafeModeConfig, ThrottleController,
-    TraceHandle,
+    ControlPlaneStats, ControllerCheckpoint, ControllerConfig, ControllerSample, ControllerTrace,
+    SafeModeConfig, ThrottleController, TraceHandle,
 };
 pub use facade::{Maestro, MaestroConfig, Policy, RunReport, ThrottleSummary};

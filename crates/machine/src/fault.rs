@@ -45,6 +45,25 @@ pub struct StallWindow {
     pub until_ns: u64,
 }
 
+/// What a faulty duty-register write actually does to the hardware.
+///
+/// Produced by [`FaultPlan::filter_duty_write`]; consumed by the `Actuator`,
+/// which turns each effect into (or withholds) the real MSR write and then
+/// verifies by reading the register back.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DutyWriteEffect {
+    /// The write reaches the register intact.
+    Clean,
+    /// The write syscall fails (EIO from `/dev/cpu/N/msr`); register untouched.
+    Fail,
+    /// The write reports success but the register never changes (firmware
+    /// swallowed it).
+    Ignored,
+    /// A partial/torn write: a *different* valid encoding lands in the
+    /// register while the write reports success.
+    Torn(u64),
+}
+
 /// A scripted, reproducible set of measurement-pipeline faults.
 ///
 /// All rates are probabilities in `[0, 1]` evaluated per event on the plan's
@@ -57,6 +76,11 @@ pub struct FaultPlan {
     sample_jitter_ns: u64,
     stuck: Option<StuckWindow>,
     stall: Option<StallWindow>,
+    duty_write_fail_rate: f64,
+    duty_write_torn_rate: f64,
+    duty_write_ignore_rate: f64,
+    daemon_kills_ns: Vec<u64>,
+    kills_consumed: Cell<usize>,
     rng: Cell<u64>,
     energy_reads: Cell<u64>,
     frozen: Mutex<HashMap<u16, u64>>,
@@ -71,6 +95,11 @@ impl Clone for FaultPlan {
             sample_jitter_ns: self.sample_jitter_ns,
             stuck: self.stuck,
             stall: self.stall,
+            duty_write_fail_rate: self.duty_write_fail_rate,
+            duty_write_torn_rate: self.duty_write_torn_rate,
+            duty_write_ignore_rate: self.duty_write_ignore_rate,
+            daemon_kills_ns: self.daemon_kills_ns.clone(),
+            kills_consumed: self.kills_consumed.clone(),
             rng: self.rng.clone(),
             energy_reads: self.energy_reads.clone(),
             frozen: Mutex::new(self.frozen.lock().expect("fault plan lock").clone()),
@@ -124,6 +153,85 @@ impl FaultPlan {
         assert!(from_ns <= until_ns, "stall window must not be inverted");
         self.stall = Some(StallWindow { from_ns, until_ns });
         self
+    }
+
+    /// Each duty-register write fails outright (syscall error, register
+    /// untouched) with probability `rate`.
+    pub fn with_duty_write_fail_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        self.duty_write_fail_rate = rate;
+        self
+    }
+
+    /// Each duty-register write is torn with probability `rate`: a different
+    /// valid duty encoding lands while the write reports success.
+    pub fn with_duty_write_torn_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        self.duty_write_torn_rate = rate;
+        self
+    }
+
+    /// Each duty-register write is silently swallowed (reports success,
+    /// register unchanged) with probability `rate`.
+    pub fn with_duty_write_ignore_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        self.duty_write_ignore_rate = rate;
+        self
+    }
+
+    /// Script daemon kills at the given virtual times (nanoseconds). Each
+    /// kill is consumed once by [`FaultPlan::kill_due`]; the supervisor is
+    /// expected to restart the daemon afterwards.
+    pub fn with_daemon_kills(mut self, kills_ns: &[u64]) -> Self {
+        self.daemon_kills_ns = kills_ns.to_vec();
+        self.daemon_kills_ns.sort_unstable();
+        self
+    }
+
+    /// True when any duty-write fault rate is non-zero.
+    pub fn has_duty_write_faults(&self) -> bool {
+        self.duty_write_fail_rate > 0.0
+            || self.duty_write_torn_rate > 0.0
+            || self.duty_write_ignore_rate > 0.0
+    }
+
+    /// The scripted daemon-kill schedule (sorted, nanoseconds).
+    pub fn daemon_kills(&self) -> &[u64] {
+        &self.daemon_kills_ns
+    }
+
+    /// Consume every scripted kill whose time has passed; returns the latest
+    /// such kill time, or `None` when no kill is due at `now_ns`.
+    pub fn kill_due(&self, now_ns: u64) -> Option<u64> {
+        let mut idx = self.kills_consumed.get();
+        let mut fired = None;
+        while idx < self.daemon_kills_ns.len() && self.daemon_kills_ns[idx] <= now_ns {
+            fired = Some(self.daemon_kills_ns[idx]);
+            idx += 1;
+        }
+        self.kills_consumed.set(idx);
+        fired
+    }
+
+    /// Draw the effect of one duty-register write whose intended register
+    /// value is `requested` (a valid `IA32_CLOCK_MODULATION` encoding).
+    pub fn filter_duty_write(&self, requested: u64) -> DutyWriteEffect {
+        if self.roll(self.duty_write_fail_rate) {
+            return DutyWriteEffect::Fail;
+        }
+        if self.roll(self.duty_write_ignore_rate) {
+            return DutyWriteEffect::Ignored;
+        }
+        if self.roll(self.duty_write_torn_rate) {
+            // A different valid level lands: rotate the requested level by a
+            // non-zero offset so the torn value never equals the request.
+            let level = if requested & (1 << 6) == 0 { 32 } else { requested & 0x3F };
+            let offset = 1 + self.next_u64() % 31;
+            let torn_level = ((level - 1 + offset) % 32) + 1;
+            let torn = if torn_level == 32 { 0 } else { (1 << 6) | torn_level };
+            return DutyWriteEffect::Torn(torn);
+        }
+        DutyWriteEffect::Clean
     }
 
     /// The configured stall window, if any.
@@ -326,6 +434,59 @@ mod tests {
         };
         assert_eq!(draws(42), draws(42));
         assert_ne!(draws(42), draws(43));
+    }
+
+    #[test]
+    fn default_plan_writes_are_clean() {
+        let plan = FaultPlan::new(10);
+        assert!(!plan.has_duty_write_faults());
+        for level in 1..=32u8 {
+            let v = crate::duty::DutyCycle::new(level).unwrap().encode_msr();
+            assert_eq!(plan.filter_duty_write(v), DutyWriteEffect::Clean);
+        }
+    }
+
+    #[test]
+    fn torn_writes_land_a_different_valid_encoding() {
+        let plan = FaultPlan::new(11).with_duty_write_torn_rate(1.0);
+        for level in 1..=32u8 {
+            let requested = crate::duty::DutyCycle::new(level).unwrap().encode_msr();
+            match plan.filter_duty_write(requested) {
+                DutyWriteEffect::Torn(v) => {
+                    let torn = crate::duty::DutyCycle::decode_msr(v)
+                        .expect("torn value must still be a valid encoding");
+                    assert_ne!(torn.level(), level, "torn write must differ from request");
+                }
+                other => panic!("expected torn effect, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_and_ignored_writes_roll_deterministically() {
+        let draws = |seed: u64| {
+            let plan = FaultPlan::new(seed)
+                .with_duty_write_fail_rate(0.3)
+                .with_duty_write_ignore_rate(0.3);
+            (0..64).map(|_| plan.filter_duty_write(0)).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(9), draws(9));
+        let effects = draws(9);
+        assert!(effects.contains(&DutyWriteEffect::Fail));
+        assert!(effects.contains(&DutyWriteEffect::Ignored));
+        assert!(effects.contains(&DutyWriteEffect::Clean));
+    }
+
+    #[test]
+    fn kill_schedule_consumes_in_order() {
+        let plan = FaultPlan::new(12).with_daemon_kills(&[300, 100, 200]);
+        assert_eq!(plan.daemon_kills(), &[100, 200, 300], "schedule is sorted");
+        assert_eq!(plan.kill_due(50), None);
+        assert_eq!(plan.kill_due(150), Some(100));
+        assert_eq!(plan.kill_due(150), None, "each kill fires once");
+        // Two overdue kills collapse into the latest.
+        assert_eq!(plan.kill_due(1000), Some(300));
+        assert_eq!(plan.kill_due(u64::MAX), None);
     }
 
     #[test]

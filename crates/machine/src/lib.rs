@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod actuator;
 pub mod contention;
 pub mod cost;
 pub mod duty;
@@ -49,12 +50,15 @@ pub mod power;
 pub mod thermal;
 pub mod topology;
 
+pub use actuator::{
+    ActuationHealth, ActuationTotals, Actuator, ActuatorConfig, ApplyOutcome, BreakerState,
+};
 pub use contention::MemoryParams;
 pub use cost::Cost;
 pub use duty::DutyCycle;
 pub use dvfs::{DvfsParams, PState};
 pub use engine::{CoreActivity, Machine, MachineConfig};
-pub use fault::{FaultPlan, FaultyMsr, StallWindow, StuckWindow};
+pub use fault::{DutyWriteEffect, FaultPlan, FaultyMsr, StallWindow, StuckWindow};
 pub use msr::{
     MsrDevice, MsrError, IA32_CLOCK_MODULATION, IA32_PERF_CTL, IA32_THERM_STATUS,
     MSR_PKG_ENERGY_STATUS,

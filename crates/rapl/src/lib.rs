@@ -34,9 +34,12 @@ pub mod wrap;
 
 pub use msr_backend::MsrEnergySource;
 pub use powercap::PowercapDomain;
-pub use probe::{NodeProbe, NodeReading, ProbeError, RetryPolicy, SocketProbe, SocketReading};
+pub use probe::{
+    NodeProbe, NodeProbeCheckpoint, NodeReading, ProbeError, RetryPolicy, SocketProbe,
+    SocketProbeCheckpoint, SocketReading,
+};
 pub use window::PowerWindow;
-pub use wrap::WrapTracker;
+pub use wrap::{WrapCheckpoint, WrapTracker};
 
 /// Errors surfaced by energy-counter access.
 #[derive(Debug)]

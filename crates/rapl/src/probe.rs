@@ -4,7 +4,7 @@ use maestro_machine::msr::MsrDevice;
 use maestro_machine::{SocketId, Topology};
 
 use crate::msr_backend::MsrEnergySource;
-use crate::wrap::WrapTracker;
+use crate::wrap::{WrapCheckpoint, WrapTracker};
 use crate::RaplError;
 
 /// How a probe handles readings that fail or look wrong.
@@ -218,6 +218,37 @@ impl SocketProbe {
     pub fn reset(&mut self) {
         self.tracker.reset();
     }
+
+    /// Snapshot the meter for restore into a replacement probe (sampler
+    /// restart). Cheap — a handful of words.
+    pub fn checkpoint(&self) -> SocketProbeCheckpoint {
+        SocketProbeCheckpoint { socket: self.socket(), wrap: self.tracker.checkpoint() }
+    }
+
+    /// Restore a snapshot taken with [`SocketProbe::checkpoint`]. The next
+    /// sample books the energy that accrued during the outage (the hardware
+    /// counter kept running), as long as the outage stayed within one wrap
+    /// period.
+    pub fn restore(&mut self, cp: &SocketProbeCheckpoint) {
+        assert_eq!(cp.socket, self.socket(), "checkpoint is for a different socket");
+        self.tracker.restore(cp.wrap);
+    }
+}
+
+/// Saved [`SocketProbe`] state (see [`SocketProbe::checkpoint`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SocketProbeCheckpoint {
+    /// The socket the checkpointed probe was metering.
+    pub socket: SocketId,
+    /// The wrap tracker's accounting state.
+    pub wrap: WrapCheckpoint,
+}
+
+/// Saved [`NodeProbe`] state: one socket checkpoint per package.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeProbeCheckpoint {
+    /// Per-socket meter state, in socket order.
+    pub sockets: Vec<SocketProbeCheckpoint>,
 }
 
 /// A whole-node meter: one [`SocketProbe`] per package.
@@ -281,6 +312,20 @@ impl NodeProbe {
     pub fn reset(&mut self) {
         for p in &mut self.probes {
             p.reset();
+        }
+    }
+
+    /// Snapshot every socket meter (see [`SocketProbe::checkpoint`]).
+    pub fn checkpoint(&self) -> NodeProbeCheckpoint {
+        NodeProbeCheckpoint { sockets: self.probes.iter().map(|p| p.checkpoint()).collect() }
+    }
+
+    /// Restore a snapshot taken with [`NodeProbe::checkpoint`] into this
+    /// (freshly built) probe. Socket sets must match.
+    pub fn restore(&mut self, cp: &NodeProbeCheckpoint) {
+        assert_eq!(cp.sockets.len(), self.probes.len(), "checkpoint socket count mismatch");
+        for (p, s) in self.probes.iter_mut().zip(&cp.sockets) {
+            p.restore(s);
         }
     }
 }
@@ -427,6 +472,42 @@ mod tests {
             Err(ProbeError::Fatal { source, .. }) => assert!(!source.is_transient()),
             other => panic!("expected fatal error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_books_energy_across_an_outage() {
+        let mut m = loaded_machine();
+        let mut node = NodeProbe::new(m.topology());
+        node.sample(&m).unwrap();
+        let baseline = m.total_energy_joules();
+        m.advance(5 * NS_PER_SEC);
+        node.sample(&m).unwrap();
+        let cp = node.checkpoint();
+
+        // The sampler "dies" here; the machine keeps burning energy.
+        m.advance(3 * NS_PER_SEC);
+
+        // A replacement probe restores the checkpoint: its first sample must
+        // book both the pre-checkpoint total and the outage energy.
+        let mut reborn = NodeProbe::new(m.topology());
+        reborn.restore(&cp);
+        assert_eq!(reborn.joules(), node.joules(), "restore carries the total");
+        reborn.sample(&m).unwrap();
+        let truth = m.total_energy_joules() - baseline;
+        let measured = reborn.joules();
+        assert!(
+            (measured - truth).abs() / truth < 1e-6,
+            "outage energy lost: measured={measured} truth={truth}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different socket")]
+    fn checkpoint_for_wrong_socket_rejected() {
+        let m = loaded_machine();
+        let p0 = SocketProbe::new(m.topology(), SocketId(0));
+        let mut p1 = SocketProbe::new(m.topology(), SocketId(1));
+        p1.restore(&p0.checkpoint());
     }
 
     #[test]

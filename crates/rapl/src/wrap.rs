@@ -85,6 +85,36 @@ impl WrapTracker {
         self.total = 0;
         self.wraps = 0;
     }
+
+    /// Snapshot the tracker for checkpoint/restore across a sampler restart.
+    pub fn checkpoint(&self) -> WrapCheckpoint {
+        WrapCheckpoint { last_raw: self.last_raw, total: self.total, wraps: self.wraps }
+    }
+
+    /// Restore a snapshot taken with [`WrapTracker::checkpoint`].
+    ///
+    /// The next `update` computes its delta against the checkpointed
+    /// `last_raw`, so energy that accrued between the checkpoint and the
+    /// restart is still booked — the counter is cumulative hardware state
+    /// that keeps running while the sampler is down. The only loss window is
+    /// an outage longer than one wrap period (~15 min under load), the same
+    /// bound the live sampler already operates under.
+    pub fn restore(&mut self, cp: WrapCheckpoint) {
+        self.last_raw = cp.last_raw.map(|r| r % self.modulus);
+        self.total = cp.total;
+        self.wraps = cp.wraps;
+    }
+}
+
+/// Saved [`WrapTracker`] state (see [`WrapTracker::checkpoint`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WrapCheckpoint {
+    /// The last committed raw counter reading.
+    pub last_raw: Option<u64>,
+    /// The monotone total in raw units at checkpoint time.
+    pub total: u128,
+    /// Wraparounds observed at checkpoint time.
+    pub wraps: u64,
 }
 
 #[cfg(test)]
@@ -158,6 +188,26 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_modulus_rejected() {
         WrapTracker::new(1);
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_accounting_across_a_gap() {
+        let m = 1u64 << 32;
+        let mut t = WrapTracker::new(m);
+        t.update(100);
+        t.update(500);
+        let cp = t.checkpoint();
+        // Tracker dies; a fresh one restores the checkpoint. The counter kept
+        // running meanwhile: the next reading books the whole gap.
+        let mut fresh = WrapTracker::new(m);
+        fresh.restore(cp);
+        assert_eq!(fresh.total(), 400);
+        assert_eq!(fresh.update(900), 800, "gap 500→900 is not lost");
+        // Restore across a wrap still books the wrapped delta.
+        let mut late = WrapTracker::new(m);
+        late.restore(cp);
+        assert_eq!(late.update(400), 400 + (u128::from(m) - 500 + 400));
+        assert_eq!(late.wraps(), 1);
     }
 
     #[test]

@@ -49,6 +49,11 @@ impl HealthFlags {
     /// The latest reading was rejected as an outlier; the published meters
     /// carry forward the last good values.
     pub const OUTLIER: HealthFlags = HealthFlags(1 << 2);
+    /// The smoothing window could not produce a power estimate this period
+    /// (e.g. the first sample after a daemon start or restart). The
+    /// published `power_w` is NaN, not a fake zero — a reader must not feed
+    /// it into control decisions.
+    pub const NO_POWER: HealthFlags = HealthFlags(1 << 3);
 
     /// The union of `self` and `other`.
     #[must_use]
@@ -63,9 +68,10 @@ impl HealthFlags {
 
     /// True when the snapshot's meters can be trusted for control decisions.
     /// Retries and isolated outliers still publish good data; a stuck
-    /// counter means the power meter is lying.
+    /// counter means the power meter is lying, and a missing power estimate
+    /// means there is nothing to decide on.
     pub fn is_healthy(self) -> bool {
-        !self.contains(HealthFlags::STUCK)
+        !self.contains(HealthFlags::STUCK) && !self.contains(HealthFlags::NO_POWER)
     }
 
     /// The raw bitmask (for transport through an atomic word).
@@ -177,32 +183,60 @@ impl SocketRecord {
     }
 }
 
+#[derive(Debug)]
+struct SharedRegion {
+    records: Vec<SocketRecord>,
+    /// Writer-incarnation counter: bumped every time a (re)started daemon
+    /// re-attaches to the region. Readers snapshot the epoch alongside the
+    /// data; a changed epoch means the snapshot may predate a daemon crash
+    /// and must be re-validated before use.
+    epoch: AtomicU64,
+}
+
 /// The shared region. Cheap to clone (all clones view the same storage).
 #[derive(Clone, Debug)]
 pub struct Blackboard {
-    shared: Arc<Vec<SocketRecord>>,
+    shared: Arc<SharedRegion>,
 }
 
 impl Blackboard {
     /// A blackboard publishing meters for `sockets` packages.
     pub fn new(sockets: usize) -> Self {
         assert!(sockets > 0, "blackboard needs at least one socket");
-        Blackboard { shared: Arc::new((0..sockets).map(|_| SocketRecord::new()).collect()) }
+        Blackboard {
+            shared: Arc::new(SharedRegion {
+                records: (0..sockets).map(|_| SocketRecord::new()).collect(),
+                epoch: AtomicU64::new(0),
+            }),
+        }
     }
 
     /// Number of socket records in the region.
     pub fn sockets(&self) -> usize {
-        self.shared.len()
+        self.shared.records.len()
+    }
+
+    /// The current writer epoch (generation counter). Epoch 0 is the first
+    /// daemon incarnation; every supervisor restart bumps it.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Announce a new writer incarnation (supervisor side, on restart);
+    /// returns the new epoch. Readers holding snapshots from an older epoch
+    /// can detect that those may predate a crash.
+    pub fn advance_epoch(&self) -> u64 {
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Publish a new snapshot for `socket` (writer side; the daemon).
     pub fn publish(&self, socket: usize, snap: SocketSnapshot) {
-        self.shared[socket].write(&snap);
+        self.shared.records[socket].write(&snap);
     }
 
     /// Read a consistent snapshot of `socket` (any reader thread).
     pub fn snapshot(&self, socket: usize) -> SocketSnapshot {
-        self.shared[socket].read()
+        self.shared.records[socket].read()
     }
 
     /// Read all sockets.
@@ -210,9 +244,11 @@ impl Blackboard {
         (0..self.sockets()).map(|s| self.snapshot(s)).collect()
     }
 
-    /// Whole-node power as of the latest snapshots, Watts.
+    /// Whole-node power as of the latest snapshots, Watts. Sockets without
+    /// a power estimate (NaN, flagged [`HealthFlags::NO_POWER`]) contribute
+    /// nothing rather than poisoning the sum.
     pub fn node_power_w(&self) -> f64 {
-        self.snapshot_all().iter().map(|s| s.power_w).sum()
+        self.snapshot_all().iter().map(|s| s.power_w).filter(|p| p.is_finite()).sum()
     }
 
     /// The self-describing meter inventory of the region.
@@ -378,6 +414,32 @@ mod tests {
         for r in readers {
             r.join().unwrap();
         }
+    }
+
+    #[test]
+    fn epoch_advances_and_is_shared() {
+        let a = Blackboard::new(2);
+        let b = a.clone();
+        assert_eq!(a.epoch(), 0);
+        assert_eq!(a.advance_epoch(), 1);
+        assert_eq!(b.epoch(), 1, "readers see the writer's new incarnation");
+        assert_eq!(b.advance_epoch(), 2);
+        assert_eq!(a.epoch(), 2);
+    }
+
+    #[test]
+    fn nan_power_is_excluded_from_node_sum_and_health() {
+        let bb = Blackboard::new(2);
+        bb.publish(0, SocketSnapshot { power_w: 60.0, updated_at_ns: 1, ..SocketSnapshot::EMPTY });
+        bb.publish(1, SocketSnapshot {
+            power_w: f64::NAN,
+            updated_at_ns: 1,
+            flags: HealthFlags::NO_POWER,
+            ..SocketSnapshot::EMPTY
+        });
+        assert!((bb.node_power_w() - 60.0).abs() < 1e-12, "NaN must not poison the sum");
+        assert!(!bb.is_healthy(), "a socket without a power estimate is not decision-grade");
+        assert!(!HealthFlags::NO_POWER.is_healthy());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! fault reachable through a `FaultPlan` panics.
 
 use maestro_machine::{FaultPlan, FaultyMsr, Machine, SocketId};
-use maestro_rapl::{NodeProbe, PowerWindow, ProbeError, RetryPolicy};
+use maestro_rapl::{NodeProbe, NodeProbeCheckpoint, PowerWindow, ProbeError, RetryPolicy};
 
 use crate::blackboard::{Blackboard, HealthFlags, SocketSnapshot};
 use crate::history::SampleHistory;
@@ -65,6 +65,21 @@ pub struct DaemonHealth {
     pub stuck_periods: u64,
     /// Published ticks on which at least one window rejected the reading.
     pub outlier_periods: u64,
+}
+
+/// Saved daemon state, sufficient for a restarted incarnation to continue
+/// energy accounting and publication numbering where its predecessor died.
+///
+/// The power-smoothing windows are deliberately *not* part of the
+/// checkpoint: their contents went stale during the outage, so a restarted
+/// daemon re-warms them and publishes [`HealthFlags::NO_POWER`] until a
+/// fresh estimate exists, instead of serving pre-crash power as current.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonCheckpoint {
+    /// Wrap-corrected energy meter state for every socket.
+    pub probe: NodeProbeCheckpoint,
+    /// Publications by the dead incarnation (keeps `seq` monotone).
+    pub samples_taken: u64,
 }
 
 /// The RCR daemon: owns the probes, publishes to a [`Blackboard`].
@@ -135,6 +150,34 @@ impl RcrDaemon {
     /// resilience experiments).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Publish into an existing shared region instead of a fresh one — how a
+    /// supervisor re-attaches a restarted daemon so readers keep their
+    /// handles. The region must have one record per socket.
+    pub fn attach_blackboard(mut self, blackboard: Blackboard) -> Self {
+        assert_eq!(
+            blackboard.sockets(),
+            self.blackboard.sockets(),
+            "shared region does not match this machine's socket count"
+        );
+        self.blackboard = blackboard;
+        self
+    }
+
+    /// Snapshot the state a replacement incarnation needs (see
+    /// [`DaemonCheckpoint`]). Cheap; intended once per published sample.
+    pub fn checkpoint(&self) -> DaemonCheckpoint {
+        DaemonCheckpoint { probe: self.probe.checkpoint(), samples_taken: self.samples_taken }
+    }
+
+    /// Restore a predecessor's checkpoint into this (freshly built) daemon:
+    /// energy accounting continues across the outage (the RAPL counters kept
+    /// running) and publication numbering stays monotone.
+    pub fn restore(mut self, cp: &DaemonCheckpoint) -> Self {
+        self.probe.restore(&cp.probe);
+        self.samples_taken = cp.samples_taken;
         self
     }
 
@@ -235,7 +278,16 @@ impl RcrDaemon {
                 flags = flags.with(HealthFlags::STUCK);
                 any_stuck = true;
             }
-            let power = self.windows[idx].average_watts().unwrap_or(0.0);
+            // No estimate yet (first sample of this incarnation, or the
+            // window lost its points): publish NaN + NO_POWER, never a fake
+            // 0 W that would read as "idle socket" downstream.
+            let power = match self.windows[idx].average_watts() {
+                Some(p) => p,
+                None => {
+                    flags = flags.with(HealthFlags::NO_POWER);
+                    f64::NAN
+                }
+            };
             let snap = SocketSnapshot {
                 power_w: power,
                 mem_concurrency: machine.socket_outstanding_refs(socket),

@@ -41,10 +41,12 @@ pub mod classify;
 pub mod daemon;
 pub mod history;
 pub mod region;
+pub mod supervisor;
 
 pub use blackboard::{Blackboard, HealthFlags, MeterDesc, SocketSnapshot};
 pub use classify::{Level, MeterThresholds, ThrottleSignals};
-pub use daemon::{DaemonHealth, DropReason, RcrDaemon, SampleOutcome};
+pub use daemon::{DaemonCheckpoint, DaemonHealth, DropReason, RcrDaemon, SampleOutcome};
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorOutcome, SupervisorStats};
 pub use history::SampleHistory;
 pub use region::{Region, RegionReport};
 

@@ -47,7 +47,7 @@ pub mod task;
 
 pub use adapters::{compute_leaf, fork_join, leaf, parallel_for, sequential, single, taskloop};
 pub use monitor::{Monitor, ThrottleState, Watchdog};
-pub use params::RuntimeParams;
+pub use params::{ParamsError, RuntimeParams};
 pub use report::{RunOutcome, RunStats};
-pub use scheduler::Runtime;
+pub use scheduler::{Runtime, RuntimeError};
 pub use task::{BoxTask, Step, TaskCtx, TaskLogic, TaskValue};

@@ -17,6 +17,23 @@
 use maestro_machine::DutyCycle;
 use serde::{Deserialize, Serialize};
 
+/// A structurally invalid [`RuntimeParams`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ParamsError {
+    /// `workers` was zero.
+    NoWorkers,
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::NoWorkers => write!(f, "runtime needs at least one worker"),
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
 /// How worker threads are pinned to cores.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Placement {
@@ -94,9 +111,9 @@ impl RuntimeParams {
     }
 
     /// Validate invariants (at least one worker).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ParamsError> {
         if self.workers == 0 {
-            return Err("runtime needs at least one worker".into());
+            return Err(ParamsError::NoWorkers);
         }
         Ok(())
     }
@@ -144,7 +161,7 @@ mod tests {
 
     #[test]
     fn zero_workers_invalid() {
-        assert!(RuntimeParams::qthreads(0).validate().is_err());
+        assert_eq!(RuntimeParams::qthreads(0).validate(), Err(ParamsError::NoWorkers));
         assert!(RuntimeParams::qthreads(1).validate().is_ok());
     }
 }

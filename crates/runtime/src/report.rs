@@ -22,6 +22,16 @@ pub struct RunStats {
     pub spin_entries: u64,
     /// Duty-cycle MSR writes performed (2 per low-power spin episode).
     pub duty_writes: u64,
+    /// Physical duty-write attempts, including verification retries.
+    pub duty_write_attempts: u64,
+    /// Duty writes whose read-back did not match the requested level.
+    pub duty_verify_failures: u64,
+    /// Duty transactions that exhausted their retries (core forced to FULL).
+    pub failed_duty_applies: u64,
+    /// Times a core was forcibly reset to FULL duty by the actuator.
+    pub forced_duty_resets: u64,
+    /// Per-core circuit breakers tripped during the run.
+    pub breaker_trips: u64,
     /// Total worker-nanoseconds spent in the throttled spin loop.
     pub throttled_worker_ns: u64,
     /// Peak number of live tasks.

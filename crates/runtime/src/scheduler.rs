@@ -17,10 +17,12 @@
 
 use std::collections::VecDeque;
 
-use maestro_machine::{CoreActivity, CoreId, DutyCycle, Machine};
+use maestro_machine::{
+    Actuator, ActuatorConfig, CoreActivity, CoreId, DutyCycle, FaultPlan, Machine,
+};
 
 use crate::monitor::{Monitor, ThrottleState};
-use crate::params::RuntimeParams;
+use crate::params::{ParamsError, RuntimeParams};
 use crate::report::{RunOutcome, RunStats};
 use crate::task::{BoxTask, Step, TaskCtx, TaskValue};
 
@@ -28,6 +30,61 @@ type TaskId = usize;
 
 /// Tolerance for treating a segment as complete, in nanoseconds.
 const EPS_NS: f64 = 0.5;
+
+/// Why the runtime refused to build or a run could not finish.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The runtime parameters were structurally invalid.
+    InvalidParams(ParamsError),
+    /// More workers requested than the machine has cores.
+    WorkersExceedCores {
+        /// Requested worker count.
+        workers: usize,
+        /// Cores the machine actually has.
+        cores: usize,
+    },
+    /// The scheduler reached a state with no running work and no pending
+    /// monitor — nothing can ever make progress again.
+    Deadlock {
+        /// Tasks still allocated when progress stopped.
+        live_tasks: u64,
+        /// Workers counted as active by their shepherds.
+        total_active: usize,
+        /// Virtual time at which progress stopped, nanoseconds.
+        t_ns: u64,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::InvalidParams(e) => write!(f, "invalid runtime parameters: {e}"),
+            RuntimeError::WorkersExceedCores { workers, cores } => {
+                write!(f, "more workers ({workers}) than cores ({cores})")
+            }
+            RuntimeError::Deadlock { live_tasks, total_active, t_ns } => write!(
+                f,
+                "scheduler deadlock at t={t_ns} ns: no running work and no pending \
+                 monitor (live tasks: {live_tasks}, total active: {total_active})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::InvalidParams(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParamsError> for RuntimeError {
+    fn from(e: ParamsError) -> Self {
+        RuntimeError::InvalidParams(e)
+    }
+}
 
 struct TaskRecord<C> {
     logic: Option<BoxTask<C>>,
@@ -69,21 +126,27 @@ pub struct Runtime {
     params: RuntimeParams,
     monitors: Vec<Box<dyn Monitor>>,
     throttle: ThrottleState,
+    actuator: Actuator,
 }
 
 impl Runtime {
-    /// Build a runtime over `machine`. Panics on invalid parameters or more
-    /// workers than cores.
-    pub fn new(machine: Machine, params: RuntimeParams) -> Self {
-        params.validate().expect("invalid runtime parameters");
-        assert!(
-            params.workers <= machine.topology().total_cores(),
-            "more workers ({}) than cores ({})",
-            params.workers,
-            machine.topology().total_cores()
-        );
+    /// Build a runtime over `machine`, rejecting invalid parameters and
+    /// worker counts beyond the core count with a typed error.
+    pub fn new(machine: Machine, params: RuntimeParams) -> Result<Self, RuntimeError> {
+        params.validate()?;
+        let cores = machine.topology().total_cores();
+        if params.workers > cores {
+            return Err(RuntimeError::WorkersExceedCores { workers: params.workers, cores });
+        }
         let default_limit = machine.topology().cores_per_socket.max(1) as usize;
-        Runtime { machine, params, monitors: Vec::new(), throttle: ThrottleState::new(default_limit) }
+        let actuator = Actuator::new(cores, ActuatorConfig::default());
+        Ok(Runtime {
+            machine,
+            params,
+            monitors: Vec::new(),
+            throttle: ThrottleState::new(default_limit),
+            actuator,
+        })
     }
 
     /// Register a monitor (RCR daemon, adaptive controller, power trace…).
@@ -121,8 +184,25 @@ impl Runtime {
         &self.params
     }
 
-    /// Execute `root` against `app` until it completes.
-    pub fn run<C>(&mut self, app: &mut C, root: BoxTask<C>) -> RunOutcome {
+    /// The verified duty-cycle writer (per-core breaker state, tallies).
+    pub fn actuator(&self) -> &Actuator {
+        &self.actuator
+    }
+
+    /// Mutable actuator access (e.g. to reset a tripped breaker).
+    pub fn actuator_mut(&mut self) -> &mut Actuator {
+        &mut self.actuator
+    }
+
+    /// Inject (or clear) duty-write faults for subsequent runs.
+    pub fn set_actuation_faults(&mut self, faults: Option<FaultPlan>) {
+        self.actuator.set_faults(faults);
+    }
+
+    /// Execute `root` against `app` until it completes. Fails with
+    /// [`RuntimeError::Deadlock`] if the task graph can never finish (e.g. a
+    /// parent waiting on children that were never released).
+    pub fn run<C>(&mut self, app: &mut C, root: BoxTask<C>) -> Result<RunOutcome, RuntimeError> {
         Exec::new(self).run(app, root)
     }
 }
@@ -206,10 +286,11 @@ impl<'r, C> Exec<'r, C> {
         self.shepherds.iter().map(|s| s.active).sum()
     }
 
-    fn run(mut self, app: &mut C, root: BoxTask<C>) -> RunOutcome {
+    fn run(mut self, app: &mut C, root: BoxTask<C>) -> Result<RunOutcome, RuntimeError> {
         let machine = &self.rt.machine;
         let start_ns = machine.now_ns();
         let start_j = machine.total_energy_joules();
+        let start_actuation = self.rt.actuator.totals();
 
         let root_shep = self.shepherd_of(0);
         let root_id = self.alloc_task(TaskRecord {
@@ -230,38 +311,50 @@ impl<'r, C> Exec<'r, C> {
                 break;
             }
             let Some(dt_ns) = self.next_event_dt() else {
-                panic!(
-                    "scheduler deadlock: no running work and no pending monitor \
-                     (live tasks: {}, total active: {})",
-                    self.live_tasks,
-                    self.total_active()
-                );
+                return Err(RuntimeError::Deadlock {
+                    live_tasks: self.live_tasks,
+                    total_active: self.total_active(),
+                    t_ns: self.rt.machine.now_ns(),
+                });
             };
             self.rt.machine.advance(dt_ns);
             self.progress_segments(app, dt_ns as f64);
         }
 
-        // Account residual spin time and restore machine core states.
+        // Account residual spin time and restore machine core states. The
+        // restore goes through the verified actuator too: a shutdown must
+        // never leave a core silently stuck at low duty.
         let now = self.rt.machine.now_ns();
         for w in 0..self.workers.len() {
             if let WorkerState::Spinning { since_ns, .. } = self.workers[w] {
                 self.stats.throttled_worker_ns += now - since_ns;
             }
+            let core = self.core_of(w);
             if self.rt.params.low_power_spin {
-                self.rt.machine.set_duty(self.core_of(w), DutyCycle::FULL);
+                let rt = &mut *self.rt;
+                let _ = rt.actuator.apply(&mut rt.machine, core, DutyCycle::FULL);
             }
-            self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+            self.rt.machine.set_activity(core, CoreActivity::Idle);
         }
+
+        let end_actuation = self.rt.actuator.totals();
+        self.stats.duty_write_attempts = end_actuation.attempts - start_actuation.attempts;
+        self.stats.duty_verify_failures =
+            end_actuation.verify_failures - start_actuation.verify_failures;
+        self.stats.failed_duty_applies =
+            end_actuation.failed_applies - start_actuation.failed_applies;
+        self.stats.forced_duty_resets = end_actuation.forced_resets - start_actuation.forced_resets;
+        self.stats.breaker_trips = end_actuation.breaker_trips - start_actuation.breaker_trips;
 
         let elapsed_s = (now - start_ns) as f64 * 1e-9;
         let joules = self.rt.machine.total_energy_joules() - start_j;
-        RunOutcome {
+        Ok(RunOutcome {
             value: self.root_value.take().expect("loop exits only with a root value"),
             elapsed_s,
             joules,
             avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
             stats: self.stats,
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -339,10 +432,11 @@ impl<'r, C> Exec<'r, C> {
                         self.stats.throttled_worker_ns += self.rt.machine.now_ns() - since_ns;
                         let core = self.core_of(w);
                         if self.rt.params.low_power_spin {
-                            self.rt.machine.set_duty(core, DutyCycle::FULL);
+                            let rt = &mut *self.rt;
+                            let outcome = rt.actuator.apply(&mut rt.machine, core, DutyCycle::FULL);
                             self.stats.duty_writes += 1;
-                            self.pending_overhead_ns[w] +=
-                                self.rt.machine.config().duty_write_latency_ns() as f64;
+                            self.pending_overhead_ns[w] += f64::from(outcome.attempts().max(1))
+                                * self.rt.machine.config().duty_write_latency_ns() as f64;
                         }
                         self.rt.machine.set_activity(core, CoreActivity::Idle);
                         self.workers[w] = WorkerState::Idle;
@@ -362,9 +456,12 @@ impl<'r, C> Exec<'r, C> {
         if let WorkerState::Spinning { since_ns, .. } = self.workers[w] {
             self.stats.throttled_worker_ns += self.rt.machine.now_ns() - since_ns;
             if self.rt.params.low_power_spin {
-                self.rt.machine.set_duty(self.core_of(w), DutyCycle::FULL);
+                let core = self.core_of(w);
+                let rt = &mut *self.rt;
+                let outcome = rt.actuator.apply(&mut rt.machine, core, DutyCycle::FULL);
                 self.stats.duty_writes += 1;
-                overhead_ns += self.rt.machine.config().duty_write_latency_ns() as f64;
+                overhead_ns += f64::from(outcome.attempts().max(1))
+                    * self.rt.machine.config().duty_write_latency_ns() as f64;
             }
         }
 
@@ -415,12 +512,19 @@ impl<'r, C> Exec<'r, C> {
                 let core = self.core_of(w);
                 self.rt.machine.set_activity(core, CoreActivity::Spin);
                 if self.rt.params.low_power_spin {
-                    self.rt.machine.set_duty(core, self.rt.params.spin_duty);
+                    let spin_duty = self.rt.params.spin_duty;
+                    let rt = &mut *self.rt;
+                    let outcome = rt.actuator.apply(&mut rt.machine, core, spin_duty);
                     self.stats.duty_writes += 1;
-                    // The MSR write stalls the core for ~250 memory ops.
+                    // Each MSR write attempt stalls the core for ~250 memory
+                    // ops; a retried or forced transaction costs more. A core
+                    // whose breaker is open (or whose write could not be
+                    // verified) spins at FULL duty instead — the actuator
+                    // fails toward performance, never toward stuck-low.
                     self.workers[w] = WorkerState::Running(Segment {
                         task: None,
-                        cpu_rem_ns: self.rt.machine.config().duty_write_latency_ns() as f64,
+                        cpu_rem_ns: f64::from(outcome.attempts().max(1))
+                            * self.rt.machine.config().duty_write_latency_ns() as f64,
                         mem_rem_ns: 0.0,
                         spin_epoch: self.wake_epoch,
                     });
@@ -735,6 +839,7 @@ mod tests {
 
     fn runtime(workers: usize) -> Runtime {
         Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+            .unwrap()
     }
 
     /// 1 ms of pure compute at 2.7 GHz.
@@ -745,7 +850,7 @@ mod tests {
     #[test]
     fn single_compute_task_takes_its_cost() {
         let mut rt = runtime(1);
-        let out = rt.run(&mut (), compute_leaf(ms_cost(100)));
+        let out = rt.run(&mut (), compute_leaf(ms_cost(100))).unwrap();
         assert!((out.elapsed_s - 0.1).abs() < 0.001, "elapsed {}", out.elapsed_s);
         assert_eq!(out.stats.tasks_completed, 1);
         assert!(out.joules > 0.0);
@@ -763,7 +868,7 @@ mod tests {
             let sum: u64 = vals.iter_mut().map(|v| v.take::<u64>().unwrap()).sum();
             (Cost::ZERO, TaskValue::of(sum))
         });
-        let out = rt.run(&mut (), root);
+        let out = rt.run(&mut (), root).unwrap();
         assert_eq!(out.value_as::<u64>(), Some(6));
     }
 
@@ -774,7 +879,7 @@ mod tests {
             let children: Vec<BoxTask<()>> =
                 (0..16).map(|_| compute_leaf(ms_cost(50))).collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            rt.run(&mut (), root).elapsed_s
+            rt.run(&mut (), root).unwrap().elapsed_s
         };
         let t1 = elapsed(1);
         let t16 = elapsed(16);
@@ -792,7 +897,7 @@ mod tests {
                 .map(|_| compute_leaf(Cost::new(1000, 2_000_000, 8.0, 0.2)))
                 .collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            rt.run(&mut (), root).elapsed_s
+            rt.run(&mut (), root).unwrap().elapsed_s
         };
         let t1 = elapsed(1);
         let t16 = elapsed(16);
@@ -814,7 +919,7 @@ mod tests {
             }
             Cost::compute(range.len() as u64 * 500, 0.5)
         });
-        let out = rt.run(&mut app, root);
+        let out = rt.run(&mut app, root).unwrap();
         assert!(app.iter().all(|&v| v == 1), "every index exactly once");
         // ceil(1000/13) chunks + root.
         assert_eq!(out.stats.tasks_completed, 77 + 1);
@@ -825,7 +930,7 @@ mod tests {
         let mut rt = runtime(16);
         let children: Vec<BoxTask<()>> = (0..64).map(|_| compute_leaf(ms_cost(5))).collect();
         let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-        let out = rt.run(&mut (), root);
+        let out = rt.run(&mut (), root).unwrap();
         // Work is enqueued on shepherd 0; socket-1 workers must steal.
         assert!(out.stats.steals > 0, "no steals happened");
         let ideal = 64.0 * 0.005 / 16.0;
@@ -839,7 +944,7 @@ mod tests {
         rt.throttle_mut().limit_per_shepherd = 3;
         let children: Vec<BoxTask<()>> = (0..48).map(|_| compute_leaf(ms_cost(20))).collect();
         let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-        let out = rt.run(&mut (), root);
+        let out = rt.run(&mut (), root).unwrap();
         assert!(out.stats.spin_entries > 0, "some workers must have spun");
         assert!(out.stats.throttled_worker_ns > 0);
         assert!(out.stats.duty_writes > 0);
@@ -858,7 +963,7 @@ mod tests {
             }
             let children: Vec<BoxTask<()>> = (0..64).map(|_| compute_leaf(ms_cost(20))).collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            rt.run(&mut (), root)
+            rt.run(&mut (), root).unwrap()
         };
         let free = run(false);
         let capped = run(true);
@@ -877,7 +982,7 @@ mod tests {
         rt.add_monitor(Box::new(PowerTrace::new(NS_PER_SEC / 100)));
         let children: Vec<BoxTask<()>> = (0..8).map(|_| compute_leaf(ms_cost(50))).collect();
         let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-        let out = rt.run(&mut (), root);
+        let out = rt.run(&mut (), root).unwrap();
         assert!(out.stats.monitor_fires >= 9, "fires: {}", out.stats.monitor_fires);
         let monitors = rt.take_monitors();
         let trace = monitors.into_iter().next().unwrap();
@@ -912,7 +1017,7 @@ mod tests {
             }
         }
         let mut rt = runtime(16);
-        let out = rt.run(&mut (), Box::new(Tree { depth: 12, phase: 0 }));
+        let out = rt.run(&mut (), Box::new(Tree { depth: 12, phase: 0 })).unwrap();
         assert_eq!(out.value_as::<u64>(), Some(1 << 12));
     }
 
@@ -924,7 +1029,7 @@ mod tests {
                 .map(|i| compute_leaf(Cost::new(1_000_000 + i * 7919, i * 100, 2.0, 0.5)))
                 .collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            let out = rt.run(&mut (), root);
+            let out = rt.run(&mut (), root).unwrap();
             (out.elapsed_s, out.joules, out.stats)
         };
         let a = run();
@@ -937,9 +1042,9 @@ mod tests {
     #[test]
     fn machine_clock_persists_across_runs() {
         let mut rt = runtime(2);
-        rt.run(&mut (), compute_leaf(ms_cost(10)));
+        rt.run(&mut (), compute_leaf(ms_cost(10))).unwrap();
         let t1 = rt.machine().now_ns();
-        rt.run(&mut (), compute_leaf(ms_cost(10)));
+        rt.run(&mut (), compute_leaf(ms_cost(10))).unwrap();
         assert!(rt.machine().now_ns() > t1);
     }
 
@@ -972,7 +1077,7 @@ mod tests {
         rt.add_monitor(Box::new(DeactivateAt { t_ns: 40_000_000, fired: false }));
         let children: Vec<BoxTask<()>> = (0..64).map(|_| compute_leaf(ms_cost(10))).collect();
         let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-        let out = rt.run(&mut (), root);
+        let out = rt.run(&mut (), root).unwrap();
         // 4 active for 0.04 s, then 16: well under the fully-throttled time
         // of 64*10ms/4 = 0.16 s.
         assert!(out.stats.spin_entries > 0, "must have throttled first");
@@ -1003,7 +1108,7 @@ mod tests {
             })
             .collect();
         let root = crate::adapters::sequential(loops);
-        let out = rt.run(&mut app, root);
+        let out = rt.run(&mut app, root).unwrap();
         assert!(app.iter().all(|&v| v == 2), "both loops ran fully");
         assert!(out.stats.spin_entries > 0);
         // All spin time is accounted even though the throttle never lifted
@@ -1024,7 +1129,7 @@ mod tests {
             }
             let children: Vec<BoxTask<()>> = (0..32).map(|_| compute_leaf(ms_cost(10))).collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            rt.run(&mut (), root).elapsed_s
+            rt.run(&mut (), root).unwrap().elapsed_s
         };
         let full = elapsed(PState::MAX);
         let slow = elapsed(PState::MIN);
@@ -1037,17 +1142,95 @@ mod tests {
     }
 
     #[test]
+    fn construction_rejects_bad_configs_with_typed_errors() {
+        let m = Machine::new(MachineConfig::sandybridge_2x8());
+        match Runtime::new(m.clone(), RuntimeParams::qthreads(0)) {
+            Err(RuntimeError::InvalidParams(ParamsError::NoWorkers)) => {}
+            other => panic!("expected NoWorkers, got {:?}", other.err()),
+        }
+        match Runtime::new(m, RuntimeParams::qthreads(17)) {
+            Err(RuntimeError::WorkersExceedCores { workers: 17, cores: 16 }) => {}
+            other => panic!("expected WorkersExceedCores, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn impossible_throttle_limit_is_a_deadlock_error_not_a_panic() {
+        // With the throttle pinned on and a limit of zero, no worker can
+        // ever start the root task: the scheduler must report the deadlock
+        // through the result path instead of panicking.
+        let mut rt = runtime(4);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 0;
+        let err = rt.run(&mut (), compute_leaf(ms_cost(1))).unwrap_err();
+        match err {
+            RuntimeError::Deadlock { live_tasks, total_active, .. } => {
+                assert_eq!(live_tasks, 1);
+                assert_eq!(total_active, 0);
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn write_faults_force_full_duty_and_are_counted() {
+        // Every duty write lands torn (a different level than requested):
+        // no transaction ever verifies, the per-core breakers trip, and
+        // shutdown leaves every core at FULL duty — never stuck low.
+        let mut rt = runtime(16);
+        *rt.actuator_mut() = Actuator::new(
+            rt.machine().topology().total_cores(),
+            ActuatorConfig { breaker_threshold: 1, ..ActuatorConfig::default() },
+        );
+        rt.set_actuation_faults(Some(FaultPlan::new(7).with_duty_write_torn_rate(1.0)));
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 3;
+        let children: Vec<BoxTask<()>> = (0..48).map(|_| compute_leaf(ms_cost(20))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root).unwrap();
+        assert!(out.stats.spin_entries > 0);
+        assert!(out.stats.failed_duty_applies > 0, "{:?}", out.stats);
+        assert!(out.stats.breaker_trips > 0, "{:?}", out.stats);
+        assert!(
+            out.stats.duty_write_attempts > out.stats.duty_writes,
+            "failed transactions must retry: {:?}",
+            out.stats
+        );
+        for c in rt.machine().topology().all_cores() {
+            assert_eq!(rt.machine().duty(c), DutyCycle::FULL, "core {c} left throttled");
+        }
+    }
+
+    #[test]
+    fn clean_writes_keep_attempts_equal_to_writes() {
+        let mut rt = runtime(16);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 3;
+        let children: Vec<BoxTask<()>> = (0..48).map(|_| compute_leaf(ms_cost(20))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root).unwrap();
+        assert!(out.stats.duty_writes > 0);
+        assert_eq!(out.stats.duty_verify_failures, 0);
+        assert_eq!(out.stats.breaker_trips, 0);
+        assert_eq!(out.stats.forced_duty_resets, 0);
+        // The end-of-run restore also writes through the actuator, so
+        // attempts = logical spin-path writes + one restore per worker.
+        assert_eq!(out.stats.duty_write_attempts, out.stats.duty_writes + 16, "{:?}", out.stats);
+    }
+
+    #[test]
     fn fine_grained_tasks_pay_contention_on_shared_pool() {
         // With a steep contention slope, 16 workers on tiny tasks are slower
         // than 1 worker — the paper's untuned fibonacci behaviour.
         let elapsed = |workers: usize| {
             let params = RuntimeParams::shared_pool_omp(workers, 3000);
             let mut rt =
-                Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), params);
+                Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), params).unwrap();
             let children: Vec<BoxTask<()>> =
                 (0..3000).map(|_| compute_leaf(Cost::compute(600, 0.2))).collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            rt.run(&mut (), root).elapsed_s
+            rt.run(&mut (), root).unwrap().elapsed_s
         };
         let t1 = elapsed(1);
         let t16 = elapsed(16);

@@ -8,7 +8,7 @@ use maestro_runtime::{
 use proptest::prelude::*;
 
 fn runtime(workers: usize) -> Runtime {
-    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers)).unwrap()
 }
 
 proptest! {
@@ -30,7 +30,7 @@ proptest! {
             }
             Cost::compute(100 * range.len() as u64, 0.5)
         });
-        rt.run(&mut app, root);
+        rt.run(&mut app, root).unwrap();
         prop_assert!(app.iter().all(|&v| v == 1));
     }
 
@@ -71,7 +71,7 @@ proptest! {
             (Cost::ZERO, TaskValue::of(total))
         });
         let mut app = Vec::new();
-        let out = rt.run(&mut app, root);
+        let out = rt.run(&mut app, root).unwrap();
         prop_assert_eq!(out.value_as::<usize>(), Some(expected_total));
         prop_assert_eq!(app.len(), expected_total);
         // Each (group, leaf) payload ran exactly once.
@@ -91,7 +91,7 @@ proptest! {
                 .map(|_| compute_leaf(Cost::compute(27_000_000, 0.8))) // 10 ms
                 .collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            rt.run(&mut (), root).elapsed_s
+            rt.run(&mut (), root).unwrap().elapsed_s
         };
         let t1 = elapsed(1);
         let t16 = elapsed(16);
@@ -114,7 +114,7 @@ proptest! {
             .map(|_| compute_leaf(Cost::compute(27_000_000, 0.8)))
             .collect();
         let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-        let out = rt.run(&mut (), root);
+        let out = rt.run(&mut (), root).unwrap();
         let allowed = (limit * 2).min(16); // two shepherds
         let lower_bound = (tasks as f64 * task_s / allowed as f64) * 0.98;
         prop_assert!(

@@ -1,0 +1,266 @@
+//! Chaos harness for the supervised control plane.
+//!
+//! Composes every fault family the stack knows — RAPL read faults (PR 1),
+//! duty-write faults, and scripted daemon kills — over seeded schedules and
+//! asserts the full loop degrades *safely*:
+//!
+//! * no panic: every run completes through [`Maestro::try_run`];
+//! * fail toward performance: no core is left below `DutyCycle::FULL` after
+//!   shutdown, whatever the actuator had to survive;
+//! * energy accounting stays exact across daemon restarts (checkpointed
+//!   wrap trackers book the outage gap);
+//! * recovery and actuation decisions are visible in the run report.
+//!
+//! `CHAOS_SEED=<n>` narrows the sweep to one seed — the CI chaos matrix
+//! fans the seeds out across jobs; locally the whole set runs in-process.
+
+use maestro::{Maestro, MaestroConfig};
+use maestro_machine::{
+    Actuator, ActuatorConfig, CoreActivity, Cost, DutyCycle, FaultPlan, Machine, MachineConfig,
+    SocketId, NS_PER_SEC,
+};
+use maestro_rcr::{Supervisor, SupervisorConfig};
+use maestro_runtime::{compute_leaf, fork_join, BoxTask, TaskValue};
+
+const MS: u64 = 1_000_000;
+
+/// The seed matrix: all of 1..=8 locally, a single seed under `CHAOS_SEED`
+/// (how the CI matrix splits the sweep across jobs).
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be an integer seed")],
+        Err(_) => (1..=8).collect(),
+    }
+}
+
+/// SplitMix64 — the same generator the fault plans use, reused here to
+/// scatter kill times and fault rates deterministically per seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A hot, memory-contended workload (high intensity, high MLP) — the kind
+/// the controller actually throttles, so the actuator write path is hot.
+fn contended_root(tasks: usize) -> BoxTask<()> {
+    let children: Vec<BoxTask<()>> = (0..tasks)
+        .map(|_| compute_leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95)))
+        .collect();
+    fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()))
+}
+
+/// Every core must sit at FULL duty once the runtime has shut down — the
+/// actuator's one inviolable post-condition under any fault mix.
+fn assert_all_cores_full(m: &Maestro, ctx: &str) {
+    for c in m.machine().topology().all_cores() {
+        assert_eq!(
+            m.machine().duty(c),
+            DutyCycle::FULL,
+            "{ctx}: core {c:?} left below full duty after shutdown"
+        );
+    }
+}
+
+/// The headline sweep: for each seed, a schedule mixing read faults,
+/// write faults, and one-or-more daemon kills, driven through the full
+/// Maestro facade on a contended workload.
+#[test]
+fn full_loop_survives_seeded_chaos_schedules() {
+    for seed in seeds() {
+        let mut rng = seed;
+        // One to three kills, all landing while the run is hot (the
+        // contended workload runs ≈2 s of virtual time).
+        let n_kills = 1 + (splitmix(&mut rng) % 3) as usize;
+        let kills: Vec<u64> = (0..n_kills)
+            .map(|i| 300 * MS + i as u64 * 400 * MS + splitmix(&mut rng) % (100 * MS))
+            .collect();
+        let read_plan = FaultPlan::new(seed)
+            .with_transient_error_rate(0.05 + 0.10 * unit_f64(&mut rng))
+            .with_drop_sample_rate(0.05 * unit_f64(&mut rng))
+            .with_sample_jitter(2 * MS)
+            .with_daemon_kills(&kills);
+        let write_plan = FaultPlan::new(seed ^ 0x5eed)
+            .with_duty_write_fail_rate(0.10 + 0.15 * unit_f64(&mut rng))
+            .with_duty_write_torn_rate(0.10 * unit_f64(&mut rng))
+            .with_duty_write_ignore_rate(0.10 * unit_f64(&mut rng));
+
+        let mut cfg = MaestroConfig::adaptive(16);
+        cfg.controller.faults = Some(read_plan);
+        cfg.controller.supervisor = SupervisorConfig {
+            initial_backoff_ns: 50 * MS,
+            ..SupervisorConfig::default()
+        };
+        let mut m = Maestro::try_new(cfg).expect("valid config");
+        m.runtime_mut().set_actuation_faults(Some(write_plan));
+
+        // No panic: the chaos schedule must surface as degraded-but-Ok.
+        let report = m
+            .try_run("chaos", &mut (), contended_root(4000))
+            .unwrap_or_else(|e| panic!("seed {seed}: chaos run failed: {e}"));
+
+        assert_all_cores_full(&m, &format!("seed {seed}"));
+        assert!(
+            report.elapsed_s > 1.0 && report.joules > 0.0 && report.joules.is_finite(),
+            "seed {seed}: implausible accounting: {report}"
+        );
+
+        let t = report.throttle.as_ref().expect("adaptive run has a summary");
+        // Recovery is visible and consistent: every scheduled kill that the
+        // run was long enough to reach is reported, each matched by a
+        // restart (the budget of 5 is never exhausted by ≤3 kills).
+        assert!(
+            t.daemon_kills >= 1 && t.daemon_kills <= n_kills as u64,
+            "seed {seed}: kills out of range: {t:?}"
+        );
+        assert_eq!(
+            t.daemon_restarts, t.daemon_kills,
+            "seed {seed}: every death within budget restarts: {t:?}"
+        );
+        assert!(!t.daemon_gave_up, "seed {seed}: budget must hold: {t:?}");
+        assert!(
+            t.checkpoint_restores <= t.daemon_restarts,
+            "seed {seed}: at most one restore per restart: {t:?}"
+        );
+        // Actuation accounting is internally consistent. Retries happen
+        // (fail rate ≥ 0.10 over hundreds of writes) and every transaction
+        // that exhausted them shows up as a forced reset.
+        assert!(
+            report.stats.duty_write_attempts > report.stats.duty_writes,
+            "seed {seed}: fault mix must force retries: {:?}",
+            report.stats
+        );
+        assert!(
+            t.forced_duty_resets >= t.failed_duty_applies,
+            "seed {seed}: failed applies force resets: {t:?}"
+        );
+    }
+}
+
+/// Energy accounting is exact across restarts: the blackboard's cumulative
+/// Joules track the machine's ground truth through kill/restart cycles,
+/// because the restored wrap-tracker checkpoint books the outage gap.
+#[test]
+fn blackboard_energy_stays_exact_across_restarts() {
+    for seed in seeds() {
+        let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15);
+        let kills: Vec<u64> = (0..2)
+            .map(|i| NS_PER_SEC + i * NS_PER_SEC + splitmix(&mut rng) % (NS_PER_SEC / 2))
+            .collect();
+        let plan = FaultPlan::new(seed)
+            .with_transient_error_rate(0.10)
+            .with_daemon_kills(&kills);
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for c in m.topology().all_cores() {
+            m.set_activity(c, CoreActivity::Busy { intensity: 0.9, ocr: 1.5 });
+        }
+        let mut sup = Supervisor::new(&m, SupervisorConfig::default()).with_faults(plan);
+        let bb = sup.blackboard().clone();
+
+        // 4 s of supervised sampling: both kills, both recoveries.
+        let end = 4 * NS_PER_SEC;
+        while m.now_ns() < end {
+            if m.now_ns() >= sup.next_due_ns() {
+                let _ = sup.sample(&m);
+            }
+            m.advance(10 * MS);
+        }
+        let stats = sup.stats();
+        assert_eq!(stats.kills, 2, "seed {seed}: {stats:?}");
+        assert_eq!(stats.restarts, 2, "seed {seed}: {stats:?}");
+        assert_eq!(bb.epoch(), 2, "seed {seed}: one epoch per incarnation");
+
+        for (i, s) in bb.snapshot_all().iter().enumerate() {
+            let truth = m.energy_joules(SocketId(i as u8));
+            let err = (s.energy_j - truth).abs() / truth;
+            assert!(
+                err < 0.05,
+                "seed {seed} socket {i}: published {} J, truth {truth} J ({:.1}% off)",
+                s.energy_j,
+                err * 100.0
+            );
+        }
+    }
+}
+
+/// Deterministic scenario: torn duty writes trip every per-core breaker;
+/// the failure is visible in the report and the machine fails open.
+#[test]
+fn torn_writes_trip_breakers_and_fail_open() {
+    let mut m = Maestro::new(MaestroConfig::adaptive(16));
+    let cores = m.machine().topology().total_cores();
+    // A hair-trigger breaker so a single exhausted transaction trips it.
+    *m.runtime_mut().actuator_mut() =
+        Actuator::new(cores, ActuatorConfig { breaker_threshold: 1, ..ActuatorConfig::default() });
+    m.runtime_mut()
+        .set_actuation_faults(Some(FaultPlan::new(7).with_duty_write_torn_rate(1.0)));
+
+    let report = m.run("torn", &mut (), contended_root(2500));
+    assert_all_cores_full(&m, "torn writes");
+
+    let t = report.throttle.as_ref().expect("adaptive summary");
+    assert!(t.failed_duty_applies > 0, "all-torn writes must fail applies: {t:?}");
+    assert!(t.breaker_trips > 0, "hair-trigger breakers must trip: {t:?}");
+    assert!(t.forced_duty_resets > 0, "{t:?}");
+    let shown = report.to_string();
+    assert!(
+        shown.contains("breaker trip(s)") && shown.contains("failed apply(s)"),
+        "actuation trouble must be visible in the report: {shown}"
+    );
+}
+
+/// Deterministic scenario: one mid-run daemon kill recovers via checkpoint
+/// restore with no spurious throttle transition, and says so in the report.
+#[test]
+fn daemon_kill_mid_run_recovers_and_reports_it() {
+    let mut cfg = MaestroConfig::adaptive(16);
+    cfg.controller.faults = Some(FaultPlan::new(11).with_daemon_kills(&[800 * MS]));
+    let mut m = Maestro::try_new(cfg).expect("valid config");
+
+    let report = m.try_run("kill", &mut (), contended_root(4000)).expect("no panic");
+    assert_all_cores_full(&m, "daemon kill");
+
+    let t = report.throttle.as_ref().expect("adaptive summary");
+    assert_eq!(t.daemon_kills, 1, "{t:?}");
+    assert_eq!(t.daemon_restarts, 1, "{t:?}");
+    assert!(t.checkpoint_restores >= 1, "controller resumes from checkpoint: {t:?}");
+    assert!(!t.daemon_gave_up, "{t:?}");
+    // The contended workload throttles once and the restart does not bounce
+    // the flag: recovery must not cost a spurious transition.
+    assert_eq!(t.activations, 1, "restart must not re-trigger throttling: {t:?}");
+    let shown = report.to_string();
+    assert!(
+        shown.contains("recovery") && shown.contains("1 restart(s)"),
+        "recovery must be visible in the report: {shown}"
+    );
+}
+
+/// Deterministic scenario: a kill with a long restart backoff darkens the
+/// pipeline long enough for safe mode — the controller fails open (releases
+/// the throttle) rather than acting on stale data.
+#[test]
+fn long_outage_enters_safe_mode_and_releases_throttle() {
+    let mut cfg = MaestroConfig::adaptive(16);
+    cfg.controller.faults = Some(FaultPlan::new(13).with_daemon_kills(&[600 * MS]));
+    cfg.controller.supervisor = SupervisorConfig {
+        initial_backoff_ns: NS_PER_SEC, // 10 dark periods ≫ safe-mode trigger
+        ..SupervisorConfig::default()
+    };
+    let mut m = Maestro::try_new(cfg).expect("valid config");
+
+    let report = m.try_run("outage", &mut (), contended_root(4000)).expect("no panic");
+    assert_all_cores_full(&m, "long outage");
+
+    let t = report.throttle.as_ref().expect("adaptive summary");
+    assert!(
+        t.safe_mode_decisions > 0,
+        "a 1 s dark pipeline must fail safe: {t:?}"
+    );
+    assert_eq!(t.daemon_kills, 1, "{t:?}");
+}

@@ -25,7 +25,7 @@ impl Monitor for ScriptedToggles {
 }
 
 fn runtime(workers: usize) -> Runtime {
-    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers))
+    Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(workers)).unwrap()
 }
 
 proptest! {
@@ -55,7 +55,7 @@ proptest! {
             }
             Cost::new(2_700_000, 10_000, 3.0, 0.7)
         });
-        let out = rt.run(&mut app, root);
+        let out = rt.run(&mut app, root).unwrap();
         prop_assert!(app.iter().all(|&v| v == 1), "exactly-once violated");
         prop_assert!(out.elapsed_s > 0.0 && out.joules > 0.0);
         // Spin accounting is consistent: spin entries imply duty writes and
@@ -84,7 +84,7 @@ proptest! {
                 .map(|i| compute_leaf(Cost::new(1_000_000 + i * 31, 5_000, 2.0, 0.5)))
                 .collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            let out = rt.run(&mut (), root);
+            let out = rt.run(&mut (), root).unwrap();
             (out.elapsed_s.to_bits(), out.joules.to_bits())
         };
         prop_assert_eq!(run(), run());
@@ -106,7 +106,7 @@ proptest! {
             let children: Vec<BoxTask<()>> =
                 (0..32).map(|_| compute_leaf(Cost::compute(27_000_000, 0.8))).collect();
             let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
-            rt.run(&mut (), root).elapsed_s
+            rt.run(&mut (), root).unwrap().elapsed_s
         };
         let nominal = elapsed(None);
         let scaled = elapsed(Some((
