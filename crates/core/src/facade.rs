@@ -343,7 +343,7 @@ impl Maestro {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maestro_machine::Cost;
+    use maestro_machine::{Cost, DutyCycle};
     use maestro_runtime::{compute_leaf, fork_join};
 
     /// A workload that is both hot and memory-contended: many coarse tasks
@@ -423,5 +423,53 @@ mod tests {
         let r = m.run("x", &mut (), contended_root(300));
         let s = r.to_string();
         assert!(s.contains('W') && s.contains("throttled"), "{s}");
+    }
+
+    #[test]
+    fn try_run_surfaces_task_failure_with_partial_stats() {
+        use maestro_runtime::{leaf, RuntimeError};
+
+        let mut m = Maestro::new(MaestroConfig::adaptive(16));
+        let mut children: Vec<BoxTask<()>> = (0..64)
+            .map(|_| compute_leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95)))
+            .collect();
+        children.push(leaf(|_: &mut (), _| panic!("boom in the facade")));
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+
+        let err = m.try_run("fails", &mut (), root).expect_err("a panicking leaf cannot succeed");
+        match &err {
+            RuntimeError::TaskFailed { failure, .. } => {
+                assert!(failure.message.contains("boom in the facade"), "{failure}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+        let partial = err.partial_stats().expect("facade errors keep partial stats");
+        assert_eq!(partial.task_panics, 1, "{partial:?}");
+        assert!(partial.tasks_completed > 0, "{partial:?}");
+        // The facade stays usable and the machine stays clean after a failure.
+        for c in m.machine().topology().all_cores() {
+            assert_eq!(m.machine().duty(c), DutyCycle::FULL);
+        }
+        let r = m.run("recovers", &mut (), contended_root(300));
+        assert!(r.elapsed_s > 0.0 && r.joules > 0.0);
+    }
+
+    #[test]
+    fn try_run_enforces_a_configured_deadline() {
+        use maestro_runtime::{RunLimit, RuntimeError};
+
+        let mut cfg = MaestroConfig::adaptive(16);
+        cfg.runtime.deadline_ns = Some(100_000_000);
+        let mut m = Maestro::try_new(cfg).expect("valid config");
+        let err = m
+            .try_run("wedged", &mut (), contended_root(100_000))
+            .expect_err("100 k contended tasks cannot finish in 100 ms");
+        match err {
+            RuntimeError::DeadlineExceeded { limit: RunLimit::WallClock { deadline_ns }, .. } => {
+                assert_eq!(deadline_ns, 100_000_000);
+            }
+            other => panic!("expected a wall-clock DeadlineExceeded, got {other:?}"),
+        }
+        assert!(m.machine().now_ns() <= 100_000_000, "clock stops at the deadline");
     }
 }

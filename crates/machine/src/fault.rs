@@ -81,6 +81,11 @@ pub struct FaultPlan {
     duty_write_ignore_rate: f64,
     daemon_kills_ns: Vec<u64>,
     kills_consumed: Cell<usize>,
+    task_panic_at_steps: Vec<u64>,
+    panics_consumed: Cell<usize>,
+    task_wedge_at_steps: Vec<u64>,
+    wedges_consumed: Cell<usize>,
+    lost_wake_rate: f64,
     rng: Cell<u64>,
     energy_reads: Cell<u64>,
     frozen: Mutex<HashMap<u16, u64>>,
@@ -100,6 +105,11 @@ impl Clone for FaultPlan {
             duty_write_ignore_rate: self.duty_write_ignore_rate,
             daemon_kills_ns: self.daemon_kills_ns.clone(),
             kills_consumed: self.kills_consumed.clone(),
+            task_panic_at_steps: self.task_panic_at_steps.clone(),
+            panics_consumed: self.panics_consumed.clone(),
+            task_wedge_at_steps: self.task_wedge_at_steps.clone(),
+            wedges_consumed: self.wedges_consumed.clone(),
+            lost_wake_rate: self.lost_wake_rate,
             rng: self.rng.clone(),
             energy_reads: self.energy_reads.clone(),
             frozen: Mutex::new(self.frozen.lock().expect("fault plan lock").clone()),
@@ -186,6 +196,68 @@ impl FaultPlan {
         self.daemon_kills_ns = kills_ns.to_vec();
         self.daemon_kills_ns.sort_unstable();
         self
+    }
+
+    /// Script task panics: the task `step` whose global index (0-based,
+    /// counted across the whole run) matches an entry panics instead of
+    /// running. Each entry fires once, in order.
+    pub fn with_task_panic_at_steps(mut self, steps: &[u64]) -> Self {
+        self.task_panic_at_steps = steps.to_vec();
+        self.task_panic_at_steps.sort_unstable();
+        self
+    }
+
+    /// Script task wedges: the task `step` whose global index matches an
+    /// entry returns an effectively-infinite compute segment, hanging the
+    /// run until its deadline or step budget fires. Each entry fires once.
+    pub fn with_task_wedge_at_steps(mut self, steps: &[u64]) -> Self {
+        self.task_wedge_at_steps = steps.to_vec();
+        self.task_wedge_at_steps.sort_unstable();
+        self
+    }
+
+    /// Each spinner wake event is lost (the wake epoch fails to advance)
+    /// with probability `rate` — the scheduler must recover on its own.
+    pub fn with_lost_wake_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of [0,1]");
+        self.lost_wake_rate = rate;
+        self
+    }
+
+    /// True when any task-level fault is configured.
+    pub fn has_task_faults(&self) -> bool {
+        !self.task_panic_at_steps.is_empty()
+            || !self.task_wedge_at_steps.is_empty()
+            || self.lost_wake_rate > 0.0
+    }
+
+    /// Consume any scripted panic whose step index has been reached; true
+    /// when the step at index `step` must panic.
+    pub fn task_panic_due(&self, step: u64) -> bool {
+        let idx = self.panics_consumed.get();
+        if idx < self.task_panic_at_steps.len() && self.task_panic_at_steps[idx] <= step {
+            self.panics_consumed.set(idx + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume any scripted wedge whose step index has been reached; true
+    /// when the step at index `step` must wedge.
+    pub fn task_wedge_due(&self, step: u64) -> bool {
+        let idx = self.wedges_consumed.get();
+        if idx < self.task_wedge_at_steps.len() && self.task_wedge_at_steps[idx] <= step {
+            self.wedges_consumed.set(idx + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Roll the lost-wake fault for one spinner wake event.
+    pub fn lose_wake(&self) -> bool {
+        self.roll(self.lost_wake_rate)
     }
 
     /// True when any duty-write fault rate is non-zero.
@@ -487,6 +559,44 @@ mod tests {
         // Two overdue kills collapse into the latest.
         assert_eq!(plan.kill_due(1000), Some(300));
         assert_eq!(plan.kill_due(u64::MAX), None);
+    }
+
+    #[test]
+    fn task_fault_schedules_consume_in_order() {
+        let plan = FaultPlan::new(14)
+            .with_task_panic_at_steps(&[50, 10])
+            .with_task_wedge_at_steps(&[30]);
+        assert!(plan.has_task_faults());
+        assert!(!plan.task_panic_due(5));
+        assert!(plan.task_panic_due(10), "first scripted panic fires at its step");
+        assert!(!plan.task_panic_due(10), "each entry fires once");
+        assert!(plan.task_panic_due(200), "overdue entries still fire");
+        assert!(!plan.task_panic_due(u64::MAX));
+        assert!(!plan.task_wedge_due(29));
+        assert!(plan.task_wedge_due(30));
+        assert!(!plan.task_wedge_due(u64::MAX));
+    }
+
+    #[test]
+    fn lost_wake_rate_rolls_deterministically() {
+        let draws = |seed: u64| {
+            let plan = FaultPlan::new(seed).with_lost_wake_rate(0.5);
+            (0..64).map(|_| plan.lose_wake()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(15), draws(15));
+        let lost = draws(15).iter().filter(|&&b| b).count();
+        assert!((10..54).contains(&lost), "rate 0.5 gave {lost}/64 lost wakes");
+        let quiet = FaultPlan::new(16);
+        assert!(!quiet.has_task_faults());
+        assert!(!quiet.lose_wake());
+    }
+
+    #[test]
+    fn cloned_plan_replays_task_fault_state() {
+        let plan = FaultPlan::new(17).with_task_panic_at_steps(&[3]);
+        assert!(plan.task_panic_due(3));
+        let cloned = plan.clone();
+        assert!(!cloned.task_panic_due(100), "clone carries consumed entries");
     }
 
     #[test]

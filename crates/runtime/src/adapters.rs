@@ -191,23 +191,33 @@ where
 mod tests {
     use super::*;
 
+    fn test_ctx(children: Vec<TaskValue>) -> TaskCtx {
+        TaskCtx {
+            children,
+            now_ns: 0,
+            worker: 0,
+            shepherd: 0,
+            cancel: crate::cancel::CancelToken::new(),
+        }
+    }
+
     fn step_to_done<C>(task: &mut dyn TaskLogic<C>, app: &mut C) -> TaskValue {
         // Drive a task ignoring costs and executing children depth-first —
         // a tiny synchronous interpreter for unit-testing adapters without
         // the scheduler.
         fn drive<C>(task: &mut dyn TaskLogic<C>, app: &mut C, inbox: Vec<TaskValue>) -> TaskValue {
-            let mut ctx = TaskCtx { children: inbox, now_ns: 0, worker: 0, shepherd: 0 };
+            let mut ctx = test_ctx(inbox);
             loop {
                 match task.step(app, &mut ctx) {
                     Step::Compute(_) => {
-                        ctx = TaskCtx { children: Vec::new(), now_ns: 0, worker: 0, shepherd: 0 };
+                        ctx = test_ctx(Vec::new());
                     }
                     Step::SpawnWait(children) => {
                         let values = children
                             .into_iter()
                             .map(|mut c| drive(c.as_mut(), app, Vec::new()))
                             .collect();
-                        ctx = TaskCtx { children: values, now_ns: 0, worker: 0, shepherd: 0 };
+                        ctx = test_ctx(values);
                     }
                     Step::Done(v) => return v,
                 }

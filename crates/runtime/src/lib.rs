@@ -32,13 +32,26 @@
 //! the throttle flag is set and a worker looking for work would exceed the
 //! shepherd-local limit, that worker enters a spin loop in a low-power state
 //! (duty cycle 1/32, ~3 W below a full-speed spin) and wakes only on one of
-//! four conditions — throttle deactivation, application completion, parallel
-//! region termination, or parallel loop termination. The flag itself is set
-//! by a [`Monitor`] (the adaptive controller lives in the `maestro` crate).
+//! five conditions — throttle deactivation, application completion, parallel
+//! region termination, parallel loop termination (the paper's four), or a
+//! cancellation event on the run's token tree. The flag itself is set by a
+//! [`Monitor`] (the adaptive controller lives in the `maestro` crate).
+//!
+//! ## Fault tolerance
+//!
+//! Every task `step` runs under panic isolation: a panicking task body is
+//! contained at the dispatch boundary, converted into a typed
+//! [`TaskFailure`] with a task-path backtrace, and surfaced as
+//! [`RuntimeError::TaskFailed`](scheduler::RuntimeError::TaskFailed) after
+//! the graph drains. Region-scoped [`CancelToken`]s stop a subtree (or the
+//! whole run) at the next yield point, and a wall-clock deadline or step
+//! budget in [`RuntimeParams`] bounds wedged or livelocked workloads. All
+//! of these paths restore every core to full duty before returning.
 
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod cancel;
 pub mod monitor;
 pub mod params;
 pub mod report;
@@ -46,8 +59,9 @@ pub mod scheduler;
 pub mod task;
 
 pub use adapters::{compute_leaf, fork_join, leaf, parallel_for, sequential, single, taskloop};
-pub use monitor::{Monitor, ThrottleState, Watchdog};
+pub use cancel::CancelToken;
+pub use monitor::{CancelAt, Monitor, ThrottleState, Watchdog};
 pub use params::{ParamsError, RuntimeParams};
 pub use report::{RunOutcome, RunStats};
-pub use scheduler::{Runtime, RuntimeError};
+pub use scheduler::{RunLimit, Runtime, RuntimeError, TaskFailure};
 pub use task::{BoxTask, Step, TaskCtx, TaskLogic, TaskValue};

@@ -13,6 +13,8 @@ use std::rc::Rc;
 
 use maestro_machine::Machine;
 
+use crate::cancel::CancelToken;
+
 /// Shared throttle directives the scheduler consults at every
 /// thread-initiation point (task dispatch), per §IV of the paper.
 #[derive(Clone, Debug)]
@@ -87,6 +89,38 @@ impl Monitor for PowerTrace {
     fn fire(&mut self, machine: &mut Machine, _throttle: &mut ThrottleState) {
         self.samples.push((machine.now_ns(), machine.node_power_w()));
         self.next_ns = machine.now_ns() + self.period_ns;
+    }
+}
+
+/// A monitor that cancels a [`CancelToken`] at a fixed virtual time — the
+/// building block for externally timed cancellation (stop a run after its
+/// measurement window, abort a region on an operator signal, tests).
+#[derive(Clone, Debug)]
+pub struct CancelAt {
+    t_ns: u64,
+    token: CancelToken,
+    fired: bool,
+}
+
+impl CancelAt {
+    /// Cancel `token` once the virtual clock reaches `t_ns`.
+    pub fn new(t_ns: u64, token: CancelToken) -> Self {
+        CancelAt { t_ns, token, fired: false }
+    }
+}
+
+impl Monitor for CancelAt {
+    fn next_due_ns(&self) -> Option<u64> {
+        if self.fired {
+            None
+        } else {
+            Some(self.t_ns)
+        }
+    }
+
+    fn fire(&mut self, _machine: &mut Machine, _throttle: &mut ThrottleState) {
+        self.token.cancel();
+        self.fired = true;
     }
 }
 
@@ -199,6 +233,20 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn watchdog_zero_period_rejected() {
         Watchdog::new(0, Rc::new(Cell::new(0)));
+    }
+
+    #[test]
+    fn cancel_at_fires_once_then_goes_quiet() {
+        use maestro_machine::MachineConfig;
+        let mut machine = Machine::new(MachineConfig::sandybridge_2x8());
+        let mut throttle = ThrottleState::new(6);
+        let token = CancelToken::new();
+        let mut monitor = CancelAt::new(500, token.clone());
+        assert_eq!(monitor.next_due_ns(), Some(500));
+        machine.advance(500);
+        monitor.fire(&mut machine, &mut throttle);
+        assert!(token.is_cancelled());
+        assert_eq!(monitor.next_due_ns(), None, "one-shot monitor");
     }
 
     #[test]

@@ -22,12 +22,18 @@ use serde::{Deserialize, Serialize};
 pub enum ParamsError {
     /// `workers` was zero.
     NoWorkers,
+    /// `deadline_ns` was `Some(0)` — a run cannot be given zero time.
+    ZeroDeadline,
+    /// `step_budget` was `Some(0)` — a run cannot be given zero steps.
+    ZeroStepBudget,
 }
 
 impl std::fmt::Display for ParamsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParamsError::NoWorkers => write!(f, "runtime needs at least one worker"),
+            ParamsError::ZeroDeadline => write!(f, "run deadline must be positive"),
+            ParamsError::ZeroStepBudget => write!(f, "step budget must be positive"),
         }
     }
 }
@@ -77,6 +83,16 @@ pub struct RuntimeParams {
     /// Whether throttled spinners use the low-power duty state at all
     /// (disabling this models a naive full-speed spin loop).
     pub low_power_spin: bool,
+    /// Wall-clock (virtual-time) budget for one run, nanoseconds from the
+    /// run's start. A run that has not completed when the clock reaches the
+    /// deadline ends in `RuntimeError::DeadlineExceeded` with partial stats
+    /// instead of hanging on a wedged task. `None` (the default) disables
+    /// the deadline.
+    pub deadline_ns: Option<u64>,
+    /// Maximum task `step` calls for one run — a virtual-time-independent
+    /// backstop against zero-cost livelock. Exceeding it ends the run in
+    /// `RuntimeError::DeadlineExceeded`. `None` (the default) disables it.
+    pub step_budget: Option<u64>,
 }
 
 impl RuntimeParams {
@@ -94,6 +110,8 @@ impl RuntimeParams {
             work_dilation_per_worker: 0.0,
             spin_duty: DutyCycle::MIN,
             low_power_spin: true,
+            deadline_ns: None,
+            step_budget: None,
         }
     }
 
@@ -110,10 +128,16 @@ impl RuntimeParams {
         }
     }
 
-    /// Validate invariants (at least one worker).
+    /// Validate invariants (at least one worker, non-degenerate budgets).
     pub fn validate(&self) -> Result<(), ParamsError> {
         if self.workers == 0 {
             return Err(ParamsError::NoWorkers);
+        }
+        if self.deadline_ns == Some(0) {
+            return Err(ParamsError::ZeroDeadline);
+        }
+        if self.step_budget == Some(0) {
+            return Err(ParamsError::ZeroStepBudget);
         }
         Ok(())
     }
@@ -163,5 +187,17 @@ mod tests {
     fn zero_workers_invalid() {
         assert_eq!(RuntimeParams::qthreads(0).validate(), Err(ParamsError::NoWorkers));
         assert!(RuntimeParams::qthreads(1).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_budgets_invalid_but_positive_ones_fine() {
+        let mut p = RuntimeParams::qthreads(4);
+        p.deadline_ns = Some(0);
+        assert_eq!(p.validate(), Err(ParamsError::ZeroDeadline));
+        p.deadline_ns = Some(1);
+        p.step_budget = Some(0);
+        assert_eq!(p.validate(), Err(ParamsError::ZeroStepBudget));
+        p.step_budget = Some(1);
+        assert!(p.validate().is_ok());
     }
 }

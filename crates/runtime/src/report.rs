@@ -36,6 +36,20 @@ pub struct RunStats {
     pub throttled_worker_ns: u64,
     /// Peak number of live tasks.
     pub peak_live_tasks: u64,
+    /// Tasks completed without running because their cancel scope (or an
+    /// ancestor's) was cancelled before their next yield point.
+    pub tasks_cancelled: u64,
+    /// Cancel events the scheduler observed during the run (distinct
+    /// [`CancelToken::cancel`](crate::CancelToken::cancel) calls anywhere in
+    /// the run's token tree; each is the fifth spinner wake condition).
+    pub cancellations: u64,
+    /// Task `step` calls that panicked and were contained by the scheduler.
+    pub task_panics: u64,
+    /// Spinner wake events suppressed by an injected lost-wake fault.
+    pub lost_wakes: u64,
+    /// Forced wake-epoch bumps issued when the scheduler found spinners but
+    /// no other event source — the recovery path for lost wakes.
+    pub wake_recoveries: u64,
 }
 
 /// The result of executing a task graph to completion.

@@ -16,11 +16,14 @@
 //! ~250 memory operations, charged as a fixed-rate transition segment.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use maestro_machine::{
-    Actuator, ActuatorConfig, CoreActivity, CoreId, DutyCycle, FaultPlan, Machine,
+    ActuationTotals, Actuator, ActuatorConfig, CoreActivity, CoreId, Cost, DutyCycle, FaultPlan,
+    Machine,
 };
 
+use crate::cancel::CancelToken;
 use crate::monitor::{Monitor, ThrottleState};
 use crate::params::{ParamsError, RuntimeParams};
 use crate::report::{RunOutcome, RunStats};
@@ -31,8 +34,75 @@ type TaskId = usize;
 /// Tolerance for treating a segment as complete, in nanoseconds.
 const EPS_NS: f64 = 0.5;
 
-/// Why the runtime refused to build or a run could not finish.
+/// The compute charge of an injected task wedge: large enough that the
+/// segment never completes within any realistic deadline (~54 years of
+/// virtual time at 2.7 GHz), so only the run deadline or step budget can
+/// end the run. Wedge faults should always be paired with one of the two.
+const WEDGE_CYCLES: u64 = 1 << 62;
+
+/// A contained task panic: what failed, where in the graph, and when.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// The panic payload, rendered as text.
+    pub message: String,
+    /// Task labels (`label#id`) from the root down to the failed task — a
+    /// task-path backtrace through the graph.
+    pub task_path: Vec<String>,
+    /// The worker whose step panicked.
+    pub worker: usize,
+    /// Virtual time of the panic, nanoseconds.
+    pub t_ns: u64,
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task `{}` panicked on worker {} at t={} ns: {}",
+            self.task_path.join("/"),
+            self.worker,
+            self.t_ns,
+            self.message
+        )
+    }
+}
+
+/// Which configured limit ended a run early.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunLimit {
+    /// The wall-clock (virtual-time) deadline from
+    /// [`RuntimeParams::deadline_ns`].
+    WallClock {
+        /// The configured deadline, nanoseconds from run start.
+        deadline_ns: u64,
+    },
+    /// The step budget from [`RuntimeParams::step_budget`].
+    Steps {
+        /// The configured budget, task `step` calls.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for RunLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunLimit::WallClock { deadline_ns } => {
+                write!(f, "wall-clock deadline of {deadline_ns} ns")
+            }
+            RunLimit::Steps { budget } => write!(f, "step budget of {budget} steps"),
+        }
+    }
+}
+
+/// Why the runtime refused to build or a run could not finish.
+///
+/// Errors raised mid-run ([`Deadlock`](RuntimeError::Deadlock),
+/// [`TaskFailed`](RuntimeError::TaskFailed),
+/// [`DeadlineExceeded`](RuntimeError::DeadlineExceeded),
+/// [`Internal`](RuntimeError::Internal)) carry the partial [`RunStats`]
+/// collected up to the failure, and are only returned after teardown has
+/// driven every core back to [`DutyCycle::FULL`].
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RuntimeError {
     /// The runtime parameters were structurally invalid.
     InvalidParams(ParamsError),
@@ -52,7 +122,65 @@ pub enum RuntimeError {
         total_active: usize,
         /// Virtual time at which progress stopped, nanoseconds.
         t_ns: u64,
+        /// Counters collected up to the deadlock.
+        partial: Box<RunStats>,
     },
+    /// A task body panicked. The panic was contained at the step dispatch,
+    /// the failed task's subtree and the rest of the run were cancelled and
+    /// drained, and every core was restored to full duty.
+    TaskFailed {
+        /// What failed, with a task-path backtrace.
+        failure: TaskFailure,
+        /// Counters collected up to (and through) the drain.
+        partial: Box<RunStats>,
+    },
+    /// The run hit its wall-clock deadline or step budget before the root
+    /// task completed — a wedged or livelocked workload ends here instead
+    /// of hanging.
+    DeadlineExceeded {
+        /// Which limit fired.
+        limit: RunLimit,
+        /// Virtual time the limit fired, nanoseconds.
+        t_ns: u64,
+        /// Counters collected up to the stop — the partial report.
+        partial: Box<RunStats>,
+    },
+    /// An internal scheduler invariant was violated. Surfaced as a typed
+    /// error (after core restoration) instead of a process abort.
+    Internal {
+        /// The violated invariant.
+        detail: &'static str,
+        /// Virtual time of detection, nanoseconds.
+        t_ns: u64,
+        /// Counters collected up to the failure.
+        partial: Box<RunStats>,
+    },
+}
+
+impl RuntimeError {
+    /// The counters collected before the run stopped, for errors raised
+    /// mid-run; `None` for construction-time errors.
+    pub fn partial_stats(&self) -> Option<&RunStats> {
+        match self {
+            RuntimeError::Deadlock { partial, .. }
+            | RuntimeError::TaskFailed { partial, .. }
+            | RuntimeError::DeadlineExceeded { partial, .. }
+            | RuntimeError::Internal { partial, .. } => Some(partial),
+            RuntimeError::InvalidParams(_) | RuntimeError::WorkersExceedCores { .. } => None,
+        }
+    }
+
+    /// Attach the final (post-teardown) counters to a mid-run error.
+    fn with_partial(mut self, stats: RunStats) -> Self {
+        match &mut self {
+            RuntimeError::Deadlock { partial, .. }
+            | RuntimeError::TaskFailed { partial, .. }
+            | RuntimeError::DeadlineExceeded { partial, .. }
+            | RuntimeError::Internal { partial, .. } => **partial = stats,
+            RuntimeError::InvalidParams(_) | RuntimeError::WorkersExceedCores { .. } => {}
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -62,11 +190,18 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::WorkersExceedCores { workers, cores } => {
                 write!(f, "more workers ({workers}) than cores ({cores})")
             }
-            RuntimeError::Deadlock { live_tasks, total_active, t_ns } => write!(
+            RuntimeError::Deadlock { live_tasks, total_active, t_ns, .. } => write!(
                 f,
                 "scheduler deadlock at t={t_ns} ns: no running work and no pending \
                  monitor (live tasks: {live_tasks}, total active: {total_active})"
             ),
+            RuntimeError::TaskFailed { failure, .. } => write!(f, "task failed: {failure}"),
+            RuntimeError::DeadlineExceeded { limit, t_ns, .. } => {
+                write!(f, "run exceeded its {limit} at t={t_ns} ns")
+            }
+            RuntimeError::Internal { detail, t_ns, .. } => {
+                write!(f, "internal scheduler invariant violated at t={t_ns} ns: {detail}")
+            }
         }
     }
 }
@@ -86,6 +221,24 @@ impl From<ParamsError> for RuntimeError {
     }
 }
 
+/// An internal-invariant error (the non-abort replacement for the old
+/// `expect`/`unreachable!` family).
+fn internal(detail: &'static str, t_ns: u64) -> RuntimeError {
+    RuntimeError::Internal { detail, t_ns, partial: Box::default() }
+}
+
+/// Render a panic payload as text (the common `&str`/`String` payloads;
+/// anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 struct TaskRecord<C> {
     logic: Option<BoxTask<C>>,
     parent: Option<(TaskId, usize)>,
@@ -94,6 +247,28 @@ struct TaskRecord<C> {
     inbox: Vec<TaskValue>,
     resume_pending: bool,
     staged_children: Vec<BoxTask<C>>,
+    cancel: CancelToken,
+}
+
+/// Fallible task lookup: a missing record is an internal-invariant error,
+/// not a panic. Free functions (not methods) so callers can hold other
+/// borrows of `Exec` fields.
+fn task_mut<'a, C>(
+    tasks: &'a mut [Option<TaskRecord<C>>],
+    id: TaskId,
+    what: &'static str,
+    t_ns: u64,
+) -> Result<&'a mut TaskRecord<C>, RuntimeError> {
+    tasks.get_mut(id).and_then(Option::as_mut).ok_or_else(|| internal(what, t_ns))
+}
+
+fn task_ref<'a, C>(
+    tasks: &'a [Option<TaskRecord<C>>],
+    id: TaskId,
+    what: &'static str,
+    t_ns: u64,
+) -> Result<&'a TaskRecord<C>, RuntimeError> {
+    tasks.get(id).and_then(Option::as_ref).ok_or_else(|| internal(what, t_ns))
 }
 
 struct Segment {
@@ -127,6 +302,7 @@ pub struct Runtime {
     monitors: Vec<Box<dyn Monitor>>,
     throttle: ThrottleState,
     actuator: Actuator,
+    task_faults: Option<FaultPlan>,
 }
 
 impl Runtime {
@@ -146,6 +322,7 @@ impl Runtime {
             monitors: Vec::new(),
             throttle: ThrottleState::new(default_limit),
             actuator,
+            task_faults: None,
         })
     }
 
@@ -199,15 +376,42 @@ impl Runtime {
         self.actuator.set_faults(faults);
     }
 
+    /// Inject (or clear) task-level faults — scripted step panics, scripted
+    /// wedges, and lost spinner wakes — for subsequent runs.
+    pub fn set_task_faults(&mut self, faults: Option<FaultPlan>) {
+        self.task_faults = faults;
+    }
+
     /// Execute `root` against `app` until it completes. Fails with
     /// [`RuntimeError::Deadlock`] if the task graph can never finish (e.g. a
-    /// parent waiting on children that were never released).
+    /// parent waiting on children that were never released), with
+    /// [`RuntimeError::TaskFailed`] if a task step panics, and with
+    /// [`RuntimeError::DeadlineExceeded`] if the run outlives the configured
+    /// deadline or step budget. Every error path restores all cores to full
+    /// duty before returning.
     pub fn run<C>(&mut self, app: &mut C, root: BoxTask<C>) -> Result<RunOutcome, RuntimeError> {
-        Exec::new(self).run(app, root)
+        self.run_with_cancel(app, root, CancelToken::new())
+    }
+
+    /// Like [`Runtime::run`], but under an externally held [`CancelToken`]:
+    /// cancelling `cancel` (from a monitor or a cloned handle) ends the run
+    /// early at the next yield point, completing the remaining tasks as
+    /// cancelled and returning a successful outcome with partial values.
+    pub fn run_with_cancel<C>(
+        &mut self,
+        app: &mut C,
+        root: BoxTask<C>,
+        cancel: CancelToken,
+    ) -> Result<RunOutcome, RuntimeError> {
+        Exec::new(self, cancel).run(app, root)
     }
 }
 
 /// Per-run execution state, borrowing the runtime.
+///
+/// Teardown (restoring every core to full duty) runs on every exit path:
+/// normal completion, every mid-run error, and — via the [`Drop`] backstop —
+/// even an unwind crossing this frame. No failure leaks a throttled core.
 struct Exec<'r, C> {
     rt: &'r mut Runtime,
     tasks: Vec<Option<TaskRecord<C>>>,
@@ -220,15 +424,32 @@ struct Exec<'r, C> {
     wake_epoch: u64,
     root_value: Option<TaskValue>,
     stats: RunStats,
+    /// The run-scoped cancellation root; every task token descends from it.
+    run_cancel: CancelToken,
+    /// Last observed token-tree generation, for cheap change detection.
+    last_cancel_gen: u64,
+    /// The run itself was cancelled: bypass the throttle and complete all
+    /// remaining tasks as cancelled so the graph drains quickly.
+    draining: bool,
+    /// First contained task panic, reported once the graph has drained.
+    failure: Option<TaskFailure>,
+    /// Absolute virtual-time deadline for this run, if configured.
+    deadline_abs_ns: Option<u64>,
+    /// Actuator tallies at run start, for delta accounting in teardown.
+    start_actuation: ActuationTotals,
+    torn_down: bool,
 }
 
 impl<'r, C> Exec<'r, C> {
-    fn new(rt: &'r mut Runtime) -> Self {
+    fn new(rt: &'r mut Runtime, cancel: CancelToken) -> Self {
         let n_workers = rt.params.workers;
         let sockets = rt.machine.topology().sockets as usize;
         let shepherds = (0..sockets)
             .map(|_| Shepherd { queue: VecDeque::new(), active: 0 })
             .collect();
+        let start_actuation = rt.actuator.totals();
+        let draining = cancel.is_cancelled();
+        let last_cancel_gen = cancel.generation();
         Exec {
             rt,
             tasks: Vec::new(),
@@ -240,6 +461,13 @@ impl<'r, C> Exec<'r, C> {
             wake_epoch: 0,
             root_value: None,
             stats: RunStats::default(),
+            run_cancel: cancel,
+            last_cancel_gen,
+            draining,
+            failure: None,
+            deadline_abs_ns: None,
+            start_actuation,
+            torn_down: false,
         }
     }
 
@@ -287,12 +515,31 @@ impl<'r, C> Exec<'r, C> {
     }
 
     fn run(mut self, app: &mut C, root: BoxTask<C>) -> Result<RunOutcome, RuntimeError> {
-        let machine = &self.rt.machine;
-        let start_ns = machine.now_ns();
-        let start_j = machine.total_energy_joules();
-        let start_actuation = self.rt.actuator.totals();
+        let start_ns = self.rt.machine.now_ns();
+        let start_j = self.rt.machine.total_energy_joules();
+        self.deadline_abs_ns = self.rt.params.deadline_ns.map(|d| start_ns.saturating_add(d));
 
+        let result = self.run_loop(app, root);
+        self.teardown();
+
+        let now = self.rt.machine.now_ns();
+        let elapsed_s = (now - start_ns) as f64 * 1e-9;
+        let joules = self.rt.machine.total_energy_joules() - start_j;
+        match result {
+            Ok(value) => Ok(RunOutcome {
+                value,
+                elapsed_s,
+                joules,
+                avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
+                stats: self.stats,
+            }),
+            Err(e) => Err(e.with_partial(self.stats)),
+        }
+    }
+
+    fn run_loop(&mut self, app: &mut C, root: BoxTask<C>) -> Result<TaskValue, RuntimeError> {
         let root_shep = self.shepherd_of(0);
+        let root_token = self.run_cancel.child();
         let root_id = self.alloc_task(TaskRecord {
             logic: Some(root),
             parent: None,
@@ -301,34 +548,103 @@ impl<'r, C> Exec<'r, C> {
             inbox: Vec::new(),
             resume_pending: false,
             staged_children: Vec::new(),
+            cancel: root_token,
         });
         self.shepherds[root_shep].queue.push_back(root_id);
 
         while self.root_value.is_none() {
+            self.check_limits()?;
             self.fire_due_monitors();
-            self.dispatch_fixpoint(app);
+            self.note_cancellation();
+            self.dispatch_fixpoint(app)?;
             if self.root_value.is_some() {
                 break;
             }
             let Some(dt_ns) = self.next_event_dt() else {
+                // No event source left — but spinners may have been stranded
+                // by a lost wake. Force an epoch bump and retry once before
+                // declaring deadlock; a genuinely dead graph stays dead.
+                if self.has_spinners() {
+                    self.stats.wake_recoveries += 1;
+                    self.wake_epoch += 1;
+                    if self.dispatch_fixpoint(app)? {
+                        continue;
+                    }
+                }
                 return Err(RuntimeError::Deadlock {
                     live_tasks: self.live_tasks,
                     total_active: self.total_active(),
                     t_ns: self.rt.machine.now_ns(),
+                    partial: Box::default(),
                 });
             };
             self.rt.machine.advance(dt_ns);
-            self.progress_segments(app, dt_ns as f64);
+            self.progress_segments(app, dt_ns as f64)?;
         }
 
-        // Account residual spin time and restore machine core states. The
-        // restore goes through the verified actuator too: a shutdown must
-        // never leave a core silently stuck at low duty.
+        if let Some(failure) = self.failure.take() {
+            return Err(RuntimeError::TaskFailed { failure, partial: Box::default() });
+        }
+        self.root_value
+            .take()
+            .ok_or_else(|| internal("root value present at loop exit", self.rt.machine.now_ns()))
+    }
+
+    /// Enforce the run's wall-clock deadline and step budget.
+    fn check_limits(&self) -> Result<(), RuntimeError> {
+        let now = self.rt.machine.now_ns();
+        if let (Some(abs), Some(cfg)) = (self.deadline_abs_ns, self.rt.params.deadline_ns) {
+            if now >= abs {
+                return Err(RuntimeError::DeadlineExceeded {
+                    limit: RunLimit::WallClock { deadline_ns: cfg },
+                    t_ns: now,
+                    partial: Box::default(),
+                });
+            }
+        }
+        if let Some(budget) = self.rt.params.step_budget {
+            if self.stats.steps >= budget {
+                return Err(RuntimeError::DeadlineExceeded {
+                    limit: RunLimit::Steps { budget },
+                    t_ns: now,
+                    partial: Box::default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-run accounting and core restoration, on every exit path.
+    /// Account residual spin time and restore machine core states. The
+    /// restore goes through the verified actuator too: a shutdown must
+    /// never leave a core silently stuck at low duty.
+    fn teardown(&mut self) {
+        if self.torn_down {
+            return;
+        }
+        self.torn_down = true;
         let now = self.rt.machine.now_ns();
         for w in 0..self.workers.len() {
             if let WorkerState::Spinning { since_ns, .. } = self.workers[w] {
                 self.stats.throttled_worker_ns += now - since_ns;
             }
+            self.workers[w] = WorkerState::Idle;
+        }
+        self.restore_cores();
+
+        let end_actuation = self.rt.actuator.totals();
+        self.stats.duty_write_attempts = end_actuation.attempts - self.start_actuation.attempts;
+        self.stats.duty_verify_failures =
+            end_actuation.verify_failures - self.start_actuation.verify_failures;
+        self.stats.failed_duty_applies =
+            end_actuation.failed_applies - self.start_actuation.failed_applies;
+        self.stats.forced_duty_resets =
+            end_actuation.forced_resets - self.start_actuation.forced_resets;
+        self.stats.breaker_trips = end_actuation.breaker_trips - self.start_actuation.breaker_trips;
+    }
+
+    fn restore_cores(&mut self) {
+        for w in 0..self.workers.len() {
             let core = self.core_of(w);
             if self.rt.params.low_power_spin {
                 let rt = &mut *self.rt;
@@ -336,25 +652,6 @@ impl<'r, C> Exec<'r, C> {
             }
             self.rt.machine.set_activity(core, CoreActivity::Idle);
         }
-
-        let end_actuation = self.rt.actuator.totals();
-        self.stats.duty_write_attempts = end_actuation.attempts - start_actuation.attempts;
-        self.stats.duty_verify_failures =
-            end_actuation.verify_failures - start_actuation.verify_failures;
-        self.stats.failed_duty_applies =
-            end_actuation.failed_applies - start_actuation.failed_applies;
-        self.stats.forced_duty_resets = end_actuation.forced_resets - start_actuation.forced_resets;
-        self.stats.breaker_trips = end_actuation.breaker_trips - start_actuation.breaker_trips;
-
-        let elapsed_s = (now - start_ns) as f64 * 1e-9;
-        let joules = self.rt.machine.total_energy_joules() - start_j;
-        Ok(RunOutcome {
-            value: self.root_value.take().expect("loop exits only with a root value"),
-            elapsed_s,
-            joules,
-            avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
-            stats: self.stats,
-        })
     }
 
     // ------------------------------------------------------------------
@@ -372,7 +669,7 @@ impl<'r, C> Exec<'r, C> {
         }
         if self.rt.throttle.active != was_active {
             // Throttle (de)activation is a wake condition for spinners.
-            self.wake_epoch += 1;
+            self.wake_spinners();
         }
     }
 
@@ -380,47 +677,110 @@ impl<'r, C> Exec<'r, C> {
         self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min()
     }
 
+    /// Bump the wake epoch so every spinner re-evaluates — unless an
+    /// injected lost-wake fault swallows the event (the run_loop's forced
+    /// recovery and spinner polling then cover for it).
+    fn wake_spinners(&mut self) {
+        if let Some(plan) = &self.rt.task_faults {
+            if plan.lose_wake() {
+                self.stats.lost_wakes += 1;
+                return;
+            }
+        }
+        self.wake_epoch += 1;
+    }
+
+    /// Observe cancel events on the run's token tree. Any new cancel wakes
+    /// spinners (the fifth wake condition, beyond the paper's four); a
+    /// cancel of the run scope itself switches the scheduler into draining
+    /// mode, where the throttle no longer gates dispatch and every task
+    /// completes as cancelled at its next yield point.
+    fn note_cancellation(&mut self) {
+        let generation = self.run_cancel.generation();
+        if generation != self.last_cancel_gen {
+            self.stats.cancellations += generation - self.last_cancel_gen;
+            self.last_cancel_gen = generation;
+            if !self.draining && self.run_cancel.is_cancelled() {
+                self.draining = true;
+            }
+            self.wake_spinners();
+        }
+    }
+
+    fn has_spinners(&self) -> bool {
+        self.workers.iter().any(|w| matches!(w, WorkerState::Spinning { .. }))
+    }
+
+    /// `label#id` path from the root down to `failed`, whose logic (already
+    /// taken out for the step) supplies the leaf label.
+    fn task_path(&self, failed: TaskId, failed_label: &'static str) -> Vec<String> {
+        let mut path = vec![format!("{failed_label}#{failed}")];
+        let mut id = failed;
+        while let Some(Some(record)) = self.tasks.get(id) {
+            let Some((parent, _)) = record.parent else { break };
+            let label = match self.tasks.get(parent) {
+                Some(Some(p)) => p.logic.as_ref().map_or("<in-flight>", |l| l.label()),
+                _ => "<freed>",
+            };
+            path.push(format!("{label}#{parent}"));
+            id = parent;
+        }
+        path.reverse();
+        path
+    }
+
     // ------------------------------------------------------------------
     // Dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch_fixpoint(&mut self, app: &mut C) {
+    /// Returns whether any worker changed state, or an error from stepping.
+    fn dispatch_fixpoint(&mut self, app: &mut C) -> Result<bool, RuntimeError> {
+        let mut any = false;
         loop {
             let mut progress = false;
             for w in 0..self.workers.len() {
                 if self.root_value.is_some() {
-                    return;
+                    return Ok(true);
                 }
+                // Spinners poll: besides an explicit wake, a deactivated
+                // throttle or a draining run makes them re-check, so even a
+                // lost wake event cannot strand them forever.
                 let eligible = match &self.workers[w] {
                     WorkerState::Idle => true,
-                    WorkerState::Spinning { epoch_seen, .. } => *epoch_seen < self.wake_epoch,
+                    WorkerState::Spinning { epoch_seen, .. } => {
+                        *epoch_seen < self.wake_epoch || !self.rt.throttle.active || self.draining
+                    }
                     WorkerState::Running(_) => false,
                 };
                 if eligible {
-                    progress |= self.try_dispatch(app, w);
+                    progress |= self.try_dispatch(app, w)?;
                 }
             }
             if !progress {
-                return;
+                return Ok(any);
             }
+            any = true;
         }
     }
 
     /// One attempt by worker `w` to find work. Returns true when the worker
     /// changed state (so the fixpoint must iterate again).
-    fn try_dispatch(&mut self, app: &mut C, w: usize) -> bool {
+    fn try_dispatch(&mut self, app: &mut C, w: usize) -> Result<bool, RuntimeError> {
         let shep = self.shepherd_of(w);
 
-        // Thread-initiation throttle check (§IV).
-        if self.rt.throttle.active && self.shepherds[shep].active >= self.rt.throttle.effective_limit()
+        // Thread-initiation throttle check (§IV) — suspended while draining:
+        // a cancelled run's only goal is to finish, at full width.
+        if !self.draining
+            && self.rt.throttle.active
+            && self.shepherds[shep].active >= self.rt.throttle.effective_limit()
         {
             return self.enter_spin(w);
         }
 
         let Some((task, stolen)) = self.acquire_task(shep) else {
-            return match self.workers[w] {
+            return Ok(match self.workers[w] {
                 WorkerState::Spinning { ref mut epoch_seen, since_ns } => {
-                    if self.rt.throttle.active {
+                    if self.rt.throttle.active && !self.draining {
                         // Still throttled: consume the wake epoch and keep
                         // spinning until one of the wake conditions fires.
                         *epoch_seen = self.wake_epoch;
@@ -447,7 +807,7 @@ impl<'r, C> Exec<'r, C> {
                     self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
                     false
                 }
-            };
+            });
         };
 
         // Leaving a spin loop costs a duty-register write.
@@ -471,14 +831,15 @@ impl<'r, C> Exec<'r, C> {
         if stolen {
             self.stats.steals += 1;
         }
-        if self.tasks[task].as_ref().expect("queued task exists").resume_pending {
+        let now = self.rt.machine.now_ns();
+        if task_ref(&self.tasks, task, "queued task exists", now)?.resume_pending {
             overhead_ns += self.cycles_to_ns(self.rt.params.resume_cycles);
             self.stats.resumes += 1;
         }
 
         self.workers[w] = WorkerState::Idle; // placeholder until a segment starts
-        self.step_task(app, w, task, overhead_ns);
-        true
+        self.step_task(app, w, task, overhead_ns)?;
+        Ok(true)
     }
 
     /// Pop from the local queue (LIFO) or steal from another shepherd (FIFO).
@@ -496,8 +857,8 @@ impl<'r, C> Exec<'r, C> {
         None
     }
 
-    fn enter_spin(&mut self, w: usize) -> bool {
-        match self.workers[w] {
+    fn enter_spin(&mut self, w: usize) -> Result<bool, RuntimeError> {
+        Ok(match self.workers[w] {
             WorkerState::Spinning { ref mut epoch_seen, .. } => {
                 // Was woken but throttle still binds: consume the epoch.
                 let changed = *epoch_seen < self.wake_epoch;
@@ -506,7 +867,9 @@ impl<'r, C> Exec<'r, C> {
                 let _ = changed;
                 false
             }
-            WorkerState::Running(_) => unreachable!("running workers are not dispatched"),
+            WorkerState::Running(_) => {
+                return Err(internal("running worker reached dispatch", self.rt.machine.now_ns()))
+            }
             WorkerState::Idle => {
                 self.stats.spin_entries += 1;
                 let core = self.core_of(w);
@@ -536,7 +899,7 @@ impl<'r, C> Exec<'r, C> {
                 }
                 true
             }
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -546,29 +909,113 @@ impl<'r, C> Exec<'r, C> {
     /// Drive `task` on worker `w` until it produces a timed segment,
     /// suspends, or finishes. `overhead_ns` is folded into the first
     /// segment the worker produces (and carried across instant completions).
-    fn step_task(&mut self, app: &mut C, w: usize, task: TaskId, overhead_ns: f64) {
+    ///
+    /// Every `step` call runs inside `catch_unwind`: a panicking task body
+    /// is converted into a [`TaskFailure`] that cancels its subtree and the
+    /// run, instead of unwinding through the scheduler.
+    fn step_task(
+        &mut self,
+        app: &mut C,
+        w: usize,
+        task: TaskId,
+        overhead_ns: f64,
+    ) -> Result<(), RuntimeError> {
         let mut carry_ns = overhead_ns;
         let mut current = task;
         let now_ns = self.rt.machine.now_ns();
         let worker_shep = self.shepherd_of(w);
         loop {
-            let record = self.tasks[current].as_mut().expect("stepped task exists");
-            let mut ctx = TaskCtx {
-                children: if record.resume_pending {
-                    record.resume_pending = false;
-                    std::mem::take(&mut record.inbox)
-                } else {
-                    Vec::new()
-                },
-                now_ns,
-                worker: w,
-                shepherd: worker_shep,
+            // The step budget is also enforced here, inside the
+            // zero-virtual-time instant-completion chain, where the outer
+            // loop's check never gets a turn.
+            if self.rt.params.step_budget.is_some_and(|b| self.stats.steps >= b) {
+                self.workers[w] = WorkerState::Idle;
+                self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
+                return Err(RuntimeError::DeadlineExceeded {
+                    limit: RunLimit::Steps { budget: self.rt.params.step_budget.unwrap_or(0) },
+                    t_ns: now_ns,
+                    partial: Box::default(),
+                });
+            }
+
+            let record = task_mut(&mut self.tasks, current, "stepped task exists", now_ns)?;
+            let step = if record.cancel.is_cancelled() {
+                // Yield-point cancellation: the task (or an ancestor scope)
+                // was cancelled — complete it without running its body.
+                record.logic = None;
+                record.resume_pending = false;
+                record.inbox.clear();
+                self.stats.tasks_cancelled += 1;
+                Step::Done(TaskValue::none())
+            } else {
+                let mut ctx = TaskCtx {
+                    children: if record.resume_pending {
+                        record.resume_pending = false;
+                        std::mem::take(&mut record.inbox)
+                    } else {
+                        Vec::new()
+                    },
+                    now_ns,
+                    worker: w,
+                    shepherd: worker_shep,
+                    cancel: record.cancel.clone(),
+                };
+                let mut logic = record
+                    .logic
+                    .take()
+                    .ok_or_else(|| internal("task logic present while stepped", now_ns))?;
+                let step_index = self.stats.steps;
+                let inject_panic =
+                    self.rt.task_faults.as_ref().is_some_and(|p| p.task_panic_due(step_index));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if inject_panic {
+                        panic!("injected task-fault panic at step {step_index}");
+                    }
+                    logic.step(app, &mut ctx)
+                }));
+                self.stats.steps += 1;
+                match result {
+                    Ok(mut step) => {
+                        if self
+                            .rt
+                            .task_faults
+                            .as_ref()
+                            .is_some_and(|p| p.task_wedge_due(step_index))
+                        {
+                            // Injected wedge: replace whatever the task asked
+                            // for with a segment that never completes.
+                            step = Step::Compute(Cost::compute(WEDGE_CYCLES, 0.5));
+                        }
+                        let record =
+                            task_mut(&mut self.tasks, current, "stepped task exists", now_ns)?;
+                        record.logic = Some(logic);
+                        step
+                    }
+                    Err(payload) => {
+                        self.stats.task_panics += 1;
+                        let failure = TaskFailure {
+                            message: panic_message(payload),
+                            task_path: self.task_path(current, logic.label()),
+                            worker: w,
+                            t_ns: now_ns,
+                        };
+                        // Cancel the failed task's subtree, then the whole
+                        // run: a sibling's combine must never execute over a
+                        // hole left by the panic.
+                        if let Some(Some(record)) = self.tasks.get(current) {
+                            record.cancel.cancel();
+                        }
+                        self.run_cancel.cancel();
+                        if self.failure.is_none() {
+                            self.failure = Some(failure);
+                        }
+                        // The panicked task completes with no value; its
+                        // parent drains through the cancelled scope.
+                        Step::Done(TaskValue::none())
+                    }
+                }
             };
-            let mut logic = record.logic.take().expect("task logic present while stepped");
-            let step = logic.step(app, &mut ctx);
-            self.stats.steps += 1;
-            let record = self.tasks[current].as_mut().expect("stepped task exists");
-            record.logic = Some(logic);
+            self.note_cancellation();
 
             match step {
                 Step::Compute(cost) => {
@@ -590,18 +1037,18 @@ impl<'r, C> Exec<'r, C> {
                     let shep = self.shepherd_of(w);
                     self.shepherds[shep].active += 1;
                     self.workers[w] = WorkerState::Running(seg);
-                    return;
+                    return Ok(());
                 }
                 Step::SpawnWait(children) => {
                     if children.is_empty() {
                         // Degenerate spawn: resume immediately with no values.
-                        let record = self.tasks[current].as_mut().expect("task exists");
+                        let record = task_mut(&mut self.tasks, current, "task exists", now_ns)?;
                         record.resume_pending = true;
                         record.inbox = Vec::new();
                         continue;
                     }
                     let n = children.len();
-                    let record = self.tasks[current].as_mut().expect("task exists");
+                    let record = task_mut(&mut self.tasks, current, "task exists", now_ns)?;
                     record.staged_children = children;
                     record.pending_children = n;
                     record.inbox = (0..n).map(|_| TaskValue::none()).collect();
@@ -622,26 +1069,27 @@ impl<'r, C> Exec<'r, C> {
                     let shep = self.shepherd_of(w);
                     self.shepherds[shep].active += 1;
                     self.workers[w] = WorkerState::Running(seg);
-                    return;
+                    return Ok(());
                 }
                 Step::Done(value) => {
-                    self.complete_task(current, value);
+                    self.complete_task(current, value)?;
                     if self.root_value.is_some() {
                         self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
                         self.workers[w] = WorkerState::Idle;
-                        return;
+                        return Ok(());
                     }
                     // Instant completion: keep the worker going on more work
                     // from its own queue, carrying the unpaid overhead —
                     // unless the throttle now binds (this is a "looks for
-                    // work" point too).
+                    // work" point too, suspended while draining).
                     let shep = self.shepherd_of(w);
-                    if self.rt.throttle.active
+                    if !self.draining
+                        && self.rt.throttle.active
                         && self.shepherds[shep].active >= self.rt.throttle.effective_limit()
                     {
                         self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
                         self.workers[w] = WorkerState::Idle;
-                        return;
+                        return Ok(());
                     }
                     if let Some((next, stolen)) = self.acquire_task(shep) {
                         let active = self.total_active() + 1;
@@ -650,7 +1098,8 @@ impl<'r, C> Exec<'r, C> {
                         if stolen {
                             self.stats.steals += 1;
                         }
-                        if self.tasks[next].as_ref().expect("queued task exists").resume_pending {
+                        if task_ref(&self.tasks, next, "queued task exists", now_ns)?.resume_pending
+                        {
                             carry_ns += self.cycles_to_ns(self.rt.params.resume_cycles);
                             self.stats.resumes += 1;
                         }
@@ -659,7 +1108,7 @@ impl<'r, C> Exec<'r, C> {
                     }
                     self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
                     self.workers[w] = WorkerState::Idle;
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -667,20 +1116,23 @@ impl<'r, C> Exec<'r, C> {
 
     /// A task finished with `value`: deliver to the parent (possibly
     /// readying it) or finish the run.
-    fn complete_task(&mut self, task: TaskId, value: TaskValue) {
+    fn complete_task(&mut self, task: TaskId, value: TaskValue) -> Result<(), RuntimeError> {
         self.stats.tasks_completed += 1;
-        let record = self.tasks[task].as_mut().expect("completing task exists");
+        let now = self.rt.machine.now_ns();
+        let record = task_mut(&mut self.tasks, task, "completing task exists", now)?;
         let parent = record.parent;
-        debug_assert!(record.pending_children == 0, "task finished with live children");
+        if record.pending_children != 0 {
+            return Err(internal("task finished with live children", now));
+        }
         self.free_task(task);
         match parent {
             None => {
                 self.root_value = Some(value);
                 // Application completion wakes spinners.
-                self.wake_epoch += 1;
+                self.wake_spinners();
             }
             Some((p, slot)) => {
-                let parent_record = self.tasks[p].as_mut().expect("parent outlives children");
+                let parent_record = task_mut(&mut self.tasks, p, "parent outlives children", now)?;
                 parent_record.inbox[slot] = value;
                 parent_record.pending_children -= 1;
                 if parent_record.pending_children == 0 {
@@ -688,19 +1140,22 @@ impl<'r, C> Exec<'r, C> {
                     let home = parent_record.home_shepherd;
                     self.shepherds[home].queue.push_back(p);
                     // Parallel region / loop termination wakes spinners.
-                    self.wake_epoch += 1;
+                    self.wake_spinners();
                 }
             }
         }
+        Ok(())
     }
 
     /// The spawn segment of `parent` finished: materialize its staged
-    /// children onto the local queue and suspend the parent.
-    fn release_children(&mut self, parent: TaskId, shep: usize) {
-        let record = self.tasks[parent].as_mut().expect("spawning parent exists");
+    /// children onto the local queue and suspend the parent. Each child's
+    /// cancel scope is a child of the parent's, so cancelling a region
+    /// covers everything spawned under it.
+    fn release_children(&mut self, parent: TaskId, shep: usize) -> Result<(), RuntimeError> {
+        let now = self.rt.machine.now_ns();
+        let record = task_mut(&mut self.tasks, parent, "spawning parent exists", now)?;
         let staged = std::mem::take(&mut record.staged_children);
-        let home = record.home_shepherd;
-        let _ = home;
+        let parent_token = record.cancel.clone();
         self.stats.spawned += staged.len() as u64;
         for (slot, logic) in staged.into_iter().enumerate() {
             let id = self.alloc_task(TaskRecord {
@@ -711,9 +1166,11 @@ impl<'r, C> Exec<'r, C> {
                 inbox: Vec::new(),
                 resume_pending: false,
                 staged_children: Vec::new(),
+                cancel: parent_token.child(),
             });
             self.shepherds[shep].queue.push_back(id);
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -765,11 +1222,18 @@ impl<'r, C> Exec<'r, C> {
         } else if !any_running {
             return None;
         }
-        dt.map(|d| d.max(0.0).ceil() as u64)
+        let mut dt_ns = dt.map(|d| d.max(0.0).ceil() as u64)?;
+        // Never step past the run deadline: a huge (wedged) segment must not
+        // carry the clock years beyond the configured limit. Only clamp an
+        // existing event — a dead graph still reports deadlock, not a wait.
+        if let Some(deadline) = self.deadline_abs_ns {
+            dt_ns = dt_ns.min(deadline.saturating_sub(now));
+        }
+        Some(dt_ns)
     }
 
     /// Move all running segments forward by `dt_ns` and handle completions.
-    fn progress_segments(&mut self, app: &mut C, dt_ns: f64) {
+    fn progress_segments(&mut self, app: &mut C, dt_ns: f64) -> Result<(), RuntimeError> {
         // Phase 1: progress every segment under the rates in effect *before*
         // any completion changes machine activity.
         let dilation = self.work_dilation();
@@ -801,7 +1265,9 @@ impl<'r, C> Exec<'r, C> {
         // Phase 2: act on completions.
         for w in completed {
             let state = std::mem::replace(&mut self.workers[w], WorkerState::Idle);
-            let WorkerState::Running(seg) = state else { unreachable!("collected as running") };
+            let WorkerState::Running(seg) = state else {
+                return Err(internal("collected worker not running", self.rt.machine.now_ns()));
+            };
             match seg.task {
                 None => {
                     // Duty-write transition done: the worker is now spinning.
@@ -813,18 +1279,32 @@ impl<'r, C> Exec<'r, C> {
                 Some(task) => {
                     let shep = self.shepherd_of(w);
                     self.shepherds[shep].active -= 1;
-                    let record = self.tasks[task].as_mut().expect("running task exists");
+                    let now = self.rt.machine.now_ns();
+                    let record = task_mut(&mut self.tasks, task, "running task exists", now)?;
                     if !record.staged_children.is_empty() {
                         // The spawn segment ended: children go live, parent
                         // suspends, worker looks for work again.
-                        self.release_children(task, shep);
+                        self.release_children(task, shep)?;
                         self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
                     } else {
                         // A compute segment ended: continue the state machine.
-                        self.step_task(app, w, task, 0.0);
+                        self.step_task(app, w, task, 0.0)?;
                     }
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// Backstop for the backstop: if an unwind ever crosses `run` (so `teardown`
+/// did not get its turn), the destructor still drives every core back to
+/// full duty. Stats are already lost at that point; core state must not be.
+impl<C> Drop for Exec<'_, C> {
+    fn drop(&mut self) {
+        if !self.torn_down {
+            self.torn_down = true;
+            self.restore_cores();
         }
     }
 }
@@ -1217,6 +1697,282 @@ mod tests {
         // The end-of-run restore also writes through the actuator, so
         // attempts = logical spin-path writes + one restore per worker.
         assert_eq!(out.stats.duty_write_attempts, out.stats.duty_writes + 16, "{:?}", out.stats);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: panic isolation, cancellation, deadlines
+    // ------------------------------------------------------------------
+
+    fn assert_all_cores_full(rt: &Runtime) {
+        for c in rt.machine().topology().all_cores() {
+            assert_eq!(rt.machine().duty(c), DutyCycle::FULL, "core {c} left throttled");
+        }
+    }
+
+    struct PanicLeaf;
+    impl TaskLogic<()> for PanicLeaf {
+        fn step(&mut self, _app: &mut (), _ctx: &mut TaskCtx) -> Step<()> {
+            panic!("boom in task body");
+        }
+        fn label(&self) -> &'static str {
+            "panic-leaf"
+        }
+    }
+
+    struct WedgeLeaf;
+    impl TaskLogic<()> for WedgeLeaf {
+        fn step(&mut self, _app: &mut (), _ctx: &mut TaskCtx) -> Step<()> {
+            Step::Compute(Cost::compute(WEDGE_CYCLES, 0.5))
+        }
+        fn label(&self) -> &'static str {
+            "wedge-leaf"
+        }
+    }
+
+    #[test]
+    fn task_panic_is_contained_reported_and_cores_restored() {
+        let mut rt = runtime(16);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 2;
+        let mut children: Vec<BoxTask<()>> = (0..16).map(|_| compute_leaf(ms_cost(10))).collect();
+        children.insert(7, Box::new(PanicLeaf));
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let err = rt.run(&mut (), root).unwrap_err();
+        match &err {
+            RuntimeError::TaskFailed { failure, partial } => {
+                assert!(failure.message.contains("boom"), "payload text: {failure:?}");
+                let leaf_label = failure.task_path.last().unwrap();
+                assert!(leaf_label.contains("panic-leaf"), "task path: {:?}", failure.task_path);
+                let root_label = failure.task_path.first().unwrap();
+                assert!(root_label.contains("fork_join"), "task path: {:?}", failure.task_path);
+                assert_eq!(partial.task_panics, 1);
+                assert!(partial.tasks_cancelled > 0, "queued siblings drain as cancelled");
+                assert!(partial.cancellations >= 2, "subtree + run cancel: {partial:?}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+        assert!(err.to_string().contains("panicked"), "{err}");
+        assert!(err.partial_stats().is_some());
+        assert_all_cores_full(&rt);
+        // The runtime stays usable after a contained failure.
+        let ok = rt.run(&mut (), compute_leaf(ms_cost(1))).unwrap();
+        assert_eq!(ok.stats.tasks_completed, 1);
+        assert_eq!(ok.stats.task_panics, 0);
+    }
+
+    #[test]
+    fn scripted_panic_fault_fires_through_the_real_panic_path() {
+        let mut rt = runtime(8);
+        rt.set_task_faults(Some(FaultPlan::new(3).with_task_panic_at_steps(&[5])));
+        let children: Vec<BoxTask<()>> = (0..16).map(|_| compute_leaf(ms_cost(5))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let err = rt.run(&mut (), root).unwrap_err();
+        match err {
+            RuntimeError::TaskFailed { failure, partial } => {
+                assert!(failure.message.contains("injected"), "{failure:?}");
+                assert_eq!(partial.task_panics, 1);
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+        assert_all_cores_full(&rt);
+    }
+
+    #[test]
+    fn wedged_task_hits_wall_clock_deadline_with_partial_report() {
+        let mut params = RuntimeParams::qthreads(4);
+        params.deadline_ns = Some(50_000_000); // 50 ms
+        let mut rt = Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), params).unwrap();
+        let start = rt.machine().now_ns();
+        let children: Vec<BoxTask<()>> =
+            vec![compute_leaf(ms_cost(5)), Box::new(WedgeLeaf), compute_leaf(ms_cost(5))];
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let err = rt.run(&mut (), root).unwrap_err();
+        match &err {
+            RuntimeError::DeadlineExceeded {
+                limit: RunLimit::WallClock { deadline_ns },
+                t_ns,
+                partial,
+            } => {
+                assert_eq!(*deadline_ns, 50_000_000);
+                assert_eq!(*t_ns, start + 50_000_000, "clock clamped to the deadline");
+                assert!(partial.steps > 0, "partial stats: {partial:?}");
+                assert!(partial.tasks_completed >= 2, "healthy siblings finished: {partial:?}");
+            }
+            other => panic!("expected wall-clock DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            rt.machine().now_ns() <= start + 50_000_000,
+            "the wedge must not drag the clock past the deadline"
+        );
+        assert_all_cores_full(&rt);
+        // The runtime stays usable; the next run gets a fresh deadline.
+        rt.run(&mut (), compute_leaf(ms_cost(1))).unwrap();
+    }
+
+    #[test]
+    fn scripted_wedge_fault_hits_the_deadline() {
+        let mut params = RuntimeParams::qthreads(8);
+        params.deadline_ns = Some(100_000_000);
+        let mut rt = Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), params).unwrap();
+        rt.set_task_faults(Some(FaultPlan::new(4).with_task_wedge_at_steps(&[3])));
+        let children: Vec<BoxTask<()>> = (0..16).map(|_| compute_leaf(ms_cost(5))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let err = rt.run(&mut (), root).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::DeadlineExceeded { limit: RunLimit::WallClock { .. }, .. }),
+            "expected DeadlineExceeded, got {err:?}"
+        );
+        assert_all_cores_full(&rt);
+    }
+
+    #[test]
+    fn step_budget_stops_zero_cost_livelock() {
+        struct Livelock;
+        impl TaskLogic<()> for Livelock {
+            fn step(&mut self, _app: &mut (), _ctx: &mut TaskCtx) -> Step<()> {
+                Step::Compute(Cost::ZERO)
+            }
+        }
+        let mut params = RuntimeParams::qthreads(1);
+        params.step_budget = Some(500);
+        let mut rt = Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), params).unwrap();
+        let err = rt.run(&mut (), Box::new(Livelock)).unwrap_err();
+        match err {
+            RuntimeError::DeadlineExceeded { limit: RunLimit::Steps { budget }, partial, .. } => {
+                assert_eq!(budget, 500);
+                assert_eq!(partial.steps, 500);
+            }
+            other => panic!("expected step-budget DeadlineExceeded, got {other:?}"),
+        }
+        assert_all_cores_full(&rt);
+    }
+
+    #[test]
+    fn external_cancel_token_ends_run_early_and_drains() {
+        use crate::monitor::CancelAt;
+        let mut rt = runtime(16);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 2;
+        let token = CancelToken::new();
+        rt.add_monitor(Box::new(CancelAt::new(20_000_000, token.clone())));
+        let children: Vec<BoxTask<()>> = (0..64).map(|_| compute_leaf(ms_cost(10))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run_with_cancel(&mut (), root, token).unwrap();
+        assert!(out.stats.tasks_cancelled > 0, "{:?}", out.stats);
+        assert!(out.stats.cancellations >= 1);
+        assert!(out.value.is_none(), "cancelled root completes with no value");
+        assert!(out.stats.spin_entries > 0, "throttle had bitten before the cancel");
+        // Fully throttled the bag would run 64×10ms/4 = 160 ms; the cancel
+        // at 20 ms cuts it to the segments already in flight.
+        assert!(out.elapsed_s < 0.08, "cancel must cut the run short: {} s", out.elapsed_s);
+        assert_all_cores_full(&rt);
+    }
+
+    #[test]
+    fn subtree_cancel_skips_descendants_but_run_succeeds() {
+        struct CancellingParent {
+            phase: u8,
+        }
+        impl TaskLogic<Vec<u32>> for CancellingParent {
+            fn step(&mut self, _app: &mut Vec<u32>, ctx: &mut TaskCtx) -> Step<Vec<u32>> {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        // Cancel our own region, then spawn into it: none of
+                        // the children may run.
+                        ctx.cancel.cancel();
+                        let children: Vec<BoxTask<Vec<u32>>> = (0..8)
+                            .map(|_| {
+                                leaf(|app: &mut Vec<u32>, _: &mut TaskCtx| {
+                                    app.push(1);
+                                    (ms_cost(1), TaskValue::none())
+                                })
+                            })
+                            .collect();
+                        Step::SpawnWait(children)
+                    }
+                    _ => Step::Done(TaskValue::of(0u32)),
+                }
+            }
+            fn label(&self) -> &'static str {
+                "cancelling-parent"
+            }
+        }
+        let mut rt = runtime(8);
+        let mut app: Vec<u32> = Vec::new();
+        let side = leaf(|app: &mut Vec<u32>, _: &mut TaskCtx| {
+            app.push(99);
+            (ms_cost(1), TaskValue::of(1u32))
+        });
+        let root = fork_join(
+            vec![Box::new(CancellingParent { phase: 0 }) as BoxTask<Vec<u32>>, side],
+            |_, mut vals| {
+                let delivered = vals.iter_mut().filter_map(|v| v.take::<u32>()).count();
+                (Cost::ZERO, TaskValue::of(delivered))
+            },
+        );
+        let out = rt.run(&mut app, root).unwrap();
+        assert_eq!(app, vec![99], "cancelled subtree must not touch the app state");
+        assert_eq!(out.stats.tasks_cancelled, 9, "8 children + the parent's resume");
+        assert_eq!(out.stats.cancellations, 1);
+        assert_eq!(out.value_as::<usize>(), Some(1), "only the live sibling delivers a value");
+        assert_all_cores_full(&rt);
+    }
+
+    #[test]
+    fn lost_wakes_are_recovered_and_counted() {
+        let mut rt = runtime(16);
+        rt.set_task_faults(Some(FaultPlan::new(21).with_lost_wake_rate(1.0)));
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 2;
+        // Two barrier-separated loops: every wake event is swallowed, but the
+        // run must still complete (active workers drain; spinner polling and
+        // the forced recovery cover the wakes).
+        let mut app = vec![0u32; 80];
+        let loops: Vec<BoxTask<Vec<u32>>> = (0..2)
+            .map(|_| {
+                parallel_for(0..80, 10, |app: &mut Vec<u32>, range, _ctx| {
+                    for i in range.clone() {
+                        app[i] += 1;
+                    }
+                    Cost::compute(27_000_000, 0.5)
+                })
+            })
+            .collect();
+        let root = crate::adapters::sequential(loops);
+        let out = rt.run(&mut app, root).unwrap();
+        assert!(app.iter().all(|&v| v == 2), "both loops ran fully");
+        assert!(out.stats.lost_wakes > 0, "{:?}", out.stats);
+        assert_all_cores_full(&rt);
+    }
+
+    #[test]
+    fn deadlock_partial_stats_show_forced_wake_recovery() {
+        let mut rt = runtime(4);
+        rt.throttle_mut().active = true;
+        rt.throttle_mut().limit_per_shepherd = 0;
+        let err = rt.run(&mut (), compute_leaf(ms_cost(1))).unwrap_err();
+        match &err {
+            RuntimeError::Deadlock { partial, .. } => {
+                assert!(partial.wake_recoveries >= 1, "recovery ran before deadlock: {partial:?}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        assert!(err.partial_stats().is_some());
+        assert_all_cores_full(&rt);
+    }
+
+    #[test]
+    fn healthy_runs_report_zero_fault_counters() {
+        let mut rt = runtime(8);
+        let children: Vec<BoxTask<()>> = (0..8).map(|_| compute_leaf(ms_cost(5))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run(&mut (), root).unwrap();
+        assert_eq!(out.stats.task_panics, 0);
+        assert_eq!(out.stats.tasks_cancelled, 0);
+        assert_eq!(out.stats.cancellations, 0);
+        assert_eq!(out.stats.lost_wakes, 0);
+        assert_eq!(out.stats.wake_recoveries, 0);
     }
 
     #[test]

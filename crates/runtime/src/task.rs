@@ -3,6 +3,8 @@
 use maestro_machine::Cost;
 use std::any::Any;
 
+use crate::cancel::CancelToken;
+
 /// A boxed task over application state `C`.
 pub type BoxTask<C> = Box<dyn TaskLogic<C>>;
 
@@ -66,6 +68,10 @@ pub struct TaskCtx {
     pub worker: usize,
     /// The shepherd (socket) of that worker.
     pub shepherd: usize,
+    /// This task's cancellation scope. Cancelling it stops this task and
+    /// its whole subtree at the next yield point; the scheduler also checks
+    /// ancestor scopes, so a region-level cancel propagates down.
+    pub cancel: CancelToken,
 }
 
 /// A resumable task. `step` runs *real* computation against the application

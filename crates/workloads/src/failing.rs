@@ -1,0 +1,169 @@
+//! Opt-in failing workload variants for the chaos harness.
+//!
+//! These task graphs *misbehave on purpose* — one leaf panics, wedges, or
+//! cancels its region partway through an otherwise ordinary task bag — so
+//! tests can drive the runtime's fault-tolerance paths (panic isolation,
+//! deadlines, structured cancellation) with realistic surrounding load.
+//!
+//! They are deliberately **not** part of [`crate::all_workloads`]: the
+//! registry enumerates the paper's evaluation programs, all of which are
+//! expected to succeed. Failing variants are built directly by the tests
+//! that want them.
+
+use maestro_machine::Cost;
+use maestro_runtime::{
+    compute_leaf, fork_join, BoxTask, CancelToken, Step, TaskCtx, TaskLogic, TaskValue,
+};
+
+/// Compute charge of a wedged leaf: far beyond any realistic run deadline,
+/// so only `RuntimeParams::deadline_ns` / `step_budget` can end the run.
+const WEDGE_CYCLES: u64 = 1 << 62;
+
+/// A leaf that panics on its first step.
+struct PanicLeaf {
+    message: &'static str,
+}
+
+impl TaskLogic<()> for PanicLeaf {
+    fn step(&mut self, _app: &mut (), _ctx: &mut TaskCtx) -> Step<()> {
+        panic!("{}", self.message);
+    }
+    fn label(&self) -> &'static str {
+        "failing::panic"
+    }
+}
+
+/// A leaf whose one compute segment never finishes.
+struct WedgeLeaf;
+
+impl TaskLogic<()> for WedgeLeaf {
+    fn step(&mut self, _app: &mut (), _ctx: &mut TaskCtx) -> Step<()> {
+        Step::Compute(Cost::compute(WEDGE_CYCLES, 0.5))
+    }
+    fn label(&self) -> &'static str {
+        "failing::wedge"
+    }
+}
+
+/// A leaf that cancels its own scope mid-step, then pretends to keep
+/// working: the scheduler must drop it at the next yield point.
+struct CancelSelfLeaf;
+
+impl TaskLogic<()> for CancelSelfLeaf {
+    fn step(&mut self, _app: &mut (), ctx: &mut TaskCtx) -> Step<()> {
+        ctx.cancel.cancel();
+        Step::Compute(Cost::compute(2_700_000, 0.5))
+    }
+    fn label(&self) -> &'static str {
+        "failing::cancel-self"
+    }
+}
+
+/// A leaf that cancels an externally held token (e.g. the run token the
+/// caller passed to `Runtime::run_with_cancel`), aborting a wider scope
+/// than its own from inside the graph.
+struct CancelHandleLeaf {
+    token: CancelToken,
+}
+
+impl TaskLogic<()> for CancelHandleLeaf {
+    fn step(&mut self, _app: &mut (), _ctx: &mut TaskCtx) -> Step<()> {
+        self.token.cancel();
+        Step::Compute(Cost::compute(2_700_000, 0.5))
+    }
+    fn label(&self) -> &'static str {
+        "failing::cancel-run"
+    }
+}
+
+/// The healthy filler around the bad apple: `tasks` hot, memory-contended
+/// leaves (the kind the adaptive controller throttles).
+fn filler(tasks: usize) -> Vec<BoxTask<()>> {
+    (0..tasks).map(|_| compute_leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95))).collect()
+}
+
+fn bag_with(tasks: usize, bad_index: usize, bad: BoxTask<()>) -> BoxTask<()> {
+    let mut children = filler(tasks);
+    children.insert(bad_index.min(children.len()), bad);
+    fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()))
+}
+
+/// A contended task bag whose `bad_index`-th task panics: the run must end
+/// in `RuntimeError::TaskFailed` with every core restored to full duty.
+pub fn panicking_bag(tasks: usize, bad_index: usize) -> BoxTask<()> {
+    bag_with(tasks, bad_index, Box::new(PanicLeaf { message: "injected workload panic" }))
+}
+
+/// A contended task bag whose `bad_index`-th task wedges forever: only a
+/// run deadline or step budget can end the run (`DeadlineExceeded`).
+pub fn wedging_bag(tasks: usize, bad_index: usize) -> BoxTask<()> {
+    bag_with(tasks, bad_index, Box::new(WedgeLeaf))
+}
+
+/// A contended task bag whose `bad_index`-th task cancels *its own* scope
+/// mid-step: the run completes Ok, with exactly that task's continuation
+/// skipped (counted in `RunStats::tasks_cancelled`).
+pub fn self_cancelling_bag(tasks: usize, bad_index: usize) -> BoxTask<()> {
+    bag_with(tasks, bad_index, Box::new(CancelSelfLeaf))
+}
+
+/// A contended task bag whose `bad_index`-th task cancels `token` — pass
+/// the same token to `Runtime::run_with_cancel` and the whole run drains
+/// early, completing Ok with the untouched remainder counted in
+/// `RunStats::tasks_cancelled`.
+pub fn run_cancelling_bag(tasks: usize, bad_index: usize, token: CancelToken) -> BoxTask<()> {
+    bag_with(tasks, bad_index, Box::new(CancelHandleLeaf { token }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro_machine::{Machine, MachineConfig};
+    use maestro_runtime::{Runtime, RuntimeError, RuntimeParams};
+
+    #[test]
+    fn panicking_bag_fails_with_task_error() {
+        let mut rt =
+            Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(8))
+                .unwrap();
+        let err = rt.run(&mut (), panicking_bag(32, 5)).unwrap_err();
+        match err {
+            RuntimeError::TaskFailed { failure, .. } => {
+                assert!(failure.message.contains("injected workload panic"));
+                assert!(failure.task_path.last().unwrap().contains("failing::panic"));
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wedging_bag_needs_a_deadline() {
+        let mut params = RuntimeParams::qthreads(8);
+        params.deadline_ns = Some(200_000_000);
+        let mut rt = Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), params).unwrap();
+        let err = rt.run(&mut (), wedging_bag(16, 3)).unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn self_cancelling_bag_skips_exactly_its_own_continuation() {
+        let mut rt =
+            Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(8))
+                .unwrap();
+        let out = rt.run(&mut (), self_cancelling_bag(64, 10)).unwrap();
+        assert_eq!(out.stats.tasks_cancelled, 1, "{:?}", out.stats);
+        assert_eq!(out.stats.tasks_completed, 64 + 1 + 1, "everything else runs: {:?}", out.stats);
+    }
+
+    #[test]
+    fn run_cancelling_bag_drains_the_whole_run_early() {
+        let mut rt =
+            Runtime::new(Machine::new(MachineConfig::sandybridge_2x8()), RuntimeParams::qthreads(8))
+                .unwrap();
+        let token = CancelToken::new();
+        let root = run_cancelling_bag(64, 10, token.clone());
+        let out = rt.run_with_cancel(&mut (), root, token).unwrap();
+        assert!(out.stats.tasks_cancelled > 1, "{:?}", out.stats);
+        assert!(out.value.is_none(), "cancelled root has no value");
+    }
+}

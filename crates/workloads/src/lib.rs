@@ -41,6 +41,7 @@
 pub mod bots;
 pub mod btc;
 pub mod compiler;
+pub mod failing;
 pub mod lulesh;
 pub mod micro;
 pub mod profiles;

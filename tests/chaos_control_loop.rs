@@ -1,15 +1,18 @@
 //! Chaos harness for the supervised control plane.
 //!
 //! Composes every fault family the stack knows — RAPL read faults (PR 1),
-//! duty-write faults, and scripted daemon kills — over seeded schedules and
-//! asserts the full loop degrades *safely*:
+//! duty-write faults, scripted daemon kills, and task-level faults (PR 4:
+//! scripted step panics, wedges, lost spinner wakes) — over seeded
+//! schedules and asserts the full loop degrades *safely*:
 //!
-//! * no panic: every run completes through [`Maestro::try_run`];
+//! * no unwind escapes: every run completes through [`Maestro::try_run`],
+//!   returning `Ok` or a typed error — never a panic;
 //! * fail toward performance: no core is left below `DutyCycle::FULL` after
-//!   shutdown, whatever the actuator had to survive;
+//!   shutdown, whatever the actuator or the task layer had to survive;
 //! * energy accounting stays exact across daemon restarts (checkpointed
 //!   wrap trackers book the outage gap);
-//! * recovery and actuation decisions are visible in the run report.
+//! * a wedged workload terminates within its configured deadline with a
+//!   partial report; recovery and actuation decisions stay visible.
 //!
 //! `CHAOS_SEED=<n>` narrows the sweep to one seed — the CI chaos matrix
 //! fans the seeds out across jobs; locally the whole set runs in-process.
@@ -20,7 +23,8 @@ use maestro_machine::{
     SocketId, NS_PER_SEC,
 };
 use maestro_rcr::{Supervisor, SupervisorConfig};
-use maestro_runtime::{compute_leaf, fork_join, BoxTask, TaskValue};
+use maestro_runtime::{compute_leaf, fork_join, BoxTask, RunLimit, RuntimeError, TaskValue};
+use maestro_workloads::failing;
 
 const MS: u64 = 1_000_000;
 
@@ -239,6 +243,135 @@ fn daemon_kill_mid_run_recovers_and_reports_it() {
         shown.contains("recovery") && shown.contains("1 restart(s)"),
         "recovery must be visible in the report: {shown}"
     );
+}
+
+/// The PR-4 sweep: task-level faults composed with the PR-3 schedules.
+/// Each seed layers RAPL read faults, duty-write faults, daemon kills, and
+/// lost spinner wakes over a workload that *also* misbehaves — a panicking
+/// bag on even seeds, a wedging bag (plus a run deadline) on odd ones.
+/// Whatever the mix, no unwind escapes `try_run`, the error carries a
+/// partial report, and every core ends at full duty.
+#[test]
+fn task_faults_compose_with_chaos_schedules() {
+    let mut total_lost_or_recovered = 0u64;
+    for seed in seeds() {
+        let mut rng = seed ^ 0xface;
+        let kills = [250 * MS + splitmix(&mut rng) % (200 * MS)];
+        let read_plan = FaultPlan::new(seed)
+            .with_transient_error_rate(0.05 + 0.10 * unit_f64(&mut rng))
+            .with_sample_jitter(2 * MS)
+            .with_daemon_kills(&kills);
+        let write_plan = FaultPlan::new(seed ^ 0x5eed)
+            .with_duty_write_fail_rate(0.10 + 0.15 * unit_f64(&mut rng))
+            .with_duty_write_torn_rate(0.10 * unit_f64(&mut rng));
+        let task_plan = FaultPlan::new(seed ^ 0x7a5c).with_lost_wake_rate(0.3);
+
+        let deadline = 1500 * MS;
+        let mut cfg = MaestroConfig::adaptive(16);
+        cfg.controller.faults = Some(read_plan);
+        cfg.controller.supervisor =
+            SupervisorConfig { initial_backoff_ns: 50 * MS, ..SupervisorConfig::default() };
+        if seed % 2 == 1 {
+            cfg.runtime.deadline_ns = Some(deadline);
+        }
+        let mut m = Maestro::try_new(cfg).expect("valid config");
+        m.runtime_mut().set_actuation_faults(Some(write_plan));
+        m.runtime_mut().set_task_faults(Some(task_plan));
+
+        let start_ns = m.machine().now_ns();
+        let root = if seed % 2 == 0 {
+            failing::panicking_bag(600, (splitmix(&mut rng) % 600) as usize)
+        } else {
+            failing::wedging_bag(600, (splitmix(&mut rng) % 600) as usize)
+        };
+        let err = m
+            .try_run("task-chaos", &mut (), root)
+            .expect_err("a panicking/wedging bag cannot succeed");
+
+        // The inviolable post-condition holds on *error* paths too.
+        assert_all_cores_full(&m, &format!("seed {seed}"));
+
+        let partial = err.partial_stats().unwrap_or_else(|| {
+            panic!("seed {seed}: typed error must carry partial stats: {err:?}")
+        });
+        assert!(partial.steps > 0, "seed {seed}: work happened before the fault");
+        total_lost_or_recovered += partial.lost_wakes + partial.wake_recoveries;
+
+        if seed % 2 == 0 {
+            match &err {
+                RuntimeError::TaskFailed { failure, .. } => {
+                    assert!(
+                        failure.message.contains("injected workload panic"),
+                        "seed {seed}: {failure}"
+                    );
+                    assert!(
+                        failure.task_path.last().unwrap().contains("failing::panic"),
+                        "seed {seed}: backtrace names the culprit: {failure:?}"
+                    );
+                    assert_eq!(partial.task_panics, 1, "seed {seed}: {partial:?}");
+                }
+                other => panic!("seed {seed}: expected TaskFailed, got {other:?}"),
+            }
+        } else {
+            match &err {
+                RuntimeError::DeadlineExceeded { limit, t_ns, .. } => {
+                    assert!(
+                        matches!(limit, RunLimit::WallClock { deadline_ns } if *deadline_ns == deadline),
+                        "seed {seed}: {limit}"
+                    );
+                    assert_eq!(
+                        *t_ns,
+                        start_ns + deadline,
+                        "seed {seed}: the run ends exactly at its deadline"
+                    );
+                    assert!(
+                        m.machine().now_ns() <= start_ns + deadline,
+                        "seed {seed}: the wedge must not drag the clock past the deadline"
+                    );
+                    assert!(
+                        partial.tasks_completed > 0,
+                        "seed {seed}: healthy filler completed before the cutoff: {partial:?}"
+                    );
+                }
+                other => panic!("seed {seed}: expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+    }
+    assert!(
+        total_lost_or_recovered > 0,
+        "a 0.3 lost-wake rate across the sweep must drop (and recover) some wakes"
+    );
+}
+
+/// Satellite: the restart budget runs out mid-schedule. The daemon stays
+/// dead, the controller degrades to safe mode (throttle released, stale
+/// data ignored), the run still completes, and the report says so.
+#[test]
+fn restart_budget_exhaustion_degrades_to_safe_mode() {
+    let mut cfg = MaestroConfig::adaptive(16);
+    cfg.controller.faults = Some(
+        FaultPlan::new(17).with_daemon_kills(&[300 * MS, 600 * MS, 900 * MS, 1200 * MS]),
+    );
+    cfg.controller.supervisor = SupervisorConfig {
+        restart_budget: 2,
+        initial_backoff_ns: 20 * MS,
+        ..SupervisorConfig::default()
+    };
+    let mut m = Maestro::try_new(cfg).expect("valid config");
+
+    let report = m.try_run("budget", &mut (), contended_root(4000)).expect("no panic");
+    assert_all_cores_full(&m, "budget exhaustion");
+
+    let t = report.throttle.as_ref().expect("adaptive summary");
+    assert!(t.daemon_gave_up, "four kills against a budget of two: {t:?}");
+    assert_eq!(t.daemon_restarts, 2, "exactly the budget: {t:?}");
+    assert!(t.daemon_kills > t.daemon_restarts, "the fatal kill exceeds the budget: {t:?}");
+    assert!(
+        t.safe_mode_decisions > 0,
+        "a permanently dark pipeline must fail safe: {t:?}"
+    );
+    let shown = report.to_string();
+    assert!(shown.contains("gave up"), "giving up must be visible in the report: {shown}");
 }
 
 /// Deterministic scenario: a kill with a long restart backoff darkens the

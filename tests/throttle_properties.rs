@@ -1,10 +1,13 @@
 //! Property tests over the full stack: random throttle-flag schedules and
-//! machine knobs must never break correctness, determinism, or accounting.
+//! machine knobs must never break correctness, determinism, or accounting —
+//! and every spinner must wake under each of the five wake causes (throttle
+//! deactivation, app completion, region termination, loop termination,
+//! cancellation), even when a fault plan is eating wake notifications.
 
-use maestro_machine::{Cost, Machine, MachineConfig, PState, SocketId};
+use maestro_machine::{Cost, DutyCycle, FaultPlan, Machine, MachineConfig, PState, SocketId};
 use maestro_runtime::{
-    compute_leaf, fork_join, parallel_for, BoxTask, Monitor, Runtime, RuntimeParams,
-    TaskValue, ThrottleState,
+    compute_leaf, fork_join, parallel_for, sequential, BoxTask, CancelAt, CancelToken, Monitor,
+    Runtime, RuntimeParams, TaskValue, ThrottleState,
 };
 use proptest::prelude::*;
 
@@ -88,6 +91,92 @@ proptest! {
             (out.elapsed_s.to_bits(), out.joules.to_bits())
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// Every spinner wakes under throttle deactivation, loop termination,
+    /// region termination, and app completion — even when a seeded fault
+    /// plan eats an arbitrary fraction (up to all) of wake notifications.
+    /// Termination with exactly-once work *is* the property: a spinner that
+    /// never woke would hang the run or lose iterations.
+    #[test]
+    fn spinners_wake_through_barriers_despite_lost_wakes(
+        rate in 0.0f64..=1.0,
+        seed in 0u64..=u64::MAX,
+        limit in 1usize..=4,
+        workers in 4usize..=16,
+        mut toggle_ms in prop::collection::vec(1u64..300, 0..8),
+    ) {
+        let mut rt = runtime(workers);
+        rt.throttle_mut().limit_per_shepherd = limit;
+        rt.set_task_faults(Some(FaultPlan::new(seed).with_lost_wake_rate(rate)));
+        toggle_ms.sort_unstable();
+        toggle_ms.dedup();
+        // Start throttled so spinners exist from the first dispatch; each
+        // later toggle is a deactivation/reactivation wake.
+        rt.throttle_mut().active = true;
+        rt.add_monitor(Box::new(ScriptedToggles {
+            times_ns: toggle_ms.iter().map(|ms| ms * 1_000_000).collect(),
+            next: 0,
+        }));
+        let n = 200;
+        let mut app = vec![0u32; n];
+        // Two barrier-separated parallel loops: every chunk join is a
+        // loop-termination wake, every phase join a region-termination wake,
+        // and the final join the app-completion wake.
+        let phase = || {
+            parallel_for(0..n, 7, |app: &mut Vec<u32>, range, _ctx| {
+                for i in range {
+                    app[i] += 1;
+                }
+                Cost::new(2_700_000, 10_000, 3.0, 0.7)
+            })
+        };
+        let out = rt.run(&mut app, sequential(vec![phase(), phase()])).unwrap();
+        prop_assert!(app.iter().all(|&v| v == 2), "exactly-once violated");
+        // Dropped wakes are counted, never silently absorbed: the run may
+        // recover via polling or a forced epoch bump, but it always finishes
+        // with every core back at full duty.
+        prop_assert!(out.elapsed_s > 0.0 && out.joules > 0.0);
+        for c in rt.machine().topology().all_cores() {
+            prop_assert_eq!(rt.machine().duty(c), DutyCycle::FULL, "core {:?} left throttled", c);
+        }
+    }
+
+    /// The fifth wake cause: cancelling the run token mid-flight wakes every
+    /// spinner (throttle limit 1 maximizes them), drains the remaining bag,
+    /// and restores every core — under any lost-wake rate.
+    #[test]
+    fn cancellation_wakes_spinners_and_drains_the_run(
+        cancel_ms in 5u64..200,
+        seed in 0u64..=u64::MAX,
+        rate in 0.0f64..=1.0,
+        workers in 4usize..=16,
+    ) {
+        let mut rt = runtime(workers);
+        rt.throttle_mut().limit_per_shepherd = 1;
+        rt.throttle_mut().active = true;
+        rt.set_task_faults(Some(FaultPlan::new(seed).with_lost_wake_rate(rate)));
+        let token = CancelToken::new();
+        rt.add_monitor(Box::new(CancelAt::new(cancel_ms * 1_000_000, token.clone())));
+        // Far more work than fits before the cancel: at limit 1 the bag
+        // would run for many seconds of virtual time uncancelled.
+        let children: Vec<BoxTask<()>> = (0..2000)
+            .map(|_| compute_leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95)))
+            .collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let out = rt.run_with_cancel(&mut (), root, token).unwrap();
+        prop_assert!(out.stats.cancellations >= 1, "{:?}", out.stats);
+        prop_assert!(out.stats.tasks_cancelled > 0, "cancel lands mid-bag: {:?}", out.stats);
+        prop_assert!(out.stats.tasks_completed > 0, "work ran before the cancel: {:?}", out.stats);
+        // Draining is prompt: elapsed stays within a small multiple of the
+        // cancel time, nowhere near the uncancelled bag's several seconds.
+        prop_assert!(
+            out.elapsed_s < 0.5,
+            "drain must be quick after a {}ms cancel: {}s", cancel_ms, out.elapsed_s
+        );
+        for c in rt.machine().topology().all_cores() {
+            prop_assert_eq!(rt.machine().duty(c), DutyCycle::FULL, "core {:?} left throttled", c);
+        }
     }
 
     /// Any P-state configuration slows compute-bound work by exactly the
