@@ -81,36 +81,42 @@ pub struct CompilerRow {
     pub paper: Measured,
 }
 
-fn measure_configs(scale: Scale, configs: &[CompilerConfig]) -> Vec<CompilerRow> {
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
+fn measure_configs(scale: Scale, configs: &[CompilerConfig], jobs: usize) -> Vec<CompilerRow> {
+    // Flatten the workload × config matrix into independent cells; each
+    // cell rebuilds its workload from the registry name, so nothing but
+    // value-typed configuration crosses the thread boundary.
+    let cells: Vec<(String, CompilerConfig)> = all_workloads(scale)
+        .iter()
+        .flat_map(|w| configs.iter().map(|&cc| (w.name().to_string(), cc)))
+        .collect();
+    crate::harness::parallel_map(cells.len(), jobs, |i| {
+        let (name, cc) = (&cells[i].0, cells[i].1);
+        let w = by_name(name, scale).expect("registered workload");
         let cal = profiles::calibration(w.name());
-        for &cc in configs {
-            let report = run_fixed(w.as_ref(), cc, 16);
-            rows.push(CompilerRow {
-                workload: w.name().to_string(),
-                cc,
-                model: Measured::of(&report),
-                paper: Measured::paper(cal.time_target(cc), cal.watts_target(cc)),
-            });
+        let report = run_fixed(w.as_ref(), cc, 16);
+        CompilerRow {
+            workload: name.clone(),
+            cc,
+            model: Measured::of(&report),
+            paper: Measured::paper(cal.time_target(cc), cal.watts_target(cc)),
         }
-    }
-    rows
+    })
 }
 
 /// Table I: every workload at `-O2` under both compilers.
-pub fn table1(scale: Scale) -> Vec<CompilerRow> {
+pub fn table1(scale: Scale, jobs: usize) -> Vec<CompilerRow> {
     measure_configs(
         scale,
         &[CompilerConfig::gcc(OptLevel::O2), CompilerConfig::icc(OptLevel::O2)],
+        jobs,
     )
 }
 
 /// Tables II (GCC) and III (ICC): every workload at O0-O3 for one family.
-pub fn compiler_table(scale: Scale, family: Family) -> Vec<CompilerRow> {
+pub fn compiler_table(scale: Scale, family: Family, jobs: usize) -> Vec<CompilerRow> {
     let configs: Vec<CompilerConfig> =
         OptLevel::all().iter().map(|&opt| CompilerConfig { family, opt }).collect();
-    measure_configs(scale, &configs)
+    measure_configs(scale, &configs, jobs)
 }
 
 // ---------------------------------------------------------------------
@@ -173,28 +179,37 @@ impl ScalingCurve {
 pub const FIGURE_WORKERS: &[usize] = &[1, 2, 4, 8, 12, 16];
 
 /// Figures 1-4: speedup and normalized energy versus thread count.
-pub fn scaling_figure(scale: Scale, group: FigureGroup, family: Family) -> Vec<ScalingCurve> {
+pub fn scaling_figure(
+    scale: Scale,
+    group: FigureGroup,
+    family: Family,
+    jobs: usize,
+) -> Vec<ScalingCurve> {
     let cc = CompilerConfig { family, opt: OptLevel::O2 };
-    let workloads = match group {
+    let names: Vec<String> = match group {
         FigureGroup::SimpleAndLulesh => {
             let mut v = micro_workloads(scale);
             v.push(by_name("lulesh", scale).expect("registered"));
             v
         }
         FigureGroup::Bots => bots_workloads(scale),
-    };
-    workloads
+    }
+    .iter()
+    .map(|w| w.name().to_string())
+    .collect();
+    // One cell per workload × worker-count point, collected by index and
+    // re-chunked into per-workload curves.
+    let per = FIGURE_WORKERS.len();
+    let points = crate::harness::parallel_map(names.len() * per, jobs, |i| {
+        let workers = FIGURE_WORKERS[i % per];
+        let w = by_name(&names[i / per], scale).expect("registered workload");
+        let r = run_fixed(w.as_ref(), cc, workers);
+        ScalingPoint { workers, time_s: r.elapsed_s, joules: r.joules }
+    });
+    names
         .into_iter()
-        .map(|w| ScalingCurve {
-            workload: w.name().to_string(),
-            points: FIGURE_WORKERS
-                .iter()
-                .map(|&workers| {
-                    let r = run_fixed(w.as_ref(), cc, workers);
-                    ScalingPoint { workers, time_s: r.elapsed_s, joules: r.joules }
-                })
-                .collect(),
-        })
+        .zip(points.chunks(per))
+        .map(|(workload, pts)| ScalingCurve { workload, points: pts.to_vec() })
         .collect()
 }
 
@@ -269,37 +284,39 @@ pub struct ThrottleRow {
 
 /// Tables IV-VII: dynamic vs fixed-16 vs fixed-12, at `-O3` under the
 /// MAESTRO runtime.
-pub fn throttling_table(scale: Scale, target: ThrottleTarget) -> Vec<ThrottleRow> {
+pub fn throttling_table(scale: Scale, target: ThrottleTarget, jobs: usize) -> Vec<ThrottleRow> {
     let cc = CompilerConfig::gcc(OptLevel::O3);
     let paper = target.paper_rows();
-    let dynamic = {
+    // The three configurations are independent simulations; run them as
+    // cells. A `RunReport` holds the (non-`Send`) root task value, so each
+    // cell reduces its report to the plain measurements the table needs.
+    let runs: [(usize, Policy); 3] = [
+        (16, Policy::Adaptive { limit_per_shepherd: 6 }),
+        (16, Policy::Fixed),
+        (12, Policy::Fixed),
+    ];
+    let measured = crate::harness::parallel_map(runs.len(), jobs, |i| {
+        let (workers, policy) = runs[i];
         let w = target.workload(scale);
-        run_maestro(w.as_ref(), cc, 16, Policy::Adaptive { limit_per_shepherd: 6 })
-    };
-    let fixed16 = {
-        let w = target.workload(scale);
-        run_maestro(w.as_ref(), cc, 16, Policy::Fixed)
-    };
-    let fixed12 = {
-        let w = target.workload(scale);
-        run_maestro(w.as_ref(), cc, 12, Policy::Fixed)
-    };
+        let r = run_maestro(w.as_ref(), cc, workers, policy);
+        (Measured::of(&r), r.throttle.as_ref().map(|t| t.throttled_fraction))
+    });
     vec![
         ThrottleRow {
             config: "16 Threads - Dynamic",
-            model: Measured::of(&dynamic),
+            model: measured[0].0,
             paper: paper[0],
-            throttled_fraction: dynamic.throttle.as_ref().map(|t| t.throttled_fraction),
+            throttled_fraction: measured[0].1,
         },
         ThrottleRow {
             config: "16 Threads - Fixed",
-            model: Measured::of(&fixed16),
+            model: measured[1].0,
             paper: paper[1],
             throttled_fraction: None,
         },
         ThrottleRow {
             config: "12 Threads - Fixed",
-            model: Measured::of(&fixed12),
+            model: measured[2].0,
             paper: paper[2],
             throttled_fraction: None,
         },
@@ -324,63 +341,76 @@ pub struct AblationRow {
 /// Compare the paper's duty-cycle concurrency throttling against the two
 /// alternatives it discusses — package-global DVFS (§IV: slower transitions,
 /// all-cores scope) and a fixed power clamp (§V outlook) — on LULESH.
-pub fn ablation(scale: Scale) -> Vec<AblationRow> {
+pub fn ablation(scale: Scale, jobs: usize) -> Vec<AblationRow> {
     use maestro_machine::PState;
     use maestro_workloads::lulesh::Lulesh;
     let cc = CompilerConfig::gcc(OptLevel::O3);
 
-    let fixed = run_maestro(&Lulesh::new(scale), cc, 16, Policy::Fixed);
-    let duty = run_maestro(
-        &Lulesh::new(scale),
-        cc,
-        16,
-        Policy::Adaptive { limit_per_shepherd: 6 },
-    );
-
-    // DVFS: identical sensing, response is a package-global P-state step.
-    let dvfs_policy = Policy::Dvfs { floor: PState::floor_of(1.8) };
-    let w = Lulesh::new(scale);
-    let mut cfg = MaestroConfig::fixed(16);
-    cfg.policy = dvfs_policy;
-    cfg.runtime = maestro_params(&w, cc, 16);
-    let mut m = Maestro::new(cfg);
-    let dvfs = w.run(&mut m, cc);
-    let dvfs_note = m
-        .dvfs_trace()
-        .map(|t| format!("{} P-state transitions", t.borrow().transitions))
-        .unwrap_or_default();
-
-    // Power cap at roughly the dynamic run's average power.
-    let cap_w = 130.0;
-    let w = Lulesh::new(scale);
-    let mut cfg = MaestroConfig::fixed(16);
-    cfg.policy = Policy::PowerCap { watts: cap_w };
-    cfg.runtime = maestro_params(&w, cc, 16);
-    let mut m = Maestro::new(cfg);
-    let capped = w.run(&mut m, cc);
-    let cap_note = m
-        .powercap_trace()
-        .map(|t| format!("cap {cap_w} W, {:.0}% compliant", t.borrow().compliance(cap_w) * 100.0))
-        .unwrap_or_default();
-
-    vec![
-        AblationRow {
-            mechanism: "fixed 16 threads",
-            model: Measured::of(&fixed),
-            note: String::new(),
-        },
-        AblationRow {
-            mechanism: "duty-cycle throttling",
-            model: Measured::of(&duty),
-            note: duty
-                .throttle
-                .as_ref()
-                .map(|t| format!("throttled {:.0}% of samples", t.throttled_fraction * 100.0))
-                .unwrap_or_default(),
-        },
-        AblationRow { mechanism: "DVFS (floor 1.8 GHz)", model: Measured::of(&dvfs), note: dvfs_note },
-        AblationRow { mechanism: "power cap", model: Measured::of(&capped), note: cap_note },
-    ]
+    // Each mechanism is one independent LULESH simulation; fan the four
+    // out as cells, each returning the fully-formed (Send) table row.
+    crate::harness::parallel_map(4, jobs, |i| match i {
+        0 => {
+            let fixed = run_maestro(&Lulesh::new(scale), cc, 16, Policy::Fixed);
+            AblationRow {
+                mechanism: "fixed 16 threads",
+                model: Measured::of(&fixed),
+                note: String::new(),
+            }
+        }
+        1 => {
+            let duty = run_maestro(
+                &Lulesh::new(scale),
+                cc,
+                16,
+                Policy::Adaptive { limit_per_shepherd: 6 },
+            );
+            AblationRow {
+                mechanism: "duty-cycle throttling",
+                model: Measured::of(&duty),
+                note: duty
+                    .throttle
+                    .as_ref()
+                    .map(|t| format!("throttled {:.0}% of samples", t.throttled_fraction * 100.0))
+                    .unwrap_or_default(),
+            }
+        }
+        2 => {
+            // DVFS: identical sensing, response is a package-global
+            // P-state step.
+            let w = Lulesh::new(scale);
+            let mut cfg = MaestroConfig::fixed(16);
+            cfg.policy = Policy::Dvfs { floor: PState::floor_of(1.8) };
+            cfg.runtime = maestro_params(&w, cc, 16);
+            let mut m = Maestro::new(cfg);
+            let dvfs = w.run(&mut m, cc);
+            let dvfs_note = m
+                .dvfs_trace()
+                .map(|t| format!("{} P-state transitions", t.borrow().transitions))
+                .unwrap_or_default();
+            AblationRow {
+                mechanism: "DVFS (floor 1.8 GHz)",
+                model: Measured::of(&dvfs),
+                note: dvfs_note,
+            }
+        }
+        _ => {
+            // Power cap at roughly the dynamic run's average power.
+            let cap_w = 130.0;
+            let w = Lulesh::new(scale);
+            let mut cfg = MaestroConfig::fixed(16);
+            cfg.policy = Policy::PowerCap { watts: cap_w };
+            cfg.runtime = maestro_params(&w, cc, 16);
+            let mut m = Maestro::new(cfg);
+            let capped = w.run(&mut m, cc);
+            let cap_note = m
+                .powercap_trace()
+                .map(|t| {
+                    format!("cap {cap_w} W, {:.0}% compliant", t.borrow().compliance(cap_w) * 100.0)
+                })
+                .unwrap_or_default();
+            AblationRow { mechanism: "power cap", model: Measured::of(&capped), note: cap_note }
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -501,19 +531,21 @@ impl OverheadProbe {
 /// other applications, which already scale well, our throttling
 /// implementation never detected the need to throttle and resulted in only
 /// minor overheads (up to 0.6%)."
-pub fn overhead_probe(scale: Scale) -> OverheadProbe {
+pub fn overhead_probe(scale: Scale, jobs: usize) -> OverheadProbe {
     let cc = CompilerConfig::gcc(OptLevel::O3);
-    let w = by_name("bots-nqueens", scale).expect("registered");
-    let fixed = run_maestro(w.as_ref(), cc, 16, Policy::Fixed);
-    let dynamic = run_maestro(w.as_ref(), cc, 16, Policy::Adaptive { limit_per_shepherd: 6 });
+    // Two independent runs of the same workload (fixed vs adaptive); each
+    // cell reduces its report to (elapsed, ever-throttled).
+    let runs = crate::harness::parallel_map(2, jobs, |i| {
+        let w = by_name("bots-nqueens", scale).expect("registered");
+        let policy =
+            if i == 0 { Policy::Fixed } else { Policy::Adaptive { limit_per_shepherd: 6 } };
+        let r = run_maestro(w.as_ref(), cc, 16, policy);
+        (r.elapsed_s, r.throttle.as_ref().map(|t| t.activations > 0).unwrap_or(false))
+    });
     OverheadProbe {
-        workload: w.name().to_string(),
-        fixed_s: fixed.elapsed_s,
-        dynamic_s: dynamic.elapsed_s,
-        ever_throttled: dynamic
-            .throttle
-            .as_ref()
-            .map(|t| t.activations > 0)
-            .unwrap_or(false),
+        workload: "bots-nqueens".to_string(),
+        fixed_s: runs[0].0,
+        dynamic_s: runs[1].0,
+        ever_throttled: runs[1].1,
     }
 }

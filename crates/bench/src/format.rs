@@ -1,21 +1,30 @@
 //! Plain-text table rendering for the CLI.
+//!
+//! Every renderer returns the finished table as a `String` rather than
+//! printing directly: the parallel `all` harness renders experiments on
+//! worker threads and prints the buffers in experiment order, so the
+//! combined output is byte-identical to a serial run — and the
+//! determinism tests can compare rendered tables directly.
 
 use crate::experiments::{
     AblationRow, ColdStart, CompilerRow, DutyCycleProbe, OverheadProbe, ScalingCurve, ThrottleRow,
 };
+use std::fmt::Write;
 
-fn header_line(title: &str) {
-    println!();
-    println!("{title}");
-    println!("{}", "=".repeat(title.len()));
+fn header_line(out: &mut String, title: &str) {
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
 }
 
-/// Emit a compiler-matrix table as CSV (one row per workload × config),
+/// Render a compiler-matrix table as CSV (one row per workload × config),
 /// ready for external plotting.
-pub fn csv_compiler_rows(rows: &[CompilerRow]) {
-    println!("workload,config,time_s,joules,watts,paper_time_s,paper_joules,paper_watts");
+pub fn csv_compiler_rows(rows: &[CompilerRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "workload,config,time_s,joules,watts,paper_time_s,paper_joules,paper_watts");
     for r in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{},{},{:.4},{:.2},{:.2},{:.4},{:.2},{:.2}",
             r.workload,
             r.cc,
@@ -27,16 +36,19 @@ pub fn csv_compiler_rows(rows: &[CompilerRow]) {
             r.paper.watts,
         );
     }
+    out
 }
 
-/// Emit scaling curves as CSV (one row per workload × thread count).
-pub fn csv_scaling(curves: &[ScalingCurve]) {
-    println!("workload,workers,time_s,joules,speedup,normalized_energy");
+/// Render scaling curves as CSV (one row per workload × thread count).
+pub fn csv_scaling(curves: &[ScalingCurve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "workload,workers,time_s,joules,speedup,normalized_energy");
     for c in curves {
         let t1 = c.points[0].time_s;
         let e1 = c.points[0].joules;
         for p in &c.points {
-            println!(
+            let _ = writeln!(
+                out,
                 "{},{},{:.4},{:.2},{:.4},{:.4}",
                 c.workload,
                 p.workers,
@@ -47,13 +59,19 @@ pub fn csv_scaling(curves: &[ScalingCurve]) {
             );
         }
     }
+    out
 }
 
-/// Emit a throttling table as CSV.
-pub fn csv_throttling(rows: &[ThrottleRow]) {
-    println!("configuration,time_s,joules,watts,paper_time_s,paper_joules,paper_watts,throttled_fraction");
+/// Render a throttling table as CSV.
+pub fn csv_throttling(rows: &[ThrottleRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "configuration,time_s,joules,watts,paper_time_s,paper_joules,paper_watts,throttled_fraction"
+    );
     for r in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{},{:.4},{:.2},{:.2},{:.4},{:.2},{:.2},{}",
             r.config,
             r.model.time_s,
@@ -65,18 +83,22 @@ pub fn csv_throttling(rows: &[ThrottleRow]) {
             r.throttled_fraction.map(|f| format!("{f:.3}")).unwrap_or_default(),
         );
     }
+    out
 }
 
-/// Print a Table I/II/III-style compiler matrix.
-pub fn print_compiler_rows(title: &str, rows: &[CompilerRow]) {
-    header_line(title);
-    println!(
+/// Render a Table I/II/III-style compiler matrix.
+pub fn render_compiler_rows(title: &str, rows: &[CompilerRow]) -> String {
+    let mut out = String::new();
+    header_line(&mut out, title);
+    let _ = writeln!(
+        out,
         "{:<24} {:<8} | {:>8} {:>9} {:>7} | {:>8} {:>9} {:>7}",
         "application", "config", "time(s)", "J", "W", "paper-t", "paper-J", "paper-W"
     );
-    println!("{}", "-".repeat(96));
+    let _ = writeln!(out, "{}", "-".repeat(96));
     for r in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<24} {:<8} | {:>8.2} {:>9.0} {:>7.1} | {:>8.2} {:>9.0} {:>7.1}",
             r.workload,
             r.cc.to_string(),
@@ -88,37 +110,43 @@ pub fn print_compiler_rows(title: &str, rows: &[CompilerRow]) {
             r.paper.watts,
         );
     }
+    out
 }
 
-/// Print a Figure 1-4-style scaling table (speedup and normalized energy).
-pub fn print_scaling(title: &str, curves: &[ScalingCurve]) {
-    header_line(title);
+/// Render a Figure 1-4-style scaling table (speedup and normalized energy).
+pub fn render_scaling(title: &str, curves: &[ScalingCurve]) -> String {
+    let mut out = String::new();
+    header_line(&mut out, title);
     for c in curves {
         let speedups = c.speedups();
         let energies = c.normalized_energy();
-        print!("{:<24} speedup:", c.workload);
+        let _ = write!(out, "{:<24} speedup:", c.workload);
         for (w, s) in &speedups {
-            print!("  {w}t={s:.2}");
+            let _ = write!(out, "  {w}t={s:.2}");
         }
-        println!();
-        print!("{:<24} energy: ", "");
+        let _ = writeln!(out);
+        let _ = write!(out, "{:<24} energy: ", "");
         for (w, e) in &energies {
-            print!("  {w}t={e:.2}");
+            let _ = write!(out, "  {w}t={e:.2}");
         }
-        println!("   (min energy at {} threads)", c.min_energy_workers());
+        let _ = writeln!(out, "   (min energy at {} threads)", c.min_energy_workers());
     }
+    out
 }
 
-/// Print a Table IV-VII-style throttling comparison.
-pub fn print_throttling(title: &str, rows: &[ThrottleRow]) {
-    header_line(title);
-    println!(
+/// Render a Table IV-VII-style throttling comparison.
+pub fn render_throttling(title: &str, rows: &[ThrottleRow]) -> String {
+    let mut out = String::new();
+    header_line(&mut out, title);
+    let _ = writeln!(
+        out,
         "{:<22} | {:>8} {:>9} {:>7} | {:>8} {:>9} {:>7}",
         "configuration", "time(s)", "J", "W", "paper-t", "paper-J", "paper-W"
     );
-    println!("{}", "-".repeat(84));
+    let _ = writeln!(out, "{}", "-".repeat(84));
     for r in rows {
-        print!(
+        let _ = write!(
+            out,
             "{:<22} | {:>8.2} {:>9.0} {:>7.1} | {:>8.2} {:>9.0} {:>7.1}",
             r.config,
             r.model.time_s,
@@ -129,57 +157,83 @@ pub fn print_throttling(title: &str, rows: &[ThrottleRow]) {
             r.paper.watts,
         );
         if let Some(f) = r.throttled_fraction {
-            print!("   [throttled {:.0}% of samples]", f * 100.0);
+            let _ = write!(out, "   [throttled {:.0}% of samples]", f * 100.0);
         }
-        println!();
+        let _ = writeln!(out);
     }
+    out
 }
 
-/// Print the mechanism ablation.
-pub fn print_ablation(rows: &[AblationRow]) {
-    header_line("Mechanism ablation on LULESH (§IV: duty-cycle vs DVFS; §V: power clamp)");
-    println!("{:<24} | {:>8} {:>9} {:>7} | notes", "mechanism", "time(s)", "J", "W");
-    println!("{}", "-".repeat(78));
+/// Render the mechanism ablation.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    header_line(
+        &mut out,
+        "Mechanism ablation on LULESH (§IV: duty-cycle vs DVFS; §V: power clamp)",
+    );
+    let _ = writeln!(out, "{:<24} | {:>8} {:>9} {:>7} | notes", "mechanism", "time(s)", "J", "W");
+    let _ = writeln!(out, "{}", "-".repeat(78));
     for r in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<24} | {:>8.2} {:>9.0} {:>7.1} | {}",
             r.mechanism, r.model.time_s, r.model.joules, r.model.watts, r.note
         );
     }
+    out
 }
 
-/// Print the cold-start comparison.
-pub fn print_coldstart(c: &ColdStart) {
-    header_line("Cold-system effect (§II-C footnote 2; paper: BT.C 3.2% less energy cold)");
-    println!(
+/// Render the cold-start comparison.
+pub fn render_coldstart(c: &ColdStart) -> String {
+    let mut out = String::new();
+    header_line(
+        &mut out,
+        "Cold-system effect (§II-C footnote 2; paper: BT.C 3.2% less energy cold)",
+    );
+    let _ = writeln!(
+        out,
         "cold first run : {:>8.2} s {:>9.0} J {:>7.1} W",
         c.cold.time_s, c.cold.joules, c.cold.watts
     );
-    println!(
+    let _ = writeln!(
+        out,
         "warm repeat    : {:>8.2} s {:>9.0} J {:>7.1} W",
         c.warm.time_s, c.warm.joules, c.warm.watts
     );
-    println!("cold-run energy saving: {:.1}%", c.energy_saving() * 100.0);
+    let _ = writeln!(out, "cold-run energy saving: {:.1}%", c.energy_saving() * 100.0);
+    out
 }
 
-/// Print the duty-cycle probe.
-pub fn print_dutycycle(p: &DutyCycleProbe) {
-    header_line("Duty-cycle spin state (§IV; paper: 4 threads saved >12 W, 134 vs 147 W)");
-    println!("16 spinners, full duty      : {:>6.1} W", p.spin_full_w);
-    println!("4 spinners at 1/32 duty     : {:>6.1} W", p.spin_throttled4_w);
-    println!("saving per throttled thread : {:>6.2} W", p.per_thread_saving_w);
-    println!(
+/// Render the duty-cycle probe.
+pub fn render_dutycycle(p: &DutyCycleProbe) -> String {
+    let mut out = String::new();
+    header_line(
+        &mut out,
+        "Duty-cycle spin state (§IV; paper: 4 threads saved >12 W, 134 vs 147 W)",
+    );
+    let _ = writeln!(out, "16 spinners, full duty      : {:>6.1} W", p.spin_full_w);
+    let _ = writeln!(out, "4 spinners at 1/32 duty     : {:>6.1} W", p.spin_throttled4_w);
+    let _ = writeln!(out, "saving per throttled thread : {:>6.2} W", p.per_thread_saving_w);
+    let _ = writeln!(
+        out,
         "duty-register write latency : {:>6.1} µs (≈250 memory operations)",
         p.duty_write_latency_ns as f64 / 1000.0
     );
+    out
 }
 
-/// Print the overhead probe.
-pub fn print_overhead(p: &OverheadProbe) {
-    header_line("Controller overhead on a scaling benchmark (§IV-B; paper: ≤0.6%)");
-    println!("workload            : {}", p.workload);
-    println!("fixed 16 threads    : {:>8.3} s", p.fixed_s);
-    println!("dynamic 16 threads  : {:>8.3} s", p.dynamic_s);
-    println!("overhead            : {:>8.2}%", p.overhead() * 100.0);
-    println!("controller engaged  : {}", if p.ever_throttled { "yes (!)" } else { "never" });
+/// Render the overhead probe.
+pub fn render_overhead(p: &OverheadProbe) -> String {
+    let mut out = String::new();
+    header_line(&mut out, "Controller overhead on a scaling benchmark (§IV-B; paper: ≤0.6%)");
+    let _ = writeln!(out, "workload            : {}", p.workload);
+    let _ = writeln!(out, "fixed 16 threads    : {:>8.3} s", p.fixed_s);
+    let _ = writeln!(out, "dynamic 16 threads  : {:>8.3} s", p.dynamic_s);
+    let _ = writeln!(out, "overhead            : {:>8.2}%", p.overhead() * 100.0);
+    let _ = writeln!(
+        out,
+        "controller engaged  : {}",
+        if p.ever_throttled { "yes (!)" } else { "never" }
+    );
+    out
 }

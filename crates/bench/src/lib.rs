@@ -20,3 +20,5 @@
 
 pub mod experiments;
 pub mod format;
+pub mod harness;
+pub mod perf;

@@ -4,17 +4,25 @@
 //! cargo run -p maestro-bench --release -- all
 //! cargo run -p maestro-bench --release -- table1 table4 fig1
 //! cargo run -p maestro-bench --release -- --test-scale table2
+//! cargo run -p maestro-bench --release -- --jobs 4 all --json BENCH_PR5.json
 //! ```
 
 use maestro_bench::experiments::{self, FigureGroup, ThrottleTarget};
-use maestro_bench::format;
+use maestro_bench::{format, harness, perf};
 use maestro_workloads::{Family, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
 
 const USAGE: &str = "\
-usage: maestro-bench [--test-scale] [--csv] <experiment>...
+usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment>...
 
   --csv emits machine-readable CSV instead of the aligned comparison tables
   (supported for table1-3, fig1-4, and table4-7).
+  --jobs N fans independent experiment cells over N host threads (default:
+  MAESTRO_BENCH_JOBS, else the host's available parallelism). Output is
+  byte-identical for every N.
+  --json PATH additionally writes a perf-trajectory report (wall-clock per
+  experiment plus hot-path micro-probes); schema in EXPERIMENTS.md.
 
 experiments:
   table1      Table I    — GCC vs ICC at -O2, 16 threads
@@ -35,115 +43,218 @@ experiments:
   all         everything above, in order
 ";
 
-fn run_one(name: &str, scale: Scale, csv: bool) -> bool {
+/// Every experiment `all` expands to, in print order.
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "table4", "table5", "table6",
+    "table7", "coldstart", "dutycycle", "overhead", "ablation",
+];
+
+/// Render one experiment to its output text, or `None` for an unknown name.
+fn render_one(name: &str, scale: Scale, csv: bool, jobs: usize) -> Option<String> {
     let compiler = |title: &str, rows: &[experiments::CompilerRow]| {
         if csv {
             format::csv_compiler_rows(rows)
         } else {
-            format::print_compiler_rows(title, rows)
+            format::render_compiler_rows(title, rows)
         }
     };
     let scaling = |title: &str, curves: &[experiments::ScalingCurve]| {
         if csv {
             format::csv_scaling(curves)
         } else {
-            format::print_scaling(title, curves)
+            format::render_scaling(title, curves)
         }
     };
     let throttling = |title: &str, rows: &[experiments::ThrottleRow]| {
         if csv {
             format::csv_throttling(rows)
         } else {
-            format::print_throttling(title, rows)
+            format::render_throttling(title, rows)
         }
     };
-    match name {
+    Some(match name {
         "table1" => compiler(
             "Table I — execution time and energy usage (16 threads, -O2)",
-            &experiments::table1(scale),
+            &experiments::table1(scale, jobs),
         ),
         "table2" => compiler(
             "Table II — optimization level, GNU GCC (16 threads)",
-            &experiments::compiler_table(scale, Family::Gcc),
+            &experiments::compiler_table(scale, Family::Gcc, jobs),
         ),
         "table3" => compiler(
             "Table III — optimization level, Intel ICC (16 threads)",
-            &experiments::compiler_table(scale, Family::Icc),
+            &experiments::compiler_table(scale, Family::Icc, jobs),
         ),
         "fig1" => scaling(
             "Figure 1 — SIMPLE/LULESH speedup and normalized energy (GCC -O2)",
-            &experiments::scaling_figure(scale, FigureGroup::SimpleAndLulesh, Family::Gcc),
+            &experiments::scaling_figure(scale, FigureGroup::SimpleAndLulesh, Family::Gcc, jobs),
         ),
         "fig2" => scaling(
             "Figure 2 — SIMPLE/LULESH speedup and normalized energy (ICC -O2)",
-            &experiments::scaling_figure(scale, FigureGroup::SimpleAndLulesh, Family::Icc),
+            &experiments::scaling_figure(scale, FigureGroup::SimpleAndLulesh, Family::Icc, jobs),
         ),
         "fig3" => scaling(
             "Figure 3 — BOTS speedup and normalized energy (GCC -O2)",
-            &experiments::scaling_figure(scale, FigureGroup::Bots, Family::Gcc),
+            &experiments::scaling_figure(scale, FigureGroup::Bots, Family::Gcc, jobs),
         ),
         "fig4" => scaling(
             "Figure 4 — BOTS speedup and normalized energy (ICC -O2)",
-            &experiments::scaling_figure(scale, FigureGroup::Bots, Family::Icc),
+            &experiments::scaling_figure(scale, FigureGroup::Bots, Family::Icc, jobs),
         ),
         "table4" => throttling(
             "Table IV — LULESH with MAESTRO (-O3)",
-            &experiments::throttling_table(scale, ThrottleTarget::Lulesh),
+            &experiments::throttling_table(scale, ThrottleTarget::Lulesh, jobs),
         ),
         "table5" => throttling(
             "Table V — dijkstra with MAESTRO (-O3)",
-            &experiments::throttling_table(scale, ThrottleTarget::Dijkstra),
+            &experiments::throttling_table(scale, ThrottleTarget::Dijkstra, jobs),
         ),
         "table6" => throttling(
             "Table VI — BOTS health with MAESTRO (-O3)",
-            &experiments::throttling_table(scale, ThrottleTarget::Health),
+            &experiments::throttling_table(scale, ThrottleTarget::Health, jobs),
         ),
         "table7" => throttling(
             "Table VII — BOTS strassen with MAESTRO (-O3)",
-            &experiments::throttling_table(scale, ThrottleTarget::Strassen),
+            &experiments::throttling_table(scale, ThrottleTarget::Strassen, jobs),
         ),
-        "coldstart" => format::print_coldstart(&experiments::coldstart(scale)),
-        "dutycycle" => format::print_dutycycle(&experiments::dutycycle_probe()),
-        "overhead" => format::print_overhead(&experiments::overhead_probe(scale)),
-        "ablation" => format::print_ablation(&experiments::ablation(scale)),
-        "all" => {
-            for exp in [
-                "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "table4",
-                "table5", "table6", "table7", "coldstart", "dutycycle", "overhead", "ablation",
-            ] {
-                run_one(exp, scale, csv);
-            }
-        }
-        other => {
-            eprintln!("unknown experiment: {other}\n{USAGE}");
-            return false;
-        }
+        "coldstart" => format::render_coldstart(&experiments::coldstart(scale)),
+        "dutycycle" => format::render_dutycycle(&experiments::dutycycle_probe()),
+        "overhead" => format::render_overhead(&experiments::overhead_probe(scale, jobs)),
+        "ablation" => format::render_ablation(&experiments::ablation(scale, jobs)),
+        _ => return None,
+    })
+}
+
+/// One timed experiment for the JSON report.
+struct Timed {
+    name: String,
+    wall_s: f64,
+    output: String,
+}
+
+/// Run the requested experiment list (with `all` already expanded),
+/// fanning whole experiments across the job pool while printing in the
+/// original order.
+fn run_list(names: &[&str], scale: Scale, csv: bool, jobs: usize) -> Vec<Timed> {
+    harness::parallel_map(names.len(), jobs, |i| {
+        let start = Instant::now();
+        let output = render_one(names[i], scale, csv, jobs)
+            .unwrap_or_else(|| unreachable!("names validated before dispatch"));
+        Timed { name: names[i].to_string(), wall_s: start.elapsed().as_secs_f64(), output }
+    })
+}
+
+/// Hand-rolled JSON writer for the perf trajectory (schema
+/// `maestro-bench/v1`; documented in EXPERIMENTS.md). The vendored serde
+/// stub has no JSON backend, and the report is flat enough that assembling
+/// it directly keeps the dependency surface at zero.
+fn perf_report_json(
+    scale: Scale,
+    jobs: usize,
+    timed: &[Timed],
+    micro: &perf::MicroPerf,
+    total_wall_s: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"maestro-bench/v1\",");
+    let _ = writeln!(out, "  \"pr\": \"PR5\",");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{}\",",
+        if scale == Scale::Test { "test" } else { "paper" }
+    );
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(out, "  \"total_wall_s\": {total_wall_s:.4},");
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, t) in timed.iter().enumerate() {
+        let comma = if i + 1 == timed.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.4}}}{comma}",
+            t.name, t.wall_s
+        );
     }
-    true
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"micro\": {{");
+    let _ = writeln!(
+        out,
+        "    \"machine_advance_ns_per_op\": {:.2},",
+        micro.machine_advance_ns_per_op
+    );
+    let _ = writeln!(
+        out,
+        "    \"scheduler_steps_per_sec\": {:.0}",
+        micro.scheduler_steps_per_sec
+    );
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut csv = false;
-    args.retain(|a| match a.as_str() {
-        "--test-scale" => {
-            scale = Scale::Test;
-            false
+    let mut jobs: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test-scale" => scale = Scale::Test,
+            "--csv" => csv = true,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json needs a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other => names.push(other.to_string()),
         }
-        "--csv" => {
-            csv = true;
-            false
-        }
-        _ => true,
-    });
-    if args.is_empty() {
+    }
+    let jobs = jobs.unwrap_or_else(harness::default_jobs);
+    if names.is_empty() {
         eprint!("{USAGE}");
         std::process::exit(2);
     }
-    for name in &args {
-        if !run_one(name, scale, csv) {
+
+    // Expand `all` and validate up front so an unknown name fails before
+    // any (possibly long) experiment runs.
+    let mut expanded: Vec<&str> = Vec::new();
+    for n in &names {
+        if n == "all" {
+            expanded.extend_from_slice(ALL);
+        } else if ALL.contains(&n.as_str()) {
+            expanded.push(n.as_str());
+        } else {
+            eprintln!("unknown experiment: {n}\n{USAGE}");
             std::process::exit(2);
         }
+    }
+
+    let start = Instant::now();
+    let timed = run_list(&expanded, scale, csv, jobs);
+    let total_wall_s = start.elapsed().as_secs_f64();
+    for t in &timed {
+        print!("{}", t.output);
+    }
+
+    if let Some(path) = json_path {
+        let micro = perf::micro_perf();
+        let report = perf_report_json(scale, jobs, &timed, &micro, total_wall_s);
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf report written to {path}");
     }
 }

@@ -1,0 +1,92 @@
+//! Wall-clock micro-probes for the performance trajectory (`BENCH_*.json`).
+//!
+//! These are intentionally small, self-timed probes — not the criterion
+//! suites — so `maestro-bench -- all --json` can record the two hot-path
+//! numbers the acceptance criteria track (machine `advance` cost and
+//! scheduler event throughput) in one run without a separate bench pass.
+
+use maestro_machine::{CoreActivity, Cost, Machine, MachineConfig};
+use maestro_runtime::{compute_leaf, fork_join, BoxTask, Runtime, RuntimeParams, TaskValue};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The two hot-path micro-measurements recorded in `BENCH_PR5.json`.
+#[derive(Copy, Clone, Debug)]
+pub struct MicroPerf {
+    /// Wall-clock cost of one `Machine::advance(100µs)` call on a fully
+    /// loaded 2×8 node, nanoseconds per call.
+    pub machine_advance_ns_per_op: f64,
+    /// Fluid-scheduler event throughput on a 4096-task flat bag with 16
+    /// workers, steps per wall-clock second.
+    pub scheduler_steps_per_sec: f64,
+}
+
+/// Time `Machine::advance(100_000)` over a loaded node.
+pub fn machine_advance_ns_per_op() -> f64 {
+    let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+    for (i, c) in m.topology().all_cores().enumerate() {
+        m.set_activity(c, CoreActivity::Busy { intensity: 0.1 * (i % 10) as f64, ocr: 2.0 });
+    }
+    // Warm up, then time a fixed batch.
+    for _ in 0..1_000 {
+        m.advance(100_000);
+    }
+    const OPS: u32 = 100_000;
+    let start = Instant::now();
+    for _ in 0..OPS {
+        m.advance(black_box(100_000));
+    }
+    black_box(m.now_ns());
+    start.elapsed().as_nanos() as f64 / f64::from(OPS)
+}
+
+fn flat_bag(tasks: usize) -> BoxTask<()> {
+    let children: Vec<BoxTask<()>> =
+        (0..tasks).map(|_| compute_leaf(Cost::compute(100_000, 0.5))).collect();
+    fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()))
+}
+
+/// Measure scheduler steps per wall-clock second on the flat-bag shape the
+/// criterion `scheduler` suite also uses.
+pub fn scheduler_steps_per_sec() -> f64 {
+    const ROUNDS: usize = 5;
+    let mut total_steps = 0u64;
+    let mut total_s = 0.0f64;
+    for round in 0..=ROUNDS {
+        let mut rt = Runtime::new(
+            Machine::new(MachineConfig::sandybridge_2x8()),
+            RuntimeParams::qthreads(16),
+        )
+        .expect("valid runtime params");
+        let start = Instant::now();
+        let outcome = rt.run(&mut (), flat_bag(4096)).expect("flat bag completes");
+        let dt = start.elapsed().as_secs_f64();
+        if round > 0 {
+            // Round 0 is warm-up.
+            total_steps += outcome.stats.steps;
+            total_s += dt;
+        }
+    }
+    total_steps as f64 / total_s
+}
+
+/// Run both probes.
+pub fn micro_perf() -> MicroPerf {
+    MicroPerf {
+        machine_advance_ns_per_op: machine_advance_ns_per_op(),
+        scheduler_steps_per_sec: scheduler_steps_per_sec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_produce_finite_positive_numbers() {
+        let advance = machine_advance_ns_per_op();
+        assert!(advance.is_finite() && advance > 0.0);
+        let steps = scheduler_steps_per_sec();
+        assert!(steps.is_finite() && steps > 0.0);
+    }
+}

@@ -117,6 +117,33 @@ struct SocketState {
     pstate: PState,
 }
 
+/// Per-socket cached power aggregate, maintained incrementally.
+///
+/// `advance` integrates power on every 100 ms substep, but the inputs to
+/// the non-leakage power sum (activity, duty, P-state) only change at the
+/// scheduler's mutation points. The cache is marked dirty at those points
+/// and recomputed lazily on the next read, so a long `advance` pays for
+/// the O(cores) summation once instead of once per substep. The cached
+/// value is byte-identical to the brute-force recomputation (same
+/// expression, same summation order); `debug_assertions` builds verify
+/// this on every substep.
+#[derive(Clone, Debug)]
+struct PowerCache {
+    dirty: std::cell::Cell<bool>,
+    nonleak_w: std::cell::Cell<f64>,
+    ocr_sum: std::cell::Cell<f64>,
+}
+
+impl PowerCache {
+    fn new() -> Self {
+        PowerCache {
+            dirty: std::cell::Cell::new(true),
+            nonleak_w: std::cell::Cell::new(0.0),
+            ocr_sum: std::cell::Cell::new(0.0),
+        }
+    }
+}
+
 /// The simulated node. See the [crate docs](crate) for the overall model.
 #[derive(Clone, Debug)]
 pub struct Machine {
@@ -125,6 +152,7 @@ pub struct Machine {
     duty: Vec<DutyCycle>,
     activity: Vec<CoreActivity>,
     sockets: Vec<SocketState>,
+    power_cache: Vec<PowerCache>,
 }
 
 impl Machine {
@@ -141,7 +169,24 @@ impl Machine {
                 SocketState { temp_c: cfg.start_temp_c, energy_j: 0.0, pstate: PState::MAX };
                 n_sockets
             ],
+            power_cache: (0..n_sockets).map(|_| PowerCache::new()).collect(),
             cfg,
+        }
+    }
+
+    /// Mark `socket`'s cached power aggregate stale (activity, duty, or
+    /// P-state changed). The next read recomputes it.
+    fn mark_power_dirty(&self, socket: SocketId) {
+        self.power_cache[socket.index()].dirty.set(true);
+    }
+
+    /// Recompute the cached aggregates for `socket` if stale.
+    fn refresh_power_cache(&self, socket: SocketId) {
+        let cache = &self.power_cache[socket.index()];
+        if cache.dirty.get() {
+            cache.ocr_sum.set(self.compute_socket_outstanding_refs(socket));
+            cache.nonleak_w.set(self.compute_socket_power_nonleak_w(socket));
+            cache.dirty.set(false);
         }
     }
 
@@ -164,6 +209,7 @@ impl Machine {
     pub fn set_activity(&mut self, core: CoreId, activity: CoreActivity) {
         assert!(self.cfg.topology.contains(core), "no such core: {core}");
         self.activity[core.index()] = activity;
+        self.mark_power_dirty(self.cfg.topology.socket_of(core));
     }
 
     /// The declared activity of `core`.
@@ -182,6 +228,7 @@ impl Machine {
     pub fn set_duty(&mut self, core: CoreId, duty: DutyCycle) {
         assert!(self.cfg.topology.contains(core), "no such core: {core}");
         self.duty[core.index()] = duty;
+        self.mark_power_dirty(self.cfg.topology.socket_of(core));
     }
 
     /// The P-state currently selected for `socket` (DVFS is per-package:
@@ -194,6 +241,7 @@ impl Machine {
     /// stall separately via [`MachineConfig::dvfs`]'s transition cycles.
     pub fn set_pstate(&mut self, socket: SocketId, pstate: PState) {
         self.sockets[socket.index()].pstate = pstate;
+        self.mark_power_dirty(socket);
     }
 
     /// The effective instruction rate of `core` as a fraction of nominal:
@@ -205,6 +253,15 @@ impl Machine {
 
     /// Sum of outstanding memory references over the busy cores of `socket`.
     pub fn socket_outstanding_refs(&self, socket: SocketId) -> f64 {
+        self.refresh_power_cache(socket);
+        let cached = self.power_cache[socket.index()].ocr_sum.get();
+        debug_assert_eq!(cached.to_bits(), self.compute_socket_outstanding_refs(socket).to_bits());
+        cached
+    }
+
+    /// Brute-force recomputation of [`Machine::socket_outstanding_refs`]:
+    /// the validation reference for the incremental aggregate.
+    fn compute_socket_outstanding_refs(&self, socket: SocketId) -> f64 {
         self.cfg
             .topology
             .cores_of(socket)
@@ -230,6 +287,16 @@ impl Machine {
     }
 
     fn socket_power_nonleak_w(&self, socket: SocketId) -> f64 {
+        self.refresh_power_cache(socket);
+        let cached = self.power_cache[socket.index()].nonleak_w.get();
+        debug_assert_eq!(cached.to_bits(), self.compute_socket_power_nonleak_w(socket).to_bits());
+        cached
+    }
+
+    /// Brute-force recomputation of the non-leakage socket power: the
+    /// validation reference for the cached aggregate. Reads no cache, so
+    /// it is safe to call while the cache is being refreshed.
+    fn compute_socket_power_nonleak_w(&self, socket: SocketId) -> f64 {
         // DVFS lowers voltage with frequency, so all *dynamic* core power
         // scales by f·V²; the package base and memory system do not.
         let dvfs_scale = self.sockets[socket.index()].pstate.dynamic_power_fraction();
@@ -245,7 +312,17 @@ impl Machine {
                     )
             })
             .sum();
-        self.cfg.power.socket_base_w + cores + self.cfg.memory.power_w(self.mem_utilization(socket))
+        let utilization = self.cfg.memory.utilization(self.compute_socket_outstanding_refs(socket));
+        self.cfg.power.socket_base_w + cores + self.cfg.memory.power_w(utilization)
+    }
+
+    /// Brute-force recomputation of [`Machine::socket_power_w`], bypassing
+    /// the incremental per-socket power cache. Exposed so tests can assert
+    /// the cached aggregate never drifts from first principles; production
+    /// callers should use [`Machine::socket_power_w`].
+    pub fn socket_power_brute_force_w(&self, socket: SocketId) -> f64 {
+        self.compute_socket_power_nonleak_w(socket)
+            + self.cfg.thermal.leakage_w(self.sockets[socket.index()].temp_c)
     }
 
     /// Instantaneous whole-node power (Watts).
@@ -333,6 +410,7 @@ impl MsrDevice for Machine {
                 let duty = DutyCycle::decode_msr(value)
                     .map_err(|_| MsrError::InvalidValue { msr, value })?;
                 self.duty[core.index()] = duty;
+                self.mark_power_dirty(self.cfg.topology.socket_of(core));
                 Ok(())
             }
             IA32_PERF_CTL => {
@@ -342,6 +420,7 @@ impl MsrDevice for Machine {
                     .and_then(PState::new)
                     .ok_or(MsrError::InvalidValue { msr, value })?;
                 self.sockets[socket.index()].pstate = pstate;
+                self.mark_power_dirty(socket);
                 Ok(())
             }
             MSR_PKG_ENERGY_STATUS | IA32_THERM_STATUS => Err(MsrError::ReadOnly(msr)),

@@ -114,3 +114,69 @@ proptest! {
         }
     }
 }
+
+/// One randomized mutation against the machine, for the incremental-power
+/// consistency property below.
+#[derive(Clone, Debug)]
+enum Mutation {
+    Activity(u16, CoreActivity),
+    Duty(u16, u8),
+    Pstate(u16, u8),
+    DutyMsr(u16, u8),
+    Advance(u64),
+}
+
+fn arb_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (0u16..16, arb_activity()).prop_map(|(c, a)| Mutation::Activity(c, a)),
+        (0u16..16, 1u8..=32).prop_map(|(c, l)| Mutation::Duty(c, l)),
+        (0u16..16, 0u8..=5).prop_map(|(c, p)| Mutation::Pstate(c, p)),
+        (0u16..16, 1u8..=32).prop_map(|(c, l)| Mutation::DutyMsr(c, l)),
+        (1u64..=2 * NS_PER_SEC).prop_map(Mutation::Advance),
+    ]
+}
+
+proptest! {
+    /// The incremental (dirty-flagged) per-socket power aggregate is
+    /// bit-identical to the brute-force recomputation after any sequence of
+    /// mutations through any of the mutation APIs — a missed invalidation
+    /// anywhere would make the cached value drift from first principles.
+    #[test]
+    fn incremental_power_matches_brute_force(
+        muts in prop::collection::vec(arb_mutation(), 1..40),
+    ) {
+        use maestro_machine::{IA32_CLOCK_MODULATION, IA32_PERF_CTL, PState};
+        let mut m = Machine::new(MachineConfig::sandybridge_2x8());
+        for mu in muts {
+            match mu {
+                Mutation::Activity(c, a) => m.set_activity(CoreId(c), a),
+                Mutation::Duty(c, l) => m.set_duty(CoreId(c), DutyCycle::new(l).unwrap()),
+                Mutation::Pstate(c, p) => {
+                    let s = m.topology().socket_of(CoreId(c));
+                    if let Some(ps) = PState::new(p) {
+                        m.set_pstate(s, ps);
+                    }
+                }
+                Mutation::DutyMsr(c, l) => {
+                    let v = DutyCycle::new(l).unwrap().encode_msr();
+                    m.write_msr(CoreId(c), IA32_CLOCK_MODULATION, v).unwrap();
+                }
+                Mutation::Advance(dt) => m.advance(dt),
+            }
+            for s in m.topology().all_sockets() {
+                let cached = m.socket_power_w(s);
+                let brute = m.socket_power_brute_force_w(s);
+                prop_assert_eq!(
+                    cached.to_bits(),
+                    brute.to_bits(),
+                    "socket {:?}: cached {} W vs brute-force {} W after {:?}",
+                    s, cached, brute, mu
+                );
+            }
+            // The cached OCR sum feeds the contention model; check it too.
+            let _ = m.write_msr(CoreId(0), IA32_PERF_CTL, 0);
+            let brute_p0 = m.socket_power_brute_force_w(SocketId(0));
+            prop_assert_eq!(m.socket_power_w(SocketId(0)).to_bits(), brute_p0.to_bits());
+        }
+    }
+}

@@ -419,6 +419,21 @@ struct Exec<'r, C> {
     live_tasks: u64,
     shepherds: Vec<Shepherd>,
     workers: Vec<WorkerState>,
+    /// Maintained sum of `shepherds[..].active` — `total_active()` in O(1).
+    active_total: usize,
+    /// Maintained count of workers in `WorkerState::Spinning`.
+    spinner_count: usize,
+    /// Maintained count of workers in `WorkerState::Running`.
+    running_count: usize,
+    /// Cached `min` of every monitor's `next_due_ns()`. Monitors only
+    /// change state inside `fire`, so the cache is recomputed after each
+    /// firing pass instead of on every scheduler iteration.
+    next_monitor_cache: Option<u64>,
+    /// Recycled inbox buffers from freed tasks, reused by `alloc_task` and
+    /// the spawn path instead of allocating per region.
+    inbox_pool: Vec<Vec<TaskValue>>,
+    /// Recycled `staged_children` buffers from freed/released tasks.
+    child_pool: Vec<Vec<BoxTask<C>>>,
     /// Residual dispatch overhead per worker, folded into the next segment.
     pending_overhead_ns: Vec<f64>,
     wake_epoch: u64,
@@ -450,6 +465,7 @@ impl<'r, C> Exec<'r, C> {
         let start_actuation = rt.actuator.totals();
         let draining = cancel.is_cancelled();
         let last_cancel_gen = cancel.generation();
+        let next_monitor_cache = rt.monitors.iter().filter_map(|m| m.next_due_ns()).min();
         Exec {
             rt,
             tasks: Vec::new(),
@@ -457,6 +473,12 @@ impl<'r, C> Exec<'r, C> {
             live_tasks: 0,
             shepherds,
             workers: (0..n_workers).map(|_| WorkerState::Idle).collect(),
+            active_total: 0,
+            spinner_count: 0,
+            running_count: 0,
+            next_monitor_cache,
+            inbox_pool: Vec::new(),
+            child_pool: Vec::new(),
             pending_overhead_ns: vec![0.0; n_workers],
             wake_epoch: 0,
             root_value: None,
@@ -492,9 +514,21 @@ impl<'r, C> Exec<'r, C> {
         cycles as f64 / self.rt.machine.config().freq_ghz
     }
 
-    fn alloc_task(&mut self, record: TaskRecord<C>) -> TaskId {
+    fn alloc_task(&mut self, mut record: TaskRecord<C>) -> TaskId {
         self.live_tasks += 1;
         self.stats.peak_live_tasks = self.stats.peak_live_tasks.max(self.live_tasks);
+        // Hand recycled buffers to records built with empty placeholders, so
+        // a task's first spawn/join round allocates nothing in steady state.
+        if record.inbox.capacity() == 0 {
+            if let Some(buf) = self.inbox_pool.pop() {
+                record.inbox = buf;
+            }
+        }
+        if record.staged_children.capacity() == 0 {
+            if let Some(buf) = self.child_pool.pop() {
+                record.staged_children = buf;
+            }
+        }
         if let Some(id) = self.free.pop() {
             self.tasks[id] = Some(record);
             id
@@ -504,14 +538,47 @@ impl<'r, C> Exec<'r, C> {
         }
     }
 
+    /// Release `id`'s slot to the free list, harvesting its heap buffers
+    /// into the recycling pools instead of dropping the allocations.
     fn free_task(&mut self, id: TaskId) {
-        self.tasks[id] = None;
+        if let Some(mut record) = self.tasks[id].take() {
+            if record.inbox.capacity() > 0 {
+                record.inbox.clear();
+                self.inbox_pool.push(std::mem::take(&mut record.inbox));
+            }
+            if record.staged_children.capacity() > 0 {
+                record.staged_children.clear();
+                self.child_pool.push(std::mem::take(&mut record.staged_children));
+            }
+        }
         self.free.push(id);
         self.live_tasks -= 1;
     }
 
     fn total_active(&self) -> usize {
-        self.shepherds.iter().map(|s| s.active).sum()
+        debug_assert_eq!(
+            self.active_total,
+            self.shepherds.iter().map(|s| s.active).sum::<usize>(),
+            "active_total counter diverged from the per-shepherd scan"
+        );
+        self.active_total
+    }
+
+    /// Replace worker `w`'s state, keeping the spinner/running counters in
+    /// sync. Every variant change must go through here.
+    fn set_worker(&mut self, w: usize, state: WorkerState) -> WorkerState {
+        let old = std::mem::replace(&mut self.workers[w], state);
+        match &old {
+            WorkerState::Spinning { .. } => self.spinner_count -= 1,
+            WorkerState::Running(_) => self.running_count -= 1,
+            WorkerState::Idle => {}
+        }
+        match &self.workers[w] {
+            WorkerState::Spinning { .. } => self.spinner_count += 1,
+            WorkerState::Running(_) => self.running_count += 1,
+            WorkerState::Idle => {}
+        }
+        old
     }
 
     fn run(mut self, app: &mut C, root: BoxTask<C>) -> Result<RunOutcome, RuntimeError> {
@@ -628,7 +695,7 @@ impl<'r, C> Exec<'r, C> {
             if let WorkerState::Spinning { since_ns, .. } = self.workers[w] {
                 self.stats.throttled_worker_ns += now - since_ns;
             }
-            self.workers[w] = WorkerState::Idle;
+            self.set_worker(w, WorkerState::Idle);
         }
         self.restore_cores();
 
@@ -660,6 +727,11 @@ impl<'r, C> Exec<'r, C> {
 
     fn fire_due_monitors(&mut self) {
         let now = self.rt.machine.now_ns();
+        // Nothing due yet: skip the per-monitor pass entirely. The cache is
+        // exact — monitors only change their due time inside `fire`.
+        if self.next_monitor_due().is_none_or(|due| due > now) {
+            return;
+        }
         let was_active = self.rt.throttle.active;
         for m in &mut self.rt.monitors {
             while m.next_due_ns().is_some_and(|due| due <= now) {
@@ -667,6 +739,7 @@ impl<'r, C> Exec<'r, C> {
                 self.stats.monitor_fires += 1;
             }
         }
+        self.next_monitor_cache = self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min();
         if self.rt.throttle.active != was_active {
             // Throttle (de)activation is a wake condition for spinners.
             self.wake_spinners();
@@ -674,7 +747,12 @@ impl<'r, C> Exec<'r, C> {
     }
 
     fn next_monitor_due(&self) -> Option<u64> {
-        self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min()
+        debug_assert_eq!(
+            self.next_monitor_cache,
+            self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min(),
+            "cached monitor due time diverged from the monitor scan"
+        );
+        self.next_monitor_cache
     }
 
     /// Bump the wake epoch so every spinner re-evaluates — unless an
@@ -708,7 +786,12 @@ impl<'r, C> Exec<'r, C> {
     }
 
     fn has_spinners(&self) -> bool {
-        self.workers.iter().any(|w| matches!(w, WorkerState::Spinning { .. }))
+        debug_assert_eq!(
+            self.spinner_count,
+            self.workers.iter().filter(|w| matches!(w, WorkerState::Spinning { .. })).count(),
+            "spinner_count counter diverged from the worker scan"
+        );
+        self.spinner_count > 0
     }
 
     /// `label#id` path from the root down to `failed`, whose logic (already
@@ -799,7 +882,7 @@ impl<'r, C> Exec<'r, C> {
                                 * self.rt.machine.config().duty_write_latency_ns() as f64;
                         }
                         self.rt.machine.set_activity(core, CoreActivity::Idle);
-                        self.workers[w] = WorkerState::Idle;
+                        self.set_worker(w, WorkerState::Idle);
                         true
                     }
                 }
@@ -837,7 +920,7 @@ impl<'r, C> Exec<'r, C> {
             self.stats.resumes += 1;
         }
 
-        self.workers[w] = WorkerState::Idle; // placeholder until a segment starts
+        self.set_worker(w, WorkerState::Idle); // placeholder until a segment starts
         self.step_task(app, w, task, overhead_ns)?;
         Ok(true)
     }
@@ -884,18 +967,25 @@ impl<'r, C> Exec<'r, C> {
                     // whose breaker is open (or whose write could not be
                     // verified) spins at FULL duty instead — the actuator
                     // fails toward performance, never toward stuck-low.
-                    self.workers[w] = WorkerState::Running(Segment {
-                        task: None,
-                        cpu_rem_ns: f64::from(outcome.attempts().max(1))
-                            * self.rt.machine.config().duty_write_latency_ns() as f64,
-                        mem_rem_ns: 0.0,
-                        spin_epoch: self.wake_epoch,
-                    });
+                    let cpu_rem_ns = f64::from(outcome.attempts().max(1))
+                        * self.rt.machine.config().duty_write_latency_ns() as f64;
+                    self.set_worker(
+                        w,
+                        WorkerState::Running(Segment {
+                            task: None,
+                            cpu_rem_ns,
+                            mem_rem_ns: 0.0,
+                            spin_epoch: self.wake_epoch,
+                        }),
+                    );
                 } else {
-                    self.workers[w] = WorkerState::Spinning {
-                        epoch_seen: self.wake_epoch,
-                        since_ns: self.rt.machine.now_ns(),
-                    };
+                    self.set_worker(
+                        w,
+                        WorkerState::Spinning {
+                            epoch_seen: self.wake_epoch,
+                            since_ns: self.rt.machine.now_ns(),
+                        },
+                    );
                 }
                 true
             }
@@ -929,7 +1019,7 @@ impl<'r, C> Exec<'r, C> {
             // zero-virtual-time instant-completion chain, where the outer
             // loop's check never gets a turn.
             if self.rt.params.step_budget.is_some_and(|b| self.stats.steps >= b) {
-                self.workers[w] = WorkerState::Idle;
+                self.set_worker(w, WorkerState::Idle);
                 self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
                 return Err(RuntimeError::DeadlineExceeded {
                     limit: RunLimit::Steps { budget: self.rt.params.step_budget.unwrap_or(0) },
@@ -974,6 +1064,12 @@ impl<'r, C> Exec<'r, C> {
                     logic.step(app, &mut ctx)
                 }));
                 self.stats.steps += 1;
+                // Reclaim the resumed inbox buffer the task just consumed:
+                // its values are spent, but the allocation is reusable.
+                if ctx.children.capacity() > 0 {
+                    ctx.children.clear();
+                    self.inbox_pool.push(std::mem::take(&mut ctx.children));
+                }
                 match result {
                     Ok(mut step) => {
                         if self
@@ -1036,7 +1132,8 @@ impl<'r, C> Exec<'r, C> {
                     );
                     let shep = self.shepherd_of(w);
                     self.shepherds[shep].active += 1;
-                    self.workers[w] = WorkerState::Running(seg);
+                    self.active_total += 1;
+                    self.set_worker(w, WorkerState::Running(seg));
                     return Ok(());
                 }
                 Step::SpawnWait(children) => {
@@ -1044,14 +1141,19 @@ impl<'r, C> Exec<'r, C> {
                         // Degenerate spawn: resume immediately with no values.
                         let record = task_mut(&mut self.tasks, current, "task exists", now_ns)?;
                         record.resume_pending = true;
-                        record.inbox = Vec::new();
+                        record.inbox.clear();
                         continue;
                     }
                     let n = children.len();
                     let record = task_mut(&mut self.tasks, current, "task exists", now_ns)?;
-                    record.staged_children = children;
+                    // Move the children into the record's (possibly recycled)
+                    // buffer and refill the inbox in place, so repeated
+                    // spawn/join rounds reuse the same two allocations.
+                    record.staged_children.clear();
+                    record.staged_children.extend(children);
                     record.pending_children = n;
-                    record.inbox = (0..n).map(|_| TaskValue::none()).collect();
+                    record.inbox.clear();
+                    record.inbox.resize_with(n, TaskValue::none);
                     // Creating the children costs the parent spawn cycles,
                     // modeled as a final busy segment before it suspends.
                     let spawn_ns =
@@ -1068,14 +1170,15 @@ impl<'r, C> Exec<'r, C> {
                     );
                     let shep = self.shepherd_of(w);
                     self.shepherds[shep].active += 1;
-                    self.workers[w] = WorkerState::Running(seg);
+                    self.active_total += 1;
+                    self.set_worker(w, WorkerState::Running(seg));
                     return Ok(());
                 }
                 Step::Done(value) => {
                     self.complete_task(current, value)?;
                     if self.root_value.is_some() {
                         self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
-                        self.workers[w] = WorkerState::Idle;
+                        self.set_worker(w, WorkerState::Idle);
                         return Ok(());
                     }
                     // Instant completion: keep the worker going on more work
@@ -1088,7 +1191,7 @@ impl<'r, C> Exec<'r, C> {
                         && self.shepherds[shep].active >= self.rt.throttle.effective_limit()
                     {
                         self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
-                        self.workers[w] = WorkerState::Idle;
+                        self.set_worker(w, WorkerState::Idle);
                         return Ok(());
                     }
                     if let Some((next, stolen)) = self.acquire_task(shep) {
@@ -1107,7 +1210,7 @@ impl<'r, C> Exec<'r, C> {
                         continue;
                     }
                     self.rt.machine.set_activity(self.core_of(w), CoreActivity::Idle);
-                    self.workers[w] = WorkerState::Idle;
+                    self.set_worker(w, WorkerState::Idle);
                     return Ok(());
                 }
             }
@@ -1154,10 +1257,10 @@ impl<'r, C> Exec<'r, C> {
     fn release_children(&mut self, parent: TaskId, shep: usize) -> Result<(), RuntimeError> {
         let now = self.rt.machine.now_ns();
         let record = task_mut(&mut self.tasks, parent, "spawning parent exists", now)?;
-        let staged = std::mem::take(&mut record.staged_children);
+        let mut staged = std::mem::take(&mut record.staged_children);
         let parent_token = record.cancel.clone();
         self.stats.spawned += staged.len() as u64;
-        for (slot, logic) in staged.into_iter().enumerate() {
+        for (slot, logic) in staged.drain(..).enumerate() {
             let id = self.alloc_task(TaskRecord {
                 logic: Some(logic),
                 parent: Some((parent, slot)),
@@ -1169,6 +1272,10 @@ impl<'r, C> Exec<'r, C> {
                 cancel: parent_token.child(),
             });
             self.shepherds[shep].queue.push_back(id);
+        }
+        // The drained staging buffer keeps its capacity; recycle it.
+        if staged.capacity() > 0 {
+            self.child_pool.push(staged);
         }
         Ok(())
     }
@@ -1202,6 +1309,10 @@ impl<'r, C> Exec<'r, C> {
     /// Time until the next interesting event, or `None` on deadlock.
     fn next_event_dt(&self) -> Option<u64> {
         let now = self.rt.machine.now_ns();
+        // O(1) deadlock check: no running segment and no pending monitor.
+        if self.running_count == 0 && self.next_monitor_due().is_none() {
+            return None;
+        }
         let mut dt: Option<f64> = None;
         let mut fold = |cand: f64| {
             dt = Some(match dt {
@@ -1209,18 +1320,16 @@ impl<'r, C> Exec<'r, C> {
                 Some(d) => d.min(cand),
             });
         };
-        let dilation = self.work_dilation();
-        let mut any_running = false;
-        for (w, state) in self.workers.iter().enumerate() {
-            if let WorkerState::Running(seg) = state {
-                any_running = true;
-                fold(self.segment_completion_ns(w, seg, dilation));
+        if self.running_count > 0 {
+            let dilation = self.work_dilation();
+            for (w, state) in self.workers.iter().enumerate() {
+                if let WorkerState::Running(seg) = state {
+                    fold(self.segment_completion_ns(w, seg, dilation));
+                }
             }
         }
         if let Some(due) = self.next_monitor_due() {
             fold(due.saturating_sub(now) as f64);
-        } else if !any_running {
-            return None;
         }
         let mut dt_ns = dt.map(|d| d.max(0.0).ceil() as u64)?;
         // Never step past the run deadline: a huge (wedged) segment must not
@@ -1239,6 +1348,9 @@ impl<'r, C> Exec<'r, C> {
         let dilation = self.work_dilation();
         let mut completed: Vec<usize> = Vec::new();
         for w in 0..self.workers.len() {
+            if !matches!(self.workers[w], WorkerState::Running(_)) {
+                continue;
+            }
             let core = self.core_of(w);
             let duty = self.rt.machine.effective_speed(core) / dilation;
             let socket = self.rt.machine.topology().socket_of(core);
@@ -1264,21 +1376,25 @@ impl<'r, C> Exec<'r, C> {
 
         // Phase 2: act on completions.
         for w in completed {
-            let state = std::mem::replace(&mut self.workers[w], WorkerState::Idle);
+            let state = self.set_worker(w, WorkerState::Idle);
             let WorkerState::Running(seg) = state else {
                 return Err(internal("collected worker not running", self.rt.machine.now_ns()));
             };
             match seg.task {
                 None => {
                     // Duty-write transition done: the worker is now spinning.
-                    self.workers[w] = WorkerState::Spinning {
-                        epoch_seen: seg.spin_epoch,
-                        since_ns: self.rt.machine.now_ns(),
-                    };
+                    self.set_worker(
+                        w,
+                        WorkerState::Spinning {
+                            epoch_seen: seg.spin_epoch,
+                            since_ns: self.rt.machine.now_ns(),
+                        },
+                    );
                 }
                 Some(task) => {
                     let shep = self.shepherd_of(w);
                     self.shepherds[shep].active -= 1;
+                    self.active_total -= 1;
                     let now = self.rt.machine.now_ns();
                     let record = task_mut(&mut self.tasks, task, "running task exists", now)?;
                     if !record.staged_children.is_empty() {

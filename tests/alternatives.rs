@@ -14,7 +14,7 @@ const CC: CompilerConfig =
 /// throttling saves more energy for less slowdown than package-global DVFS.
 #[test]
 fn duty_cycle_beats_dvfs_on_lulesh() {
-    let rows = ablation(Scale::Test);
+    let rows = ablation(Scale::Test, 2);
     let by = |name: &str| {
         rows.iter().find(|r| r.mechanism.starts_with(name)).unwrap_or_else(|| panic!("{name}"))
     };

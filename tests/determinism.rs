@@ -32,6 +32,42 @@ fn adaptive_runs_are_reproducible() {
     assert_eq!(run(), run());
 }
 
+/// The parallel experiment harness is invisible in the output: every
+/// rendered table and figure is byte-identical between a serial run
+/// (`--jobs 1`) and a fanned-out run (`--jobs 4`), because each cell is an
+/// independent deterministic simulation collected by index.
+#[test]
+fn parallel_harness_matches_serial_byte_for_byte() {
+    use maestro_bench::experiments::{
+        self, ablation, compiler_table, scaling_figure, table1, throttling_table, FigureGroup,
+        ThrottleTarget,
+    };
+    use maestro_bench::format;
+    use maestro_workloads::Family;
+
+    let render = |jobs: usize| {
+        let mut out = String::new();
+        out += &format::render_compiler_rows("Table I", &table1(Scale::Test, jobs));
+        out += &format::csv_compiler_rows(&compiler_table(Scale::Test, Family::Gcc, jobs));
+        out += &format::render_scaling(
+            "Figure 3",
+            &scaling_figure(Scale::Test, FigureGroup::Bots, Family::Gcc, jobs),
+        );
+        out += &format::csv_throttling(&throttling_table(
+            Scale::Test,
+            ThrottleTarget::Dijkstra,
+            jobs,
+        ));
+        out += &format::render_ablation(&ablation(Scale::Test, jobs));
+        out += &format::render_overhead(&experiments::overhead_probe(Scale::Test, jobs));
+        out
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "parallel harness changed rendered output");
+}
+
 /// Workload *results* (not just timings) are independent of worker count:
 /// the LULESH field state is bit-identical from 1 to 16 workers, and sorts,
 /// counts, and factorizations verify internally at every width.

@@ -54,7 +54,7 @@ fn lulesh_dynamic_throttling_saves_energy() {
 /// at most ~0.6 % (the paper's bound).
 #[test]
 fn controller_is_free_on_scaling_programs() {
-    let probe = experiments::overhead_probe(Scale::Test);
+    let probe = experiments::overhead_probe(Scale::Test, 2);
     assert!(!probe.ever_throttled, "must never throttle: {probe:?}");
     assert!(probe.overhead().abs() < 0.006, "overhead {:.4}", probe.overhead());
 }
@@ -99,7 +99,7 @@ fn cold_system_uses_less_energy() {
 /// thrash), and the dynamic run recovers part of the gap.
 #[test]
 fn dijkstra_twelve_beats_sixteen_and_dynamic_recovers() {
-    let rows = throttling_table(Scale::Test, ThrottleTarget::Dijkstra);
+    let rows = throttling_table(Scale::Test, ThrottleTarget::Dijkstra, 2);
     let (dynamic, fixed16, fixed12) = (&rows[0], &rows[1], &rows[2]);
     assert!(
         fixed12.model.time_s < fixed16.model.time_s,

@@ -11,7 +11,7 @@ use maestro_workloads::{Family, OptLevel, Scale};
 /// (~60 W), the hot codes draw 130-160 W, and most sit between 110-150 W.
 #[test]
 fn table1_power_spread() {
-    let rows = table1(Scale::Test);
+    let rows = table1(Scale::Test, 2);
     let watts_of = |name: &str, family: Family| {
         rows.iter()
             .find(|r| r.workload == name && r.cc.family == family)
@@ -49,7 +49,7 @@ fn table1_power_spread() {
 #[test]
 fn optimization_cuts_energy() {
     use maestro_bench::experiments::compiler_table;
-    let rows = compiler_table(Scale::Test, Family::Gcc);
+    let rows = compiler_table(Scale::Test, Family::Gcc, 2);
     for name in ["nqueens", "bots-alignment-for", "bots-sparselu-single"] {
         let energy = |opt: OptLevel| {
             rows.iter()
@@ -71,8 +71,8 @@ fn optimization_cuts_energy() {
 /// micro-benchmarks at the bottom.
 #[test]
 fn figure_speedup_ordering() {
-    let micro = scaling_figure(Scale::Test, FigureGroup::SimpleAndLulesh, Family::Gcc);
-    let bots = scaling_figure(Scale::Test, FigureGroup::Bots, Family::Gcc);
+    let micro = scaling_figure(Scale::Test, FigureGroup::SimpleAndLulesh, Family::Gcc, 2);
+    let bots = scaling_figure(Scale::Test, FigureGroup::Bots, Family::Gcc, 2);
     let speedup16 = |curves: &[maestro_bench::experiments::ScalingCurve], name: &str| {
         curves
             .iter()
@@ -108,7 +108,7 @@ fn figure_speedup_ordering() {
 #[test]
 fn throttling_tables_power_ordering() {
     for target in [ThrottleTarget::Lulesh, ThrottleTarget::Health] {
-        let rows = throttling_table(Scale::Test, target);
+        let rows = throttling_table(Scale::Test, target, 2);
         let (dynamic, fixed16, fixed12) = (&rows[0], &rows[1], &rows[2]);
         assert!(
             fixed12.model.watts < dynamic.model.watts + 1.0,

@@ -36,16 +36,25 @@ pub enum Throughput {
 }
 
 /// The top-level harness handle.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Like real criterion, honour `cargo bench -- --test`: run every
+    /// benchmark exactly once as a smoke test instead of sampling it.
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
 }
 
 impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
-        BenchmarkGroup { _criterion: self, sample_size: 10, throughput: None }
+        let test_mode = self.test_mode;
+        BenchmarkGroup { _criterion: self, sample_size: 10, throughput: None, test_mode }
     }
 }
 
@@ -54,6 +63,7 @@ pub struct BenchmarkGroup<'c> {
     _criterion: &'c mut Criterion,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -74,9 +84,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut samples = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
-            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        // `--test` smoke mode: one sample of one iteration, enough to
+        // prove the benchmark still compiles and runs.
+        let (n_samples, iters_per_sample) =
+            if self.test_mode { (1, 1) } else { (self.sample_size, Bencher::DEFAULT_ITERS) };
+        let mut samples = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, iters_per_sample };
             routine(&mut b);
             if b.iters > 0 {
                 samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
@@ -108,18 +122,21 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,
+    iters_per_sample: u64,
 }
 
 impl Bencher {
+    /// Hot-loop iterations per sample outside `--test` mode.
+    const DEFAULT_ITERS: u64 = 10;
+
     /// Time repeated calls of `routine`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        const ITERS: u64 = 10;
         let start = Instant::now();
-        for _ in 0..ITERS {
+        for _ in 0..self.iters_per_sample {
             std_black_box(routine());
         }
         self.elapsed += start.elapsed();
-        self.iters += ITERS;
+        self.iters += self.iters_per_sample;
     }
 
     /// Time `routine` on fresh inputs from `setup`, excluding setup time.
@@ -128,14 +145,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        const ITERS: u64 = 10;
-        for _ in 0..ITERS {
+        for _ in 0..self.iters_per_sample {
             let input = setup();
             let start = Instant::now();
             std_black_box(routine(input));
             self.elapsed += start.elapsed();
         }
-        self.iters += ITERS;
+        self.iters += self.iters_per_sample;
     }
 }
 
