@@ -22,3 +22,4 @@ pub mod experiments;
 pub mod format;
 pub mod harness;
 pub mod perf;
+pub mod scenario;

@@ -7,14 +7,17 @@
 //! cargo run -p maestro-bench --release -- --jobs 4 all --json BENCH_PR5.json
 //! ```
 
+use maestro::{Maestro, MaestroRunEnd, MaestroSnapshot};
 use maestro_bench::experiments::{self, FigureGroup, ThrottleTarget};
-use maestro_bench::{format, harness, perf};
+use maestro_bench::{format, harness, perf, scenario};
+use maestro_runtime::SnapshotPlan;
 use maestro_workloads::{Family, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const USAGE: &str = "\
 usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment>...
+       maestro-bench replay --snapshot PATH [--until T_NS]
 
   --csv emits machine-readable CSV instead of the aligned comparison tables
   (supported for table1-3, fig1-4, and table4-7).
@@ -23,6 +26,11 @@ usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment
   byte-identical for every N.
   --json PATH additionally writes a perf-trajectory report (wall-clock per
   experiment plus hot-path micro-probes); schema in EXPERIMENTS.md.
+
+  replay loads a snapshot file written by the chaos triage harness (or your
+  own run_captured call), rebuilds the named scenario, and resumes it —
+  to completion, or to the virtual timestamp --until T_NS (time-travel:
+  re-executes only the snapshot->failure window, no cold-start prefix).
 
 experiments:
   table1      Table I    — GCC vs ICC at -O2, 16 threads
@@ -153,12 +161,13 @@ fn perf_report_json(
     jobs: usize,
     timed: &[Timed],
     micro: &perf::MicroPerf,
+    fork: &perf::ForkSweepPerf,
     total_wall_s: f64,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"maestro-bench/v1\",");
-    let _ = writeln!(out, "  \"pr\": \"PR5\",");
+    let _ = writeln!(out, "  \"pr\": \"PR6\",");
     let _ = writeln!(
         out,
         "  \"scale\": \"{}\",",
@@ -187,13 +196,133 @@ fn perf_report_json(
         "    \"scheduler_steps_per_sec\": {:.0}",
         micro.scheduler_steps_per_sec
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"fork_sweep\": {{");
+    let _ = writeln!(out, "    \"variants\": {},", fork.variants);
+    let _ = writeln!(out, "    \"cold_wall_s\": {:.4},", fork.cold_wall_s);
+    let _ = writeln!(out, "    \"warm_wall_s\": {:.4},", fork.warm_wall_s);
+    let _ = writeln!(out, "    \"speedup\": {:.3}", fork.speedup);
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
     out
 }
 
+/// `maestro-bench replay --snapshot PATH [--until T_NS]`: the time-travel
+/// triage entry point. Exit codes: 0 replay reached the requested state,
+/// 1 the replayed run failed (the bug reproduced — that is the point),
+/// 2 bad usage or unreadable/unknown snapshot.
+fn run_replay(args: &[String]) -> ! {
+    let mut snapshot_path: Option<String> = None;
+    let mut until: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--snapshot" => match it.next() {
+                Some(p) => snapshot_path = Some(p.clone()),
+                None => {
+                    eprintln!("--snapshot needs a path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--until" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(t) => until = Some(t),
+                None => {
+                    eprintln!("--until needs a virtual timestamp in nanoseconds\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown replay argument: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = snapshot_path else {
+        eprintln!("replay requires --snapshot PATH\n{USAGE}");
+        std::process::exit(2);
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let snap = match MaestroSnapshot::from_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path} is not a valid snapshot: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(sc) = scenario::scenario(snap.name()) else {
+        eprintln!(
+            "snapshot names scenario '{}', which this binary does not know; \
+             known scenarios: {}",
+            snap.name(),
+            scenario::SCENARIO_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    if let Some(t) = until {
+        if t <= snap.t_ns() {
+            eprintln!(
+                "--until {t} is not after the snapshot time {} ns; nothing to replay",
+                snap.t_ns()
+            );
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "replaying scenario '{}' from snapshot at t={} ns ({})",
+        snap.name(),
+        snap.t_ns(),
+        path
+    );
+    // A fresh facade starts at virtual t=0, so run-relative fences coincide
+    // with absolute virtual timestamps and --until can be passed straight
+    // through as a suspension point.
+    let plan = match until {
+        Some(t) => SnapshotPlan::suspend_at(t),
+        None => SnapshotPlan::none(),
+    };
+    let mut m = Maestro::new(sc.config);
+    let run = match m.resume_captured(&mut (), &snap, &plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run.end {
+        MaestroRunEnd::Completed(report) => {
+            println!("run completed past the requested point:");
+            println!("{report}");
+            std::process::exit(0);
+        }
+        MaestroRunEnd::Suspended(at) => {
+            println!(
+                "replayed {} ns of virtual time ({} -> {} ns); state captured, \
+                 re-run with a later --until (or none) to continue",
+                at.t_ns() - snap.t_ns(),
+                snap.t_ns(),
+                at.t_ns()
+            );
+            std::process::exit(0);
+        }
+        MaestroRunEnd::Failed(e) => {
+            println!("failure reproduced during replay: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("replay") {
+        run_replay(&raw[1..]);
+    }
     let mut scale = Scale::Paper;
     let mut csv = false;
     let mut jobs: Option<usize> = None;
@@ -250,7 +379,8 @@ fn main() {
 
     if let Some(path) = json_path {
         let micro = perf::micro_perf();
-        let report = perf_report_json(scale, jobs, &timed, &micro, total_wall_s);
+        let fork = perf::fork_sweep_probe(jobs);
+        let report = perf_report_json(scale, jobs, &timed, &micro, &fork, total_wall_s);
         if let Err(e) = std::fs::write(&path, report) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

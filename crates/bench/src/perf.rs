@@ -78,6 +78,99 @@ pub fn micro_perf() -> MicroPerf {
     }
 }
 
+/// Cold-sweep vs. warm-fork-sweep comparison recorded in `BENCH_PR6.json`.
+#[derive(Copy, Clone, Debug)]
+pub struct ForkSweepPerf {
+    /// Number of policy variants swept.
+    pub variants: usize,
+    /// Wall-clock seconds to run every variant from a cold start.
+    pub cold_wall_s: f64,
+    /// Wall-clock seconds to run the shared prefix once, snapshot, and
+    /// fork-resume every variant from the warm snapshot.
+    pub warm_wall_s: f64,
+    /// `cold_wall_s / warm_wall_s` — how much of the sweep the shared
+    /// prefix amortizes away.
+    pub speedup: f64,
+}
+
+/// Measure the warm-fork sweep win: N adaptive-limit variants of the
+/// contended scenario, run cold (N full runs) vs. warm (one prefix run to
+/// the suspension point, then N forked resumes through `parallel_map`).
+/// Both sides use the same job pool so the ratio isolates the snapshot
+/// reuse, not parallelism.
+pub fn fork_sweep_probe(jobs: usize) -> ForkSweepPerf {
+    use crate::harness::parallel_map;
+    use crate::scenario::{limit_variant, scenario, sweep_limits};
+    use maestro::Maestro;
+    use maestro_runtime::SnapshotPlan;
+
+    // `MaestroConfig` holds interior-mutable fault state and is not `Sync`,
+    // so each worker rebuilds the scenario from its (pure) registry name
+    // instead of sharing one config across threads.
+    const SCENARIO: &str = "contended-adaptive";
+    let limits = sweep_limits();
+    // Deep into the ~920 ms run: each warm fork re-executes only the last
+    // ~170 ms of virtual time, so the shared prefix dominates the sweep.
+    const SUSPEND_AT_NS: u64 = 750_000_000;
+    const ROUNDS: usize = 3;
+
+    let mut warm_wall_s = 0.0f64;
+    let mut cold_wall_s = 0.0f64;
+    for round in 0..=ROUNDS {
+        let warm_start = Instant::now();
+        let snap = {
+            let sc = scenario(SCENARIO).expect("registered scenario");
+            let mut m = Maestro::new(sc.config);
+            m.run_captured(
+                sc.name,
+                &mut (),
+                sc.spec.into_task(),
+                &SnapshotPlan::suspend_at(SUSPEND_AT_NS),
+            )
+            .expect("capture succeeds")
+            .suspended()
+            .expect("prefix run suspends")
+        };
+        let warm_joules = parallel_map(limits.len(), jobs, |i| {
+            let sc = scenario(SCENARIO).expect("registered scenario");
+            let mut m = Maestro::new(limit_variant(&sc.config, limits[i]));
+            let report = m
+                .resume_captured(&mut (), &snap, &SnapshotPlan::none())
+                .expect("resume succeeds")
+                .report()
+                .expect("forked run completes");
+            report.joules
+        });
+        let warm_dt = warm_start.elapsed().as_secs_f64();
+
+        let cold_start = Instant::now();
+        let cold_joules = parallel_map(limits.len(), jobs, |i| {
+            let sc = scenario(SCENARIO).expect("registered scenario");
+            let mut m = Maestro::new(limit_variant(&sc.config, limits[i]));
+            let report = m
+                .run_captured(sc.name, &mut (), sc.spec.into_task(), &SnapshotPlan::none())
+                .expect("capture succeeds")
+                .report()
+                .expect("cold run completes");
+            report.joules
+        });
+        let cold_dt = cold_start.elapsed().as_secs_f64();
+        black_box((warm_joules, cold_joules));
+        if round > 0 {
+            // Round 0 is warm-up.
+            warm_wall_s += warm_dt;
+            cold_wall_s += cold_dt;
+        }
+    }
+
+    ForkSweepPerf {
+        variants: limits.len(),
+        cold_wall_s,
+        warm_wall_s,
+        speedup: if warm_wall_s > 0.0 { cold_wall_s / warm_wall_s } else { f64::INFINITY },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

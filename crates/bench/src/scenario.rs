@@ -1,0 +1,243 @@
+//! Named, snapshot-capable scenarios and time-travel triage helpers.
+//!
+//! A **scenario** is a value-typed recipe — a [`MaestroConfig`] plus a
+//! spec-driven workload — that any process can rebuild bit-identically from
+//! its name alone. That is the key property behind `maestro-bench replay`:
+//! a snapshot file carries the scenario name, so the replay CLI can
+//! reconstruct the exact facade the snapshot was taken under and resume to
+//! any later virtual timestamp without re-running the cold-start prefix.
+//!
+//! The **triage** helpers turn a chaos-harness failure plus the cadence
+//! snapshots collected before it into an actionable report: the nearest
+//! pre-failure snapshot is written to disk and the failure message embeds
+//! the chaos seed, the active fault schedule, the virtual timestamp, and a
+//! ready-to-paste replay command.
+
+use std::path::{Path, PathBuf};
+
+use maestro::{MaestroConfig, MaestroSnapshot, Policy};
+use maestro_machine::Cost;
+use maestro_runtime::TaskSpec;
+
+/// A named, reproducible run recipe: configuration plus spec workload.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Registry name (also the run/region label, carried in snapshots).
+    pub name: &'static str,
+    /// Facade configuration.
+    pub config: MaestroConfig,
+    /// The spec-driven (and therefore snapshot-capable) workload.
+    pub spec: TaskSpec,
+}
+
+/// Every scenario name the registry resolves, for `--help` and validation.
+pub const SCENARIO_NAMES: &[&str] =
+    &["contended-adaptive", "contended-fixed", "scalable-adaptive"];
+
+/// A hot, memory-contended task bag — the workload class the paper's
+/// throttling targets (LULESH-like).
+fn contended_spec(tasks: usize) -> TaskSpec {
+    TaskSpec::fork_join(
+        (0..tasks).map(|_| TaskSpec::leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95))).collect(),
+        Cost::ZERO,
+    )
+}
+
+/// A cleanly scaling compute-bound bag (SIMPLE-like).
+fn scalable_spec(tasks: usize) -> TaskSpec {
+    TaskSpec::fork_join(
+        (0..tasks).map(|_| TaskSpec::leaf(Cost::compute(27_000_000, 0.6))).collect(),
+        Cost::ZERO,
+    )
+}
+
+/// Resolve a scenario by name. The same name always produces the same
+/// configuration and workload, so a snapshot taken under `scenario(n)` can
+/// be resumed by any process that can call `scenario(n)`.
+pub fn scenario(name: &str) -> Option<Scenario> {
+    let (config, spec) = match name {
+        "contended-adaptive" => (MaestroConfig::adaptive(16), contended_spec(1200)),
+        "contended-fixed" => (MaestroConfig::fixed(16), contended_spec(1200)),
+        "scalable-adaptive" => (MaestroConfig::adaptive(16), scalable_spec(600)),
+        _ => return None,
+    };
+    Some(Scenario { name: SCENARIO_NAMES.iter().find(|&&n| n == name)?, config, spec })
+}
+
+/// The adaptive-policy knob sweep used by the warm-fork perf probe and the
+/// `fork` examples: restore one snapshot under each limit.
+pub fn sweep_limits() -> &'static [usize] {
+    &[2, 3, 4, 6, 8, 12]
+}
+
+/// Build the config variant for one sweep point: identical to `base` except
+/// for the shepherd throttle limit (a policy knob outside the snapshot
+/// fingerprint, so warm forking works).
+pub fn limit_variant(base: &MaestroConfig, limit_per_shepherd: usize) -> MaestroConfig {
+    let mut cfg = base.clone();
+    cfg.policy = Policy::Adaptive { limit_per_shepherd };
+    cfg
+}
+
+/// The nearest snapshot at or before `failure_t_ns` — the time-travel entry
+/// point for triaging a failure at that virtual timestamp.
+pub fn nearest_pre_failure(
+    snapshots: &[MaestroSnapshot],
+    failure_t_ns: u64,
+) -> Option<&MaestroSnapshot> {
+    snapshots.iter().filter(|s| s.t_ns() <= failure_t_ns).max_by_key(|s| s.t_ns())
+}
+
+/// A rendered triage report for one chaos failure.
+#[derive(Clone, Debug)]
+pub struct TriageReport {
+    /// Virtual timestamp of the failure, nanoseconds.
+    pub failure_t_ns: u64,
+    /// Where the nearest pre-failure snapshot was written, if one existed.
+    pub snapshot_path: Option<PathBuf>,
+    /// Virtual timestamp of that snapshot.
+    pub snapshot_t_ns: Option<u64>,
+    /// The full human-readable report (embed this in assertion messages).
+    pub message: String,
+}
+
+/// Assemble the triage report for a chaos failure: persist the nearest
+/// pre-failure cadence snapshot under `dir` and render a message carrying
+/// the chaos seed, the active fault schedule, the virtual timestamp, and
+/// the exact `maestro-bench replay` invocation that re-executes to the
+/// failing timestamp from that snapshot.
+pub fn triage(
+    dir: &Path,
+    seed: u64,
+    fault_schedule: &str,
+    snapshots: &[MaestroSnapshot],
+    failure_t_ns: u64,
+    failure_msg: &str,
+) -> TriageReport {
+    let nearest = nearest_pre_failure(snapshots, failure_t_ns);
+    let mut message = format!(
+        "chaos failure at t={failure_t_ns} ns (CHAOS_SEED={seed})\n\
+         fault schedule: {fault_schedule}\n\
+         error: {failure_msg}"
+    );
+    let (snapshot_path, snapshot_t_ns) = match nearest {
+        None => {
+            message.push_str("\nno pre-failure snapshot available (cadence too coarse?)");
+            (None, None)
+        }
+        Some(snap) => {
+            let path = dir.join(format!("{}-t{}.snap", snap.name(), snap.t_ns()));
+            match std::fs::write(&path, snap.to_bytes()) {
+                Ok(()) => {
+                    message.push_str(&format!(
+                        "\nnearest pre-failure snapshot: t={} ns -> {}\n\
+                         replay: maestro-bench replay --snapshot {} --until {}",
+                        snap.t_ns(),
+                        path.display(),
+                        path.display(),
+                        failure_t_ns,
+                    ));
+                    (Some(path), Some(snap.t_ns()))
+                }
+                Err(e) => {
+                    message.push_str(&format!(
+                        "\nnearest pre-failure snapshot at t={} ns could not be written: {e}",
+                        snap.t_ns()
+                    ));
+                    (None, Some(snap.t_ns()))
+                }
+            }
+        }
+    };
+    TriageReport { failure_t_ns, snapshot_path, snapshot_t_ns, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maestro::{Maestro, MaestroRunEnd};
+    use maestro_runtime::SnapshotPlan;
+
+    #[test]
+    fn every_registered_scenario_resolves() {
+        for name in SCENARIO_NAMES {
+            let sc = scenario(name).expect("registered name resolves");
+            assert_eq!(sc.name, *name);
+            assert!(sc.spec.task_count() > 1);
+        }
+        assert!(scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn snapshot_from_scenario_replays_on_a_rebuilt_facade() {
+        // The replay CLI's core loop: scenario name -> fresh facade ->
+        // resume from file bytes.
+        let sc = scenario("contended-adaptive").unwrap();
+        let mut m = Maestro::new(sc.config.clone());
+        let snap = m
+            .run_captured(
+                sc.name,
+                &mut (),
+                sc.spec.clone().into_task(),
+                &SnapshotPlan::suspend_at(100_000_000),
+            )
+            .unwrap()
+            .suspended()
+            .expect("suspends");
+        let bytes = snap.to_bytes();
+
+        let restored = MaestroSnapshot::from_bytes(&bytes).unwrap();
+        let sc2 = scenario(restored.name()).expect("snapshot names a registered scenario");
+        let mut m2 = Maestro::new(sc2.config);
+        let end =
+            m2.resume_captured(&mut (), &restored, &SnapshotPlan::none()).unwrap().end;
+        assert!(matches!(end, MaestroRunEnd::Completed(_)), "{end:?}");
+    }
+
+    #[test]
+    fn nearest_pre_failure_picks_latest_not_after() {
+        let sc = scenario("contended-adaptive").unwrap();
+        let mut m = Maestro::new(sc.config.clone());
+        let run = m
+            .run_captured(
+                sc.name,
+                &mut (),
+                sc.spec.clone().into_task(),
+                &SnapshotPlan::every(50_000_000),
+            )
+            .unwrap();
+        assert!(run.snapshots.len() >= 2, "cadence fired {} times", run.snapshots.len());
+        let t1 = run.snapshots[1].t_ns();
+        let hit = nearest_pre_failure(&run.snapshots, t1 + 1).expect("snapshot exists");
+        assert_eq!(hit.t_ns(), t1);
+        let before_all = run.snapshots[0].t_ns().saturating_sub(1);
+        assert!(nearest_pre_failure(&run.snapshots, before_all).is_none());
+    }
+
+    #[test]
+    fn triage_writes_snapshot_and_replay_command() {
+        let sc = scenario("contended-adaptive").unwrap();
+        let mut m = Maestro::new(sc.config.clone());
+        let run = m
+            .run_captured(
+                sc.name,
+                &mut (),
+                sc.spec.clone().into_task(),
+                &SnapshotPlan::every(60_000_000),
+            )
+            .unwrap();
+        let dir = std::env::temp_dir().join("maestro-triage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let failure_t = run.snapshots.last().unwrap().t_ns() + 5_000_000;
+        let report = triage(&dir, 7, "kills=[1.5e9] torn_rate=0.3", &run.snapshots, failure_t, "assertion failed: boom");
+        assert!(report.message.contains("CHAOS_SEED=7"), "{}", report.message);
+        assert!(report.message.contains("torn_rate=0.3"), "{}", report.message);
+        assert!(report.message.contains(&format!("t={failure_t} ns")), "{}", report.message);
+        assert!(report.message.contains("maestro-bench replay --snapshot"), "{}", report.message);
+        let path = report.snapshot_path.expect("snapshot written");
+        let bytes = std::fs::read(&path).unwrap();
+        let snap = MaestroSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(Some(snap.t_ns()), report.snapshot_t_ns);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -19,12 +19,30 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::{FaultPlan, Machine};
 use maestro_rapl::RetryPolicy;
 use maestro_rcr::{
     Level, MeterThresholds, Supervisor, SupervisorConfig, SupervisorStats, ThrottleSignals,
 };
 use maestro_runtime::{Monitor, ThrottleState};
+
+fn snap_level(w: &mut SnapWriter, level: Level) {
+    w.u8(match level {
+        Level::Low => 0,
+        Level::Medium => 1,
+        Level::High => 2,
+    });
+}
+
+fn restore_level(r: &mut SnapReader<'_>) -> Result<Level, SnapError> {
+    match r.u8()? {
+        0 => Ok(Level::Low),
+        1 => Ok(Level::Medium),
+        2 => Ok(Level::High),
+        _ => Err(SnapError::Corrupt("unknown meter level tag")),
+    }
+}
 
 /// When the controller gives up on its measurements and fails safe.
 ///
@@ -355,6 +373,91 @@ impl Monitor for ThrottleController {
             throttled: new_flag,
             safe_mode: self.safe_mode,
         });
+    }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        self.supervisor.snap_state(w);
+        w.bool(self.safe_mode);
+        w.u32(self.degraded_streak);
+        w.u32(self.healthy_streak);
+        w.u64(self.last_epoch);
+        match self.checkpoint {
+            None => w.bool(false),
+            Some(cp) => {
+                w.bool(true);
+                w.bool(cp.throttled);
+                snap_level(w, cp.power_level);
+                snap_level(w, cp.memory_level);
+            }
+        }
+        let s = self.cp_stats.get();
+        w.u64(s.daemon_kills);
+        w.u64(s.daemon_restarts);
+        w.u64(s.wedge_kills);
+        w.bool(s.daemon_gave_up);
+        w.u64(s.blackboard_epoch);
+        w.u64(s.checkpoint_restores);
+        w.u64(s.safe_mode_periods);
+        w.u64(self.heartbeat.get());
+        let trace = self.trace.borrow();
+        w.len(trace.samples.len());
+        for s in &trace.samples {
+            w.u64(s.t_ns);
+            w.f64(s.power_w);
+            w.f64(s.mem_concurrency);
+            snap_level(w, s.power_level);
+            snap_level(w, s.memory_level);
+            w.bool(s.throttled);
+            w.bool(s.safe_mode);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        _machine: &Machine,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        self.supervisor.restore_state(r)?;
+        self.safe_mode = r.bool()?;
+        self.degraded_streak = r.u32()?;
+        self.healthy_streak = r.u32()?;
+        self.last_epoch = r.u64()?;
+        self.checkpoint = if r.bool()? {
+            Some(ControllerCheckpoint {
+                throttled: r.bool()?,
+                power_level: restore_level(r)?,
+                memory_level: restore_level(r)?,
+            })
+        } else {
+            None
+        };
+        // Write-through the shared handles so external holders (the facade's
+        // report hooks, watchdogs) observe the restored values.
+        self.cp_stats.set(ControlPlaneStats {
+            daemon_kills: r.u64()?,
+            daemon_restarts: r.u64()?,
+            wedge_kills: r.u64()?,
+            daemon_gave_up: r.bool()?,
+            blackboard_epoch: r.u64()?,
+            checkpoint_restores: r.u64()?,
+            safe_mode_periods: r.u64()?,
+        });
+        self.heartbeat.set(r.u64()?);
+        let n = r.len()?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(ControllerSample {
+                t_ns: r.u64()?,
+                power_w: r.f64()?,
+                mem_concurrency: r.f64()?,
+                power_level: restore_level(r)?,
+                memory_level: restore_level(r)?,
+                throttled: r.bool()?,
+                safe_mode: r.bool()?,
+            });
+        }
+        self.trace.borrow_mut().samples = samples;
+        Ok(())
     }
 }
 

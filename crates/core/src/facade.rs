@@ -4,10 +4,12 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use maestro_machine::{Machine, MachineConfig, PState};
-use maestro_rcr::{Region, DEFAULT_SAMPLE_PERIOD_NS};
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
+use maestro_machine::{fingerprint, Machine, MachineConfig, PState};
+use maestro_rcr::{Region, RegionReport, DEFAULT_SAMPLE_PERIOD_NS};
 use maestro_runtime::{
-    BoxTask, RunStats, Runtime, RuntimeError, RuntimeParams, TaskValue, Watchdog,
+    BoxTask, CapturedRun, RunEnd, RunOutcome, RunStats, Runtime, RuntimeError, RuntimeParams,
+    SnapshotPlan, TaskValue, Watchdog,
 };
 
 use crate::alternatives::{
@@ -289,15 +291,37 @@ impl Maestro {
         app: &mut C,
         root: BoxTask<C>,
     ) -> Result<RunReport, RuntimeError> {
-        let decisions_before = self.trace.as_ref().map_or(0, |t| t.borrow().samples.len());
-        let missed_before = self.watchdog_missed.as_ref().map_or(0, |m| m.get());
-        let cp_before = self.control_plane.as_ref().map_or_else(ControlPlaneStats::default, |h| h.get());
+        let anchors = self.run_anchors();
         let region = Region::start(name, self.runtime.machine());
         let outcome = self.runtime.run(app, root)?;
         let report = region.end(self.runtime.machine());
+        Ok(self.build_report(name, outcome, report, &anchors))
+    }
+
+    /// The facade-side measurement baselines taken at run start, so per-run
+    /// summaries subtract prior runs on the same warm instance.
+    fn run_anchors(&self) -> RunAnchors {
+        RunAnchors {
+            decisions_before: self.trace.as_ref().map_or(0, |t| t.borrow().samples.len()) as u64,
+            missed_before: self.watchdog_missed.as_ref().map_or(0, |m| m.get()),
+            cp_before: self
+                .control_plane
+                .as_ref()
+                .map_or_else(ControlPlaneStats::default, |h| h.get()),
+        }
+    }
+
+    fn build_report(
+        &self,
+        name: &str,
+        outcome: RunOutcome,
+        report: RegionReport,
+        anchors: &RunAnchors,
+    ) -> RunReport {
+        let decisions_before = anchors.decisions_before as usize;
         let throttle = self.trace.as_ref().map(|t| {
             let trace = t.borrow();
-            let run_samples = &trace.samples[decisions_before..];
+            let run_samples = &trace.samples[decisions_before.min(trace.samples.len())..];
             let throttled = run_samples.iter().filter(|s| s.throttled).count();
             let activations = run_samples
                 .windows(2)
@@ -317,17 +341,18 @@ impl Maestro {
                 duty_writes: outcome.stats.duty_writes,
                 safe_mode_decisions: run_samples.iter().filter(|s| s.safe_mode).count(),
                 missed_deadlines: self.watchdog_missed.as_ref().map_or(0, |m| m.get())
-                    - missed_before,
-                daemon_kills: cp.daemon_kills - cp_before.daemon_kills,
-                daemon_restarts: cp.daemon_restarts - cp_before.daemon_restarts,
+                    - anchors.missed_before,
+                daemon_kills: cp.daemon_kills - anchors.cp_before.daemon_kills,
+                daemon_restarts: cp.daemon_restarts - anchors.cp_before.daemon_restarts,
                 daemon_gave_up: cp.daemon_gave_up,
-                checkpoint_restores: cp.checkpoint_restores - cp_before.checkpoint_restores,
+                checkpoint_restores: cp.checkpoint_restores
+                    - anchors.cp_before.checkpoint_restores,
                 failed_duty_applies: outcome.stats.failed_duty_applies,
                 breaker_trips: outcome.stats.breaker_trips,
                 forced_duty_resets: outcome.stats.forced_duty_resets,
             }
         });
-        Ok(RunReport {
+        RunReport {
             name: name.to_string(),
             elapsed_s: report.elapsed_s,
             joules: report.joules,
@@ -336,6 +361,206 @@ impl Maestro {
             stats: outcome.stats,
             throttle,
             value: outcome.value,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-run snapshot / resume / fork
+    // ------------------------------------------------------------------
+
+    /// Execute `root` under a [`SnapshotPlan`]: take cadence snapshots,
+    /// suspend at the planned point, or just run to completion with fences.
+    /// Scheduler failures surface as [`MaestroRunEnd::Failed`] (so cadence
+    /// snapshots taken before the failure survive for triage); the `Err`
+    /// branch is reserved for capture/serialization problems.
+    pub fn run_captured<C>(
+        &mut self,
+        name: &str,
+        app: &mut C,
+        root: BoxTask<C>,
+        plan: &SnapshotPlan,
+    ) -> Result<MaestroRun, SnapError> {
+        let anchors = self.run_anchors();
+        let region = Region::start(name, self.runtime.machine());
+        let captured = self.runtime.run_captured(app, root, plan)?;
+        Ok(self.wrap_captured(name, region, anchors, captured))
+    }
+
+    /// Resume a suspended run on this (freshly built or warm) facade. The
+    /// configuration must match the captured one *except* for policy knobs:
+    /// controller thresholds and the shepherd throttle limit are not part of
+    /// the snapshot, which is exactly what makes warm **forking** work —
+    /// restore one snapshot under N knob variants and sweep.
+    pub fn resume_captured<C: 'static>(
+        &mut self,
+        app: &mut C,
+        snapshot: &MaestroSnapshot,
+        plan: &SnapshotPlan,
+    ) -> Result<MaestroRun, SnapError> {
+        let captured = self.runtime.resume_captured(app, &snapshot.runtime_bytes, plan)?;
+        let anchors = RunAnchors {
+            decisions_before: snapshot.decisions_before,
+            missed_before: snapshot.missed_before,
+            cp_before: snapshot.cp_before,
+        };
+        Ok(self.wrap_captured(&snapshot.name, snapshot.region.clone(), anchors, captured))
+    }
+
+    fn wrap_captured(
+        &self,
+        name: &str,
+        region: Region,
+        anchors: RunAnchors,
+        captured: CapturedRun,
+    ) -> MaestroRun {
+        let to_snapshot = |t_ns: u64, bytes: Vec<u8>| MaestroSnapshot {
+            name: name.to_string(),
+            t_ns,
+            region: region.clone(),
+            decisions_before: anchors.decisions_before,
+            missed_before: anchors.missed_before,
+            cp_before: anchors.cp_before,
+            runtime_bytes: bytes,
+        };
+        let snapshots =
+            captured.snapshots.into_iter().map(|c| to_snapshot(c.t_ns, c.bytes)).collect();
+        let end = match captured.end {
+            RunEnd::Completed(outcome) => {
+                let report = region.clone().end(self.runtime.machine());
+                MaestroRunEnd::Completed(self.build_report(name, outcome, report, &anchors))
+            }
+            RunEnd::Suspended(cap) => MaestroRunEnd::Suspended(to_snapshot(cap.t_ns, cap.bytes)),
+            RunEnd::Failed(e) => MaestroRunEnd::Failed(e),
+        };
+        MaestroRun { end, snapshots }
+    }
+}
+
+/// Facade-side measurement baselines captured at run start (and carried
+/// inside snapshots so a resumed run subtracts the *original* baselines).
+#[derive(Copy, Clone, Debug)]
+struct RunAnchors {
+    decisions_before: u64,
+    missed_before: u64,
+    cp_before: ControlPlaneStats,
+}
+
+/// How a captured Maestro run ended.
+#[derive(Debug)]
+pub enum MaestroRunEnd {
+    /// Ran to completion; the full measured report.
+    Completed(RunReport),
+    /// Stopped at the planned suspension point.
+    Suspended(MaestroSnapshot),
+    /// The scheduler failed (panic, deadline, deadlock). Cadence snapshots
+    /// taken before the failure are still available for time-travel triage.
+    Failed(RuntimeError),
+}
+
+/// Result of [`Maestro::run_captured`] / [`Maestro::resume_captured`]: how
+/// the run ended plus every cadence snapshot taken along the way.
+#[derive(Debug)]
+pub struct MaestroRun {
+    /// Terminal state.
+    pub end: MaestroRunEnd,
+    /// Cadence snapshots in time order.
+    pub snapshots: Vec<MaestroSnapshot>,
+}
+
+impl MaestroRun {
+    /// The completed report, if the run finished.
+    pub fn report(self) -> Option<RunReport> {
+        match self.end {
+            MaestroRunEnd::Completed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The suspension snapshot, if the run was suspended.
+    pub fn suspended(self) -> Option<MaestroSnapshot> {
+        match self.end {
+            MaestroRunEnd::Suspended(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A whole-run snapshot at facade granularity: the runtime's serialized
+/// state plus the facade's measurement anchors (open region, controller
+/// baselines), so resuming closes the *original* measurement region and the
+/// final report is bit-identical to an unbroken run's.
+#[derive(Clone, Debug)]
+pub struct MaestroSnapshot {
+    name: String,
+    t_ns: u64,
+    region: Region,
+    decisions_before: u64,
+    missed_before: u64,
+    cp_before: ControlPlaneStats,
+    runtime_bytes: Vec<u8>,
+}
+
+impl MaestroSnapshot {
+    /// Workload label of the captured run.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Virtual time of the capture, nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        self.t_ns
+    }
+
+    /// Serialize into a self-contained, versioned byte blob (e.g. to write
+    /// a snapshot file for `maestro-bench replay`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.header(fingerprint(b"maestro-snapshot/v1"));
+        w.str(&self.name);
+        w.u64(self.t_ns);
+        self.region.snap_state(&mut w);
+        w.u64(self.decisions_before);
+        w.u64(self.missed_before);
+        let cp = self.cp_before;
+        w.u64(cp.daemon_kills);
+        w.u64(cp.daemon_restarts);
+        w.u64(cp.wedge_kills);
+        w.bool(cp.daemon_gave_up);
+        w.u64(cp.blackboard_epoch);
+        w.u64(cp.checkpoint_restores);
+        w.u64(cp.safe_mode_periods);
+        w.blob(&self.runtime_bytes);
+        w.finish()
+    }
+
+    /// Rebuild a snapshot serialized by [`MaestroSnapshot::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        r.header(fingerprint(b"maestro-snapshot/v1"))?;
+        let name = r.str()?;
+        let t_ns = r.u64()?;
+        let region = Region::restore_state(&mut r)?;
+        let decisions_before = r.u64()?;
+        let missed_before = r.u64()?;
+        let cp_before = ControlPlaneStats {
+            daemon_kills: r.u64()?,
+            daemon_restarts: r.u64()?,
+            wedge_kills: r.u64()?,
+            daemon_gave_up: r.bool()?,
+            blackboard_epoch: r.u64()?,
+            checkpoint_restores: r.u64()?,
+            safe_mode_periods: r.u64()?,
+        };
+        let runtime_bytes = r.blob()?.to_vec();
+        r.finish()?;
+        Ok(MaestroSnapshot {
+            name,
+            t_ns,
+            region,
+            decisions_before,
+            missed_before,
+            cp_before,
+            runtime_bytes,
         })
     }
 }
@@ -452,6 +677,111 @@ mod tests {
         }
         let r = m.run("recovers", &mut (), contended_root(300));
         assert!(r.elapsed_s > 0.0 && r.joules > 0.0);
+    }
+
+    #[test]
+    fn suspend_resume_is_bit_identical_at_facade_level() {
+        use maestro_runtime::TaskSpec;
+        // The full adaptive stack: RCR daemon, blackboard, controller,
+        // watchdog, throttled scheduler — suspended mid-run, serialized to
+        // bytes, resumed on a freshly built facade.
+        let spec = TaskSpec::fork_join(
+            (0..600).map(|_| TaskSpec::leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95))).collect(),
+            Cost::ZERO,
+        );
+        let suspend_ns = 150_000_000;
+
+        let mut un = Maestro::new(MaestroConfig::adaptive(16));
+        let reference = un
+            .run_captured(
+                "wl",
+                &mut (),
+                spec.clone().into_task(),
+                &SnapshotPlan::none().with_fence(suspend_ns),
+            )
+            .unwrap()
+            .report()
+            .expect("unbroken run completes");
+
+        let mut a = Maestro::new(MaestroConfig::adaptive(16));
+        let snap = a
+            .run_captured(
+                "wl",
+                &mut (),
+                spec.clone().into_task(),
+                &SnapshotPlan::suspend_at(suspend_ns),
+            )
+            .unwrap()
+            .suspended()
+            .expect("run suspends at the fence");
+        assert_eq!(snap.t_ns(), suspend_ns);
+        assert_eq!(snap.name(), "wl");
+
+        // Round-trip the snapshot through its on-disk form.
+        let snap = MaestroSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+
+        let mut b = Maestro::new(MaestroConfig::adaptive(16));
+        let out = b
+            .resume_captured(&mut (), &snap, &SnapshotPlan::none())
+            .unwrap()
+            .report()
+            .expect("resumed run completes");
+
+        assert_eq!(out.elapsed_s.to_bits(), reference.elapsed_s.to_bits(), "elapsed bit-exact");
+        assert_eq!(out.joules.to_bits(), reference.joules.to_bits(), "energy bit-exact");
+        assert_eq!(out.avg_watts.to_bits(), reference.avg_watts.to_bits());
+        assert_eq!(out.stats, reference.stats);
+        assert_eq!(out.throttle, reference.throttle, "controller summary identical");
+        assert_eq!(out.to_string(), reference.to_string(), "report text identical");
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_are_rejected() {
+        let bytes = vec![0u8; 64];
+        assert!(MaestroSnapshot::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn warm_fork_sweeps_policy_variants_from_one_snapshot() {
+        use maestro_runtime::TaskSpec;
+        // One warm snapshot, restored under different shepherd limits: the
+        // limit is a policy knob outside the snapshot, so each fork resumes
+        // the same machine/scheduler state and diverges only in its policy.
+        let spec = TaskSpec::fork_join(
+            (0..900).map(|_| TaskSpec::leaf(Cost::new(13_000_000, 500_000, 8.0, 0.95))).collect(),
+            Cost::ZERO,
+        );
+        let mut base = Maestro::new(MaestroConfig::adaptive(16));
+        let snap = base
+            .run_captured(
+                "sweep",
+                &mut (),
+                spec.into_task(),
+                &SnapshotPlan::suspend_at(120_000_000),
+            )
+            .unwrap()
+            .suspended()
+            .expect("base run suspends");
+
+        let mut reports = Vec::new();
+        for limit in [2usize, 6, 12] {
+            let mut cfg = MaestroConfig::adaptive(16);
+            cfg.policy = Policy::Adaptive { limit_per_shepherd: limit };
+            let mut m = Maestro::new(cfg);
+            let r = m
+                .resume_captured(&mut (), &snap, &SnapshotPlan::none())
+                .unwrap()
+                .report()
+                .unwrap_or_else(|| panic!("fork with limit {limit} completes"));
+            assert!(r.elapsed_s > 0.0 && r.joules > 0.0);
+            assert!(r.throttle.is_some(), "adaptive fork keeps its summary");
+            reports.push((limit, r));
+        }
+        // Contended workload: the tighter limit throttles at least as much
+        // worker time as the loosest one.
+        let tight = &reports[0].1.throttle.as_ref().unwrap().throttled_worker_s;
+        let loose = &reports[2].1.throttle.as_ref().unwrap().throttled_worker_s;
+        assert!(tight >= loose, "tight {tight} vs loose {loose}");
     }
 
     #[test]

@@ -43,4 +43,7 @@ pub use controller::{
     ControlPlaneStats, ControllerCheckpoint, ControllerConfig, ControllerSample, ControllerTrace,
     SafeModeConfig, ThrottleController, TraceHandle,
 };
-pub use facade::{Maestro, MaestroConfig, Policy, RunReport, ThrottleSummary};
+pub use facade::{
+    Maestro, MaestroConfig, MaestroRun, MaestroRunEnd, MaestroSnapshot, Policy, RunReport,
+    ThrottleSummary,
+};

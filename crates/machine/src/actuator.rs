@@ -26,6 +26,7 @@ use crate::duty::DutyCycle;
 use crate::engine::Machine;
 use crate::fault::{DutyWriteEffect, FaultPlan};
 use crate::msr::{MsrDevice, IA32_CLOCK_MODULATION};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::topology::CoreId;
 
 /// Retry and breaker tuning for the [`Actuator`].
@@ -246,6 +247,66 @@ impl Actuator {
         }
         self.force_full(machine, core);
         ApplyOutcome::ForcedFull { attempts, tripped }
+    }
+
+    /// Serialize the actuator's dynamic state (per-core health, breaker
+    /// positions, trip count, fault-plan cursor) into `w`. Configuration is
+    /// not captured; restore into an actuator built with the same config.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.len(self.health.len());
+        for h in &self.health {
+            w.u64(h.writes);
+            w.u64(h.attempts);
+            w.u64(h.verify_failures);
+            w.u64(h.failed_applies);
+            w.u64(h.forced_resets);
+            w.u32(h.consecutive_failures);
+            match h.breaker {
+                BreakerState::Closed => w.bool(false),
+                BreakerState::Open { tripped_at_ns } => {
+                    w.bool(true);
+                    w.u64(tripped_at_ns);
+                }
+            }
+        }
+        w.u64(self.trips);
+        FaultPlan::snap_opt(w, self.faults.as_ref());
+    }
+
+    /// Restore dynamic state captured by [`Actuator::snap_state`].
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.len()?;
+        if n != self.health.len() {
+            return Err(SnapError::Corrupt("actuator core count mismatch"));
+        }
+        let mut health = Vec::with_capacity(n);
+        for _ in 0..n {
+            let writes = r.u64()?;
+            let attempts = r.u64()?;
+            let verify_failures = r.u64()?;
+            let failed_applies = r.u64()?;
+            let forced_resets = r.u64()?;
+            let consecutive_failures = r.u32()?;
+            let breaker = if r.bool()? {
+                BreakerState::Open { tripped_at_ns: r.u64()? }
+            } else {
+                BreakerState::Closed
+            };
+            health.push(ActuationHealth {
+                writes,
+                attempts,
+                verify_failures,
+                failed_applies,
+                forced_resets,
+                consecutive_failures,
+                breaker,
+            });
+        }
+        let trips = r.u64()?;
+        FaultPlan::restore_opt(r, self.faults.as_ref())?;
+        self.health = health;
+        self.trips = trips;
+        Ok(())
     }
 
     /// The recovery path: pin `core` at FULL via modulation disable, which

@@ -17,6 +17,7 @@ use crate::msr::{
     MSR_PKG_ENERGY_STATUS,
 };
 use crate::power::{CorePowerState, PowerParams};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::thermal::ThermalParams;
 use crate::topology::{CoreId, SocketId, Topology};
 use crate::{NS_PER_SEC, RAPL_UNIT_JOULES};
@@ -374,6 +375,89 @@ impl Machine {
             st.temp_c = self.cfg.thermal.step(st.temp_c, p_nonleak, dt_s);
         }
         self.clock_ns += dt_ns;
+    }
+
+    /// Serialize the machine's dynamic state (clock, per-core duty and
+    /// activity, per-socket temperature/energy/P-state) into `w`.
+    ///
+    /// The configuration is *not* captured — a snapshot is restored into a
+    /// machine built from the same [`MachineConfig`] (checked upstream via a
+    /// fingerprint). The per-socket power caches are recomputed lazily after
+    /// restore and are byte-identical to the captured run's values because
+    /// the refresh uses the same expression and summation order.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.u64(self.clock_ns);
+        w.len(self.duty.len());
+        for d in &self.duty {
+            w.u8(d.level());
+        }
+        w.len(self.activity.len());
+        for a in &self.activity {
+            match a {
+                CoreActivity::Idle => w.u8(0),
+                CoreActivity::Spin => w.u8(1),
+                CoreActivity::Busy { intensity, ocr } => {
+                    w.u8(2);
+                    w.f64(*intensity);
+                    w.f64(*ocr);
+                }
+            }
+        }
+        w.len(self.sockets.len());
+        for s in &self.sockets {
+            w.f64(s.temp_c);
+            w.f64(s.energy_j);
+            w.u8(s.pstate.index() as u8);
+        }
+    }
+
+    /// Restore dynamic state captured by [`Machine::snap_state`] into this
+    /// machine, which must have been built from the same configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let clock_ns = r.u64()?;
+        let n_duty = r.len()?;
+        if n_duty != self.duty.len() {
+            return Err(SnapError::Corrupt("core count mismatch in duty state"));
+        }
+        let mut duty = Vec::with_capacity(n_duty);
+        for _ in 0..n_duty {
+            duty.push(
+                DutyCycle::new(r.u8()?).map_err(|_| SnapError::Corrupt("duty level out of range"))?,
+            );
+        }
+        let n_act = r.len()?;
+        if n_act != self.activity.len() {
+            return Err(SnapError::Corrupt("core count mismatch in activity state"));
+        }
+        let mut activity = Vec::with_capacity(n_act);
+        for _ in 0..n_act {
+            activity.push(match r.u8()? {
+                0 => CoreActivity::Idle,
+                1 => CoreActivity::Spin,
+                2 => CoreActivity::Busy { intensity: r.f64()?, ocr: r.f64()? },
+                _ => return Err(SnapError::Corrupt("unknown core activity tag")),
+            });
+        }
+        let n_sock = r.len()?;
+        if n_sock != self.sockets.len() {
+            return Err(SnapError::Corrupt("socket count mismatch"));
+        }
+        let mut sockets = Vec::with_capacity(n_sock);
+        for _ in 0..n_sock {
+            let temp_c = r.f64()?;
+            let energy_j = r.f64()?;
+            let pstate = PState::new(r.u8()?)
+                .ok_or(SnapError::Corrupt("P-state index out of range"))?;
+            sockets.push(SocketState { temp_c, energy_j, pstate });
+        }
+        self.clock_ns = clock_ns;
+        self.duty = duty;
+        self.activity = activity;
+        self.sockets = sockets;
+        for cache in &self.power_cache {
+            cache.dirty.set(true);
+        }
+        Ok(())
     }
 
     fn socket_of_checked(&self, core: CoreId) -> Result<SocketId, MsrError> {

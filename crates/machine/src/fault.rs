@@ -24,7 +24,69 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use crate::msr::{MsrDevice, MsrError, MSR_PKG_ENERGY_STATUS};
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::topology::CoreId;
+
+/// The dynamic position of a [`FaultPlan`]: schedule cursors, PRNG state,
+/// and the stuck-counter freeze map.
+///
+/// Two plans built from the same seed and schedules behave identically iff
+/// their cursors are equal, so a restored plan can be diffed against the
+/// original (`assert_eq!(a.cursor(), b.cursor())`) to prove the fault stream
+/// will continue bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultCursor {
+    /// Scripted daemon kills consumed so far.
+    pub kills_consumed: usize,
+    /// Scripted task panics consumed so far.
+    pub panics_consumed: usize,
+    /// Scripted task wedges consumed so far.
+    pub wedges_consumed: usize,
+    /// The SplitMix64 stream state (next draw starts from here).
+    pub rng_state: u64,
+    /// Energy-counter reads observed (drives the stuck-counter window).
+    pub energy_reads: u64,
+    /// Frozen per-core energy readings inside a stuck window, sorted by core.
+    pub frozen: Vec<(u16, u64)>,
+}
+
+impl FaultCursor {
+    /// Serialize the cursor into `w`.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.len(self.kills_consumed);
+        w.len(self.panics_consumed);
+        w.len(self.wedges_consumed);
+        w.u64(self.rng_state);
+        w.u64(self.energy_reads);
+        w.len(self.frozen.len());
+        for &(core, value) in &self.frozen {
+            w.u16(core);
+            w.u64(value);
+        }
+    }
+
+    /// Decode a cursor written by [`FaultCursor::snap_state`].
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let kills_consumed = r.len()?;
+        let panics_consumed = r.len()?;
+        let wedges_consumed = r.len()?;
+        let rng_state = r.u64()?;
+        let energy_reads = r.u64()?;
+        let n = r.len()?;
+        let mut frozen = Vec::with_capacity(n);
+        for _ in 0..n {
+            frozen.push((r.u16()?, r.u64()?));
+        }
+        Ok(FaultCursor {
+            kills_consumed,
+            panics_consumed,
+            wedges_consumed,
+            rng_state,
+            energy_reads,
+            frozen,
+        })
+    }
+}
 
 /// An energy-counter freeze: after `after_reads` reads of the energy MSR,
 /// the next `for_reads` reads return the frozen value.
@@ -329,6 +391,41 @@ impl FaultPlan {
         self.next_u64() % (self.sample_jitter_ns + 1)
     }
 
+    /// The plan's current dynamic position: schedule cursors, PRNG state,
+    /// stuck-counter freezes. See [`FaultCursor`].
+    pub fn cursor(&self) -> FaultCursor {
+        let mut frozen: Vec<(u16, u64)> = self
+            .frozen
+            .lock()
+            .expect("fault plan lock")
+            .iter()
+            .map(|(&c, &v)| (c, v))
+            .collect();
+        frozen.sort_unstable();
+        FaultCursor {
+            kills_consumed: self.kills_consumed.get(),
+            panics_consumed: self.panics_consumed.get(),
+            wedges_consumed: self.wedges_consumed.get(),
+            rng_state: self.rng.get(),
+            energy_reads: self.energy_reads.get(),
+            frozen,
+        }
+    }
+
+    /// Move this plan to a previously captured [`FaultCursor`] position. The
+    /// static schedules and rates are untouched; only the consumption
+    /// cursors, PRNG state, and freeze map are rewound.
+    pub fn restore_cursor(&self, cursor: &FaultCursor) {
+        self.kills_consumed.set(cursor.kills_consumed);
+        self.panics_consumed.set(cursor.panics_consumed);
+        self.wedges_consumed.set(cursor.wedges_consumed);
+        self.rng.set(cursor.rng_state);
+        self.energy_reads.set(cursor.energy_reads);
+        let mut frozen = self.frozen.lock().expect("fault plan lock");
+        frozen.clear();
+        frozen.extend(cursor.frozen.iter().copied());
+    }
+
     fn roll(&self, p: f64) -> bool {
         if p <= 0.0 {
             return false;
@@ -349,6 +446,35 @@ impl FaultPlan {
 
     fn next_unit(&self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Serialize the cursor of an optional plan (presence byte + cursor).
+    pub fn snap_opt(w: &mut SnapWriter, plan: Option<&FaultPlan>) {
+        match plan {
+            None => w.bool(false),
+            Some(p) => {
+                w.bool(true);
+                p.cursor().snap_state(w);
+            }
+        }
+    }
+
+    /// Restore a cursor written by [`FaultPlan::snap_opt`] into an optional
+    /// plan. Presence must match: a snapshot taken with a plan cannot be
+    /// restored without one (or vice versa) — the fault stream would diverge.
+    pub fn restore_opt(
+        r: &mut SnapReader<'_>,
+        plan: Option<&FaultPlan>,
+    ) -> Result<(), SnapError> {
+        let present = r.bool()?;
+        match (present, plan) {
+            (false, None) => Ok(()),
+            (true, Some(p)) => {
+                p.restore_cursor(&FaultCursor::restore_state(r)?);
+                Ok(())
+            }
+            _ => Err(SnapError::Corrupt("fault plan presence mismatch")),
+        }
     }
 
     /// Apply MSR-read faults to a reading of `msr` via `core` whose true
@@ -597,6 +723,68 @@ mod tests {
         assert!(plan.task_panic_due(3));
         let cloned = plan.clone();
         assert!(!cloned.task_panic_due(100), "clone carries consumed entries");
+    }
+
+    #[test]
+    fn cursor_round_trip_resumes_the_exact_fault_stream() {
+        let plan = FaultPlan::new(21)
+            .with_drop_sample_rate(0.4)
+            .with_daemon_kills(&[100, 200, 300])
+            .with_task_panic_at_steps(&[5, 10])
+            .with_stuck_counter(3, 10);
+        let m = machine_after_1s();
+        // Burn through some of the stream and schedules.
+        for _ in 0..7 {
+            plan.should_drop_sample();
+            let faulty = FaultyMsr::new(&m, &plan);
+            faulty.read_msr(CoreId(0), MSR_PKG_ENERGY_STATUS).unwrap();
+        }
+        plan.kill_due(150);
+        plan.task_panic_due(6);
+        let cursor = plan.cursor();
+        assert_eq!(cursor.kills_consumed, 1);
+        assert_eq!(cursor.panics_consumed, 1);
+        assert!(!cursor.frozen.is_empty(), "stuck window left a frozen entry");
+        // Serialize → deserialize → restore into a fresh plan with the same
+        // static config, then check the streams stay in lockstep.
+        let mut w = SnapWriter::new();
+        cursor.snap_state(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        let decoded = FaultCursor::restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, cursor);
+        let twin = FaultPlan::new(21)
+            .with_drop_sample_rate(0.4)
+            .with_daemon_kills(&[100, 200, 300])
+            .with_task_panic_at_steps(&[5, 10])
+            .with_stuck_counter(3, 10);
+        twin.restore_cursor(&decoded);
+        assert_eq!(twin.cursor(), plan.cursor(), "restored plan diffs clean");
+        for _ in 0..16 {
+            assert_eq!(twin.should_drop_sample(), plan.should_drop_sample());
+        }
+        assert_eq!(twin.kill_due(1000), plan.kill_due(1000));
+        assert_eq!(twin.cursor(), plan.cursor());
+    }
+
+    #[test]
+    fn opt_plan_presence_mismatch_is_rejected() {
+        let plan = FaultPlan::new(22);
+        let mut w = SnapWriter::new();
+        FaultPlan::snap_opt(&mut w, Some(&plan));
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            FaultPlan::restore_opt(&mut r, None),
+            Err(SnapError::Corrupt(_))
+        ));
+        let mut w = SnapWriter::new();
+        FaultPlan::snap_opt(&mut w, None);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        FaultPlan::restore_opt(&mut r, None).unwrap();
+        r.finish().unwrap();
     }
 
     #[test]

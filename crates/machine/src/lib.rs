@@ -47,6 +47,7 @@ pub mod engine;
 pub mod fault;
 pub mod msr;
 pub mod power;
+pub mod snap;
 pub mod thermal;
 pub mod topology;
 
@@ -58,12 +59,13 @@ pub use cost::Cost;
 pub use duty::DutyCycle;
 pub use dvfs::{DvfsParams, PState};
 pub use engine::{CoreActivity, Machine, MachineConfig};
-pub use fault::{DutyWriteEffect, FaultPlan, FaultyMsr, StallWindow, StuckWindow};
+pub use fault::{DutyWriteEffect, FaultCursor, FaultPlan, FaultyMsr, StallWindow, StuckWindow};
 pub use msr::{
     MsrDevice, MsrError, IA32_CLOCK_MODULATION, IA32_PERF_CTL, IA32_THERM_STATUS,
     MSR_PKG_ENERGY_STATUS,
 };
 pub use power::PowerParams;
+pub use snap::{fingerprint, SnapError, SnapReader, SnapWriter, SNAP_MAGIC, SNAP_VERSION};
 pub use thermal::ThermalParams;
 pub use topology::{CoreId, SocketId, Topology};
 

@@ -1,6 +1,7 @@
 //! Joule meters: wrap-corrected, unit-converted energy accumulation.
 
 use maestro_machine::msr::MsrDevice;
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::{SocketId, Topology};
 
 use crate::msr_backend::MsrEnergySource;
@@ -249,6 +250,36 @@ pub struct SocketProbeCheckpoint {
 pub struct NodeProbeCheckpoint {
     /// Per-socket meter state, in socket order.
     pub sockets: Vec<SocketProbeCheckpoint>,
+}
+
+impl NodeProbeCheckpoint {
+    /// Serialize the checkpoint into `w`.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.len(self.sockets.len());
+        for s in &self.sockets {
+            w.u8(s.socket.0);
+            w.opt_u64(s.wrap.last_raw);
+            w.u128(s.wrap.total);
+            w.u64(s.wrap.wraps);
+        }
+    }
+
+    /// Decode a checkpoint written by [`NodeProbeCheckpoint::snap_state`].
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len()?;
+        let mut sockets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let socket = SocketId(r.u8()?);
+            let last_raw = r.opt_u64()?;
+            let total = r.u128()?;
+            let wraps = r.u64()?;
+            sockets.push(SocketProbeCheckpoint {
+                socket,
+                wrap: WrapCheckpoint { last_raw, total, wraps },
+            });
+        }
+        Ok(NodeProbeCheckpoint { sockets })
+    }
 }
 
 /// A whole-node meter: one [`SocketProbe`] per package.

@@ -14,6 +14,8 @@
 
 use std::collections::VecDeque;
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
+
 /// Default bound on believable instantaneous power between two samples,
 /// Watts. The modeled node peaks below 200 W; 10 kW is unambiguously a
 /// corrupt reading rather than a workload.
@@ -134,6 +136,33 @@ impl PowerWindow {
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
+    }
+
+    /// Serialize the window's dynamic state (retained samples, rejection and
+    /// stuck counters) into `w`. The horizon and outlier bound are
+    /// configuration and are not captured.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.len(self.samples.len());
+        for &(t_ns, joules) in &self.samples {
+            w.u64(t_ns);
+            w.f64(joules);
+        }
+        w.u64(self.rejected);
+        w.u32(self.flat_run);
+    }
+
+    /// Restore dynamic state captured by [`PowerWindow::snap_state`] into
+    /// this window (built with the same horizon and bound).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.len()?;
+        let mut samples = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            samples.push_back((r.u64()?, r.f64()?));
+        }
+        self.samples = samples;
+        self.rejected = r.u64()?;
+        self.flat_run = r.u32()?;
+        Ok(())
     }
 
     /// Drop all samples and reset the rejection and stuck counters.

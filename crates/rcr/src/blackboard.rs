@@ -22,6 +22,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
+
 /// Description of one published meter (the self-describing part).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MeterDesc {
@@ -116,6 +118,30 @@ impl SocketSnapshot {
         seq: 0,
         flags: HealthFlags::OK,
     };
+
+    /// Serialize every field into `w` (bit-exact; floats travel as raw bits).
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.f64(self.power_w);
+        w.f64(self.mem_concurrency);
+        w.f64(self.temp_c);
+        w.f64(self.energy_j);
+        w.u64(self.updated_at_ns);
+        w.u64(self.seq);
+        w.u64(self.flags.bits());
+    }
+
+    /// Rebuild a snapshot serialized by [`SocketSnapshot::snap_state`].
+    pub fn restore_state(r: &mut SnapReader<'_>) -> Result<SocketSnapshot, SnapError> {
+        Ok(SocketSnapshot {
+            power_w: r.f64()?,
+            mem_concurrency: r.f64()?,
+            temp_c: r.f64()?,
+            energy_j: r.f64()?,
+            updated_at_ns: r.u64()?,
+            seq: r.u64()?,
+            flags: HealthFlags::from_bits(r.u64()?),
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -232,6 +258,35 @@ impl Blackboard {
     /// Publish a new snapshot for `socket` (writer side; the daemon).
     pub fn publish(&self, socket: usize, snap: SocketSnapshot) {
         self.shared.records[socket].write(&snap);
+    }
+
+    /// Serialize the region's observable state — the writer epoch and every
+    /// socket's latest snapshot — into `w`. The seqlock's internal sequence
+    /// counter is not observable through [`SocketSnapshot`] and is not
+    /// captured.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.u64(self.epoch());
+        w.len(self.sockets());
+        for snap in self.snapshot_all() {
+            snap.snap_state(w);
+        }
+    }
+
+    /// Restore state captured by [`Blackboard::snap_state`] into this region
+    /// (built with the same socket count). Each record is republished with
+    /// its captured snapshot, which is observably identical to the original:
+    /// every field a reader can see round-trips through [`Self::publish`].
+    pub fn restore_state(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let epoch = r.u64()?;
+        let n = r.len()?;
+        if n != self.sockets() {
+            return Err(SnapError::Corrupt("blackboard socket count mismatch"));
+        }
+        self.shared.epoch.store(epoch, Ordering::Release);
+        for s in 0..n {
+            self.publish(s, SocketSnapshot::restore_state(r)?);
+        }
+        Ok(())
     }
 
     /// Read a consistent snapshot of `socket` (any reader thread).
@@ -440,6 +495,46 @@ mod tests {
         assert!((bb.node_power_w() - 60.0).abs() < 1e-12, "NaN must not poison the sum");
         assert!(!bb.is_healthy(), "a socket without a power estimate is not decision-grade");
         assert!(!HealthFlags::NO_POWER.is_healthy());
+    }
+
+    #[test]
+    fn snapshot_round_trips_epoch_and_records() {
+        let bb = Blackboard::new(2);
+        bb.advance_epoch();
+        bb.advance_epoch();
+        bb.publish(0, SocketSnapshot {
+            power_w: 74.5,
+            mem_concurrency: 28.0,
+            temp_c: 71.0,
+            energy_j: 1234.5,
+            updated_at_ns: 42,
+            seq: 7,
+            flags: HealthFlags::RETRIED.with(HealthFlags::STUCK),
+        });
+        bb.publish(1, SocketSnapshot { power_w: f64::NAN, ..SocketSnapshot::EMPTY });
+        let mut w = SnapWriter::new();
+        bb.snap_state(&mut w);
+        let bytes = w.finish();
+
+        let twin = Blackboard::new(2);
+        let mut r = SnapReader::new(&bytes);
+        twin.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(twin.epoch(), 2);
+        assert_eq!(twin.snapshot(0), bb.snapshot(0));
+        // NaN != NaN under PartialEq; compare the raw bits instead.
+        assert_eq!(twin.snapshot(1).power_w.to_bits(), bb.snapshot(1).power_w.to_bits());
+        assert_eq!(twin.snapshot(1).seq, bb.snapshot(1).seq);
+    }
+
+    #[test]
+    fn snapshot_into_wrong_socket_count_is_rejected() {
+        let bb = Blackboard::new(2);
+        let mut w = SnapWriter::new();
+        bb.snap_state(&mut w);
+        let bytes = w.finish();
+        let twin = Blackboard::new(3);
+        assert!(twin.restore_state(&mut SnapReader::new(&bytes)).is_err());
     }
 
     #[test]

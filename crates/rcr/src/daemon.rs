@@ -15,6 +15,7 @@
 //! the caller as a [`SampleOutcome`] and tallied in [`DaemonHealth`], and no
 //! fault reachable through a `FaultPlan` panics.
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::{FaultPlan, FaultyMsr, Machine, SocketId};
 use maestro_rapl::{NodeProbe, NodeProbeCheckpoint, PowerWindow, ProbeError, RetryPolicy};
 
@@ -210,6 +211,71 @@ impl RcrDaemon {
     /// Outcome tallies since construction.
     pub fn health(&self) -> DaemonHealth {
         self.health
+    }
+
+    /// Serialize the daemon's complete dynamic state into `w`: probe wrap
+    /// trackers, smoothing windows, schedule cursor, publication counter,
+    /// health tallies, history ring, and the fault plan's RNG cursor. Unlike
+    /// [`RcrDaemon::checkpoint`] (crash recovery, which deliberately drops
+    /// the windows), this is for bit-exact suspend/resume: everything needed
+    /// to continue the *same* incarnation is captured. The shared blackboard
+    /// is owned by the enclosing run and captured separately.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        self.probe.checkpoint().snap_state(w);
+        w.u64(self.period_ns);
+        w.len(self.windows.len());
+        for win in &self.windows {
+            win.snap_state(w);
+        }
+        w.u64(self.next_due_ns);
+        w.u64(self.samples_taken);
+        w.u64(self.health.published);
+        w.u64(self.health.dropped);
+        w.u64(self.health.probe_failures);
+        w.u64(self.health.retried_samples);
+        w.u64(self.health.stuck_periods);
+        w.u64(self.health.outlier_periods);
+        w.bool(self.history.is_some());
+        if let Some(h) = &self.history {
+            h.snap_state(w);
+        }
+        FaultPlan::snap_opt(w, self.faults.as_ref());
+    }
+
+    /// Restore state captured by [`RcrDaemon::snap_state`] into this daemon,
+    /// which must have been built with the same configuration (period,
+    /// history capacity, fault plan presence, machine topology).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let probe_cp = NodeProbeCheckpoint::restore_state(r)?;
+        if r.u64()? != self.period_ns {
+            return Err(SnapError::Corrupt("daemon period mismatch"));
+        }
+        let n = r.len()?;
+        if n != self.windows.len() {
+            return Err(SnapError::Corrupt("daemon window count mismatch"));
+        }
+        self.probe.restore(&probe_cp);
+        for win in &mut self.windows {
+            win.restore_state(r)?;
+        }
+        self.next_due_ns = r.u64()?;
+        self.samples_taken = r.u64()?;
+        self.health = DaemonHealth {
+            published: r.u64()?,
+            dropped: r.u64()?,
+            probe_failures: r.u64()?,
+            retried_samples: r.u64()?,
+            stuck_periods: r.u64()?,
+            outlier_periods: r.u64()?,
+        };
+        let has_history = r.bool()?;
+        if has_history != self.history.is_some() {
+            return Err(SnapError::Corrupt("daemon history presence mismatch"));
+        }
+        if let Some(h) = &mut self.history {
+            h.restore_state(r)?;
+        }
+        FaultPlan::restore_opt(r, self.faults.as_ref())
     }
 
     fn schedule_next(&mut self, now: u64) {
@@ -464,6 +530,70 @@ mod tests {
         assert!(saw_stuck, "stuck window should mark the board unhealthy");
         assert!(d.health().stuck_periods > 0);
         assert!(d.blackboard().is_healthy(), "flag clears once the counter moves again");
+    }
+
+    #[test]
+    fn full_snapshot_resumes_bit_identically() {
+        // Two machines driven identically; daemon B is rebuilt from a
+        // mid-run snapshot of daemon A. After the same continuation, every
+        // observable (blackboard records, health, schedule, history) must be
+        // bit-identical — including the fault plan's RNG cursor.
+        let drive = |m: &mut Machine| {
+            for c in m.topology().all_cores() {
+                m.set_activity(c, CoreActivity::Busy { intensity: 0.8, ocr: 1.2 });
+            }
+        };
+        let mut m = machine();
+        drive(&mut m);
+        let plan = FaultPlan::new(31).with_transient_error_rate(0.2).with_sample_jitter(5_000_000);
+        let mut a = RcrDaemon::new(&m).with_history(8).with_faults(plan.clone());
+        run_daemon(&mut m, &mut a, NS_PER_SEC);
+
+        let mut w = SnapWriter::new();
+        a.snap_state(&mut w);
+        let bytes = w.finish();
+
+        // Fresh daemon with identical construction, fed the snapshot. Its
+        // machine is advanced to the same point by replaying the clock.
+        let mut m2 = machine();
+        drive(&mut m2);
+        let plan2 = FaultPlan::new(31).with_transient_error_rate(0.2).with_sample_jitter(5_000_000);
+        let mut b = RcrDaemon::new(&m2).with_history(8).with_faults(plan2);
+        while m2.now_ns() < m.now_ns() {
+            m2.advance((m.now_ns() - m2.now_ns()).min(100_000_000));
+        }
+        let mut r = SnapReader::new(&bytes);
+        b.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        run_daemon(&mut m, &mut a, NS_PER_SEC);
+        run_daemon(&mut m2, &mut b, NS_PER_SEC);
+        assert_eq!(a.samples_taken(), b.samples_taken());
+        assert_eq!(a.health(), b.health());
+        assert_eq!(a.next_due_ns(), b.next_due_ns());
+        for (x, y) in a.blackboard().snapshot_all().iter().zip(b.blackboard().snapshot_all()) {
+            assert_eq!(x.power_w.to_bits(), y.power_w.to_bits(), "{x:?} vs {y:?}");
+            assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+            assert_eq!((x.updated_at_ns, x.seq, x.flags), (y.updated_at_ns, y.seq, y.flags));
+        }
+        let ha: Vec<_> = a.history().unwrap().iter().map(|(s, v)| (*s, v.seq)).collect();
+        let hb: Vec<_> = b.history().unwrap().iter().map(|(s, v)| (*s, v.seq)).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn restore_into_mismatched_daemon_is_rejected() {
+        let m = machine();
+        let d = RcrDaemon::new(&m).with_history(4);
+        let mut w = SnapWriter::new();
+        d.snap_state(&mut w);
+        let bytes = w.finish();
+        // No history attached → presence mismatch.
+        let mut plain = RcrDaemon::new(&m);
+        assert!(plain.restore_state(&mut SnapReader::new(&bytes)).is_err());
+        // Different period → config mismatch.
+        let mut other = RcrDaemon::with_period(&m, 50_000_000).with_history(4);
+        assert!(other.restore_state(&mut SnapReader::new(&bytes)).is_err());
     }
 
     #[test]

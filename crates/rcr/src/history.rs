@@ -7,6 +7,8 @@
 //! [`SampleHistory`]: a fixed-capacity ring buffer the daemon appends every
 //! published sample to.
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
+
 use crate::blackboard::SocketSnapshot;
 
 /// A bounded ring of `(socket, snapshot)` samples in publication order.
@@ -62,6 +64,41 @@ impl SampleHistory {
         let all: Vec<_> = self.iter().cloned().collect();
         let skip = all.len().saturating_sub(n);
         all.into_iter().skip(skip).collect()
+    }
+
+    /// Serialize the ring's dynamic state (retained samples in storage
+    /// order, head cursor, lifetime counter) into `w`. Capacity is
+    /// configuration and is not captured.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        w.len(self.buf.len());
+        for (socket, snap) in &self.buf {
+            w.u64(*socket as u64);
+            snap.snap_state(w);
+        }
+        w.u64(self.head as u64);
+        w.u64(self.total_pushed);
+    }
+
+    /// Restore state captured by [`SampleHistory::snap_state`] into this
+    /// history (built with the same capacity).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.len()?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt("history larger than capacity"));
+        }
+        let mut buf = Vec::with_capacity(self.capacity.min(n));
+        for _ in 0..n {
+            let socket = r.u64()? as usize;
+            buf.push((socket, SocketSnapshot::restore_state(r)?));
+        }
+        let head = r.u64()? as usize;
+        if head >= self.capacity || (head != 0 && n < self.capacity) {
+            return Err(SnapError::Corrupt("history head out of range"));
+        }
+        self.buf = buf;
+        self.head = head;
+        self.total_pushed = r.u64()?;
+        Ok(())
     }
 
     /// Mean node power over the retained window for `socket`, Watts.
@@ -138,5 +175,44 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         SampleHistory::new(0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_ring_state() {
+        let mut h = SampleHistory::new(3);
+        for i in 0..5u64 {
+            h.push((i % 2) as usize, snap(i as f64, i));
+        }
+        let mut w = SnapWriter::new();
+        h.snap_state(&mut w);
+        let bytes = w.finish();
+
+        let mut twin = SampleHistory::new(3);
+        let mut r = SnapReader::new(&bytes);
+        twin.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(twin.total_pushed(), h.total_pushed());
+        let a: Vec<_> = h.iter().cloned().collect();
+        let b: Vec<_> = twin.iter().cloned().collect();
+        assert_eq!(a, b, "iteration order survives the head cursor");
+        // The twin keeps evicting from the same position.
+        h.push(0, snap(9.0, 9));
+        twin.push(0, snap(9.0, 9));
+        let a: Vec<_> = h.iter().cloned().collect();
+        let b: Vec<_> = twin.iter().cloned().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_into_wrong_capacity_is_rejected() {
+        let mut h = SampleHistory::new(2);
+        for i in 0..4u64 {
+            h.push(0, snap(i as f64, i));
+        }
+        let mut w = SnapWriter::new();
+        h.snap_state(&mut w);
+        let bytes = w.finish();
+        let mut tiny = SampleHistory::new(1);
+        assert!(tiny.restore_state(&mut SnapReader::new(&bytes)).is_err());
     }
 }

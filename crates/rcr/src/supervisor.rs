@@ -22,8 +22,9 @@
 //! safe mode, which is the correct terminal state: full performance, no
 //! energy optimization, honest reporting.
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::{FaultPlan, Machine};
-use maestro_rapl::RetryPolicy;
+use maestro_rapl::{NodeProbeCheckpoint, RetryPolicy};
 
 use crate::blackboard::Blackboard;
 use crate::daemon::{DaemonCheckpoint, DaemonHealth, RcrDaemon, SampleOutcome};
@@ -207,6 +208,83 @@ impl Supervisor {
     /// True while the daemon is dead (backoff pending or budget exhausted).
     pub fn is_down(&self) -> bool {
         self.daemon.is_none()
+    }
+
+    /// Serialize the whole supervision pipeline into `w`: the shared
+    /// blackboard (epoch + records), the supervisor's scripted-kill cursor,
+    /// the live daemon (when one exists) in full, the recovery checkpoint,
+    /// accumulated dead-incarnation tallies, backoff state, and lifetime
+    /// stats. Together with a machine snapshot this is sufficient for
+    /// bit-exact suspend/resume of the measurement pipeline.
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        self.blackboard.snap_state(w);
+        FaultPlan::snap_opt(w, self.faults.as_ref());
+        w.bool(self.daemon.is_some());
+        if let Some(d) = &self.daemon {
+            d.snap_state(w);
+        }
+        w.bool(self.checkpoint.is_some());
+        if let Some(cp) = &self.checkpoint {
+            cp.probe.snap_state(w);
+            w.u64(cp.samples_taken);
+        }
+        w.u64(self.down_until_ns);
+        w.u64(self.next_due_ns);
+        let h = self.dead_health;
+        w.u64(h.published);
+        w.u64(h.dropped);
+        w.u64(h.probe_failures);
+        w.u64(h.retried_samples);
+        w.u64(h.stuck_periods);
+        w.u64(h.outlier_periods);
+        w.u64(self.stats.kills);
+        w.u64(self.stats.wedge_kills);
+        w.u64(self.stats.restarts);
+        w.bool(self.stats.gave_up);
+    }
+
+    /// Restore state captured by [`Supervisor::snap_state`] into this
+    /// supervisor, which must have been built with the same configuration
+    /// (period, retry policy, fault plan presence, machine topology).
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.blackboard.restore_state(r)?;
+        FaultPlan::restore_opt(r, self.faults.as_ref())?;
+        let daemon_alive = r.bool()?;
+        if daemon_alive {
+            let Some(d) = self.daemon.as_mut() else {
+                return Err(SnapError::Corrupt("snapshot has a live daemon, target has none"));
+            };
+            d.restore_state(r)?;
+        } else {
+            // The snapshot was taken while the daemon was down; discard the
+            // freshly built incarnation without tallying a kill.
+            self.daemon = None;
+        }
+        self.checkpoint = if r.bool()? {
+            Some(DaemonCheckpoint {
+                probe: NodeProbeCheckpoint::restore_state(r)?,
+                samples_taken: r.u64()?,
+            })
+        } else {
+            None
+        };
+        self.down_until_ns = r.u64()?;
+        self.next_due_ns = r.u64()?;
+        self.dead_health = DaemonHealth {
+            published: r.u64()?,
+            dropped: r.u64()?,
+            probe_failures: r.u64()?,
+            retried_samples: r.u64()?,
+            stuck_periods: r.u64()?,
+            outlier_periods: r.u64()?,
+        };
+        self.stats = SupervisorStats {
+            kills: r.u64()?,
+            wedge_kills: r.u64()?,
+            restarts: r.u64()?,
+            gave_up: r.bool()?,
+        };
+        Ok(())
     }
 
     fn backoff_for_restart(&self, nth: u64) -> u64 {
@@ -446,6 +524,76 @@ mod tests {
             "publishing resumed after the stall"
         );
         assert!(sup.health().dropped >= 1);
+    }
+
+    #[test]
+    fn snapshot_resume_matches_unbroken_pipeline_bit_for_bit() {
+        // Run A: unbroken 4 s chaos run (kill + restart + read faults).
+        // Run B: identical construction, restored from A's 1.5 s snapshot,
+        // driven over the same remaining schedule. Every observable must be
+        // bit-identical at the end.
+        let mk_plan = || {
+            FaultPlan::new(45)
+                .with_daemon_kills(&[NS_PER_SEC])
+                .with_transient_error_rate(0.15)
+                .with_sample_jitter(3_000_000)
+        };
+        let cfg = SupervisorConfig {
+            initial_backoff_ns: 100_000_000,
+            ..SupervisorConfig::default()
+        };
+        let mut m = busy_machine();
+        let mut a = Supervisor::new(&m, cfg).with_faults(mk_plan());
+        drive(&mut m, &mut a, 3 * NS_PER_SEC / 2);
+        let mut w = SnapWriter::new();
+        a.snap_state(&mut w);
+        let bytes = w.finish();
+
+        let mut m2 = busy_machine();
+        let mut b = Supervisor::new(&m2, cfg).with_faults(mk_plan());
+        while m2.now_ns() < m.now_ns() {
+            m2.advance((m.now_ns() - m2.now_ns()).min(10_000_000));
+        }
+        let mut r = SnapReader::new(&bytes);
+        b.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        drive(&mut m, &mut a, 5 * NS_PER_SEC / 2);
+        drive(&mut m2, &mut b, 5 * NS_PER_SEC / 2);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.health(), b.health());
+        assert_eq!(a.samples_taken(), b.samples_taken());
+        assert_eq!(a.next_due_ns(), b.next_due_ns());
+        assert_eq!(a.blackboard().epoch(), b.blackboard().epoch());
+        for (x, y) in a.blackboard().snapshot_all().iter().zip(b.blackboard().snapshot_all()) {
+            assert_eq!(x.power_w.to_bits(), y.power_w.to_bits(), "{x:?} vs {y:?}");
+            assert_eq!(x.energy_j.to_bits(), y.energy_j.to_bits());
+            assert_eq!((x.updated_at_ns, x.seq, x.flags), (y.updated_at_ns, y.seq, y.flags));
+        }
+    }
+
+    #[test]
+    fn mid_outage_snapshot_restores_a_down_pipeline() {
+        let mut m = busy_machine();
+        let cfg = SupervisorConfig {
+            initial_backoff_ns: NS_PER_SEC,
+            ..SupervisorConfig::default()
+        };
+        let plan = FaultPlan::new(46).with_daemon_kills(&[NS_PER_SEC / 2]);
+        let mut a = Supervisor::new(&m, cfg).with_faults(plan.clone());
+        // Drive just past the kill so the snapshot lands inside the backoff.
+        drive(&mut m, &mut a, NS_PER_SEC / 2 + 100_000_000);
+        assert!(a.is_down(), "snapshot must land mid-outage for this test");
+        let mut w = SnapWriter::new();
+        a.snap_state(&mut w);
+        let bytes = w.finish();
+
+        let m2 = busy_machine();
+        let mut b = Supervisor::new(&m2, cfg).with_faults(plan.clone());
+        b.restore_state(&mut SnapReader::new(&bytes)).unwrap();
+        assert!(b.is_down());
+        assert_eq!(b.stats().kills, 1);
+        assert_eq!(b.next_due_ns(), a.next_due_ns());
     }
 
     #[test]

@@ -89,6 +89,25 @@ impl CancelToken {
     pub fn generation(&self) -> u64 {
         self.inner.generation.get()
     }
+
+    /// This node's own flag, without the ancestor walk or memoization —
+    /// what a snapshot must record so restoring does not bake an ancestor's
+    /// state into descendants that never observed it.
+    pub(crate) fn local_flag(&self) -> bool {
+        self.inner.cancelled.get()
+    }
+
+    /// Set this node's flag without bumping the shared generation counter.
+    /// Snapshot restore only: the captured generation already accounts for
+    /// every cancel event, so replaying flags must not double-count.
+    pub(crate) fn restore_flag(&self, cancelled: bool) {
+        self.inner.cancelled.set(cancelled);
+    }
+
+    /// Overwrite the shared generation counter (snapshot restore only).
+    pub(crate) fn restore_generation(&self, generation: u64) {
+        self.inner.generation.set(generation);
+    }
 }
 
 impl Default for CancelToken {

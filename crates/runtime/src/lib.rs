@@ -56,6 +56,7 @@ pub mod monitor;
 pub mod params;
 pub mod report;
 pub mod scheduler;
+pub mod spec;
 pub mod task;
 
 pub use adapters::{compute_leaf, fork_join, leaf, parallel_for, sequential, single, taskloop};
@@ -63,5 +64,8 @@ pub use cancel::CancelToken;
 pub use monitor::{CancelAt, Monitor, ThrottleState, Watchdog};
 pub use params::{ParamsError, RuntimeParams};
 pub use report::{RunOutcome, RunStats};
-pub use scheduler::{RunLimit, Runtime, RuntimeError, TaskFailure};
+pub use scheduler::{
+    CapturedRun, RunCapture, RunEnd, RunLimit, Runtime, RuntimeError, SnapshotPlan, TaskFailure,
+};
+pub use spec::{SpecTask, TaskSpec};
 pub use task::{BoxTask, Step, TaskCtx, TaskLogic, TaskValue};

@@ -11,6 +11,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::Machine;
 
 use crate::cancel::CancelToken;
@@ -52,6 +53,26 @@ pub trait Monitor {
     /// program machine knobs (duty cycles, P-states), and mutate the
     /// throttle directives. Must advance its own deadline.
     fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState);
+
+    /// Snapshot hook: serialize this monitor's dynamic state into `w`. The
+    /// default writes nothing — correct only for stateless monitors; any
+    /// monitor with a deadline or accumulated data should override both
+    /// hooks as a matched pair.
+    fn snap_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Snapshot hook: restore state captured by [`Monitor::snap_state`].
+    /// `machine` is the already-restored machine, for monitors that must
+    /// rebuild components against it.
+    fn restore_state(
+        &mut self,
+        machine: &Machine,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        let _ = (machine, r);
+        Ok(())
+    }
 }
 
 /// A monitor that records the node power trace at a fixed period — used by
@@ -90,6 +111,30 @@ impl Monitor for PowerTrace {
         self.samples.push((machine.now_ns(), machine.node_power_w()));
         self.next_ns = machine.now_ns() + self.period_ns;
     }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        w.u64(self.next_ns);
+        w.len(self.samples.len());
+        for &(t, p) in &self.samples {
+            w.u64(t);
+            w.f64(p);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        _machine: &Machine,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        self.next_ns = r.u64()?;
+        let n = r.len()?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push((r.u64()?, r.f64()?));
+        }
+        self.samples = samples;
+        Ok(())
+    }
 }
 
 /// A monitor that cancels a [`CancelToken`] at a fixed virtual time — the
@@ -121,6 +166,22 @@ impl Monitor for CancelAt {
     fn fire(&mut self, _machine: &mut Machine, _throttle: &mut ThrottleState) {
         self.token.cancel();
         self.fired = true;
+    }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        w.bool(self.fired);
+    }
+
+    fn restore_state(
+        &mut self,
+        _machine: &Machine,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        // The token's own flag (and the shared generation counter) are
+        // restored with the cancellation tree; only the one-shot latch is
+        // this monitor's to carry.
+        self.fired = r.bool()?;
+        Ok(())
     }
 }
 
@@ -176,6 +237,27 @@ impl Monitor for Watchdog {
         }
         self.last_beat = beat;
         self.next_ns = machine.now_ns() + self.period_ns;
+    }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        w.u64(self.next_ns);
+        w.u64(self.heartbeat.get());
+        w.u64(self.last_beat);
+        w.u64(self.missed.get());
+    }
+
+    fn restore_state(
+        &mut self,
+        _machine: &Machine,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        self.next_ns = r.u64()?;
+        // Writes through the shared handles so external holders (run
+        // reports, the supervised component) see the restored values.
+        self.heartbeat.set(r.u64()?);
+        self.last_beat = r.u64()?;
+        self.missed.set(r.u64()?);
+        Ok(())
     }
 }
 

@@ -18,15 +18,17 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::{
-    ActuationTotals, Actuator, ActuatorConfig, CoreActivity, CoreId, Cost, DutyCycle, FaultPlan,
-    Machine,
+    fingerprint, ActuationTotals, Actuator, ActuatorConfig, CoreActivity, CoreId, Cost, DutyCycle,
+    FaultPlan, Machine,
 };
 
 use crate::cancel::CancelToken;
 use crate::monitor::{Monitor, ThrottleState};
 use crate::params::{ParamsError, RuntimeParams};
 use crate::report::{RunOutcome, RunStats};
+use crate::spec::SpecTask;
 use crate::task::{BoxTask, Step, TaskCtx, TaskValue};
 
 type TaskId = usize;
@@ -239,6 +241,129 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+// ----------------------------------------------------------------------
+// Whole-run snapshot capture
+// ----------------------------------------------------------------------
+
+/// When a captured run takes snapshots and when (if ever) it suspends.
+///
+/// All times are virtual nanoseconds **relative to the run's start** (the
+/// machine clock persists across runs, so absolute times depend on history).
+/// Every fence — cadence tick, suspension point, or extra fence — clamps the
+/// event loop's time advance so the virtual clock lands on it exactly.
+/// Because the machine integrates power in fixed substeps *relative to each
+/// `advance` call*, two runs are byte-identical only when they use the same
+/// fence set; [`SnapshotPlan::extra_fences_ns`] exists precisely so an
+/// unbroken reference run can mirror a suspended run's stopping point.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotPlan {
+    /// Capture a snapshot every this many virtual nanoseconds (the first at
+    /// `run_start + cadence`). `None` or zero disables periodic capture.
+    pub cadence_ns: Option<u64>,
+    /// Suspend the run at this virtual time, capturing a final snapshot and
+    /// returning [`RunEnd::Suspended`] instead of running to completion.
+    pub suspend_at_ns: Option<u64>,
+    /// Additional advance fences that clamp the clock but capture nothing —
+    /// used by an unbroken run to fence-match a suspended/resumed one.
+    pub extra_fences_ns: Vec<u64>,
+}
+
+impl SnapshotPlan {
+    /// No snapshots, no suspension: plain execution under capture plumbing.
+    pub fn none() -> Self {
+        SnapshotPlan::default()
+    }
+
+    /// Snapshot every `cadence_ns` of virtual time.
+    pub fn every(cadence_ns: u64) -> Self {
+        SnapshotPlan { cadence_ns: Some(cadence_ns), ..SnapshotPlan::default() }
+    }
+
+    /// Suspend (with a final capture) at `t_ns` after run start.
+    pub fn suspend_at(t_ns: u64) -> Self {
+        SnapshotPlan { suspend_at_ns: Some(t_ns), ..SnapshotPlan::default() }
+    }
+
+    /// Add a capture-free advance fence at `t_ns` after run start.
+    pub fn with_fence(mut self, t_ns: u64) -> Self {
+        self.extra_fences_ns.push(t_ns);
+        self
+    }
+}
+
+/// One whole-run snapshot: the serialized bytes and when they were taken.
+#[derive(Clone, Debug)]
+pub struct RunCapture {
+    /// Absolute virtual time of the capture, nanoseconds.
+    pub t_ns: u64,
+    /// The versioned snapshot bytes (see `maestro_machine::snap`).
+    pub bytes: Vec<u8>,
+}
+
+/// How a captured run ended.
+#[derive(Debug)]
+pub enum RunEnd {
+    /// The root task finished; the outcome is measured from the *original*
+    /// run start (a resumed run reports exactly like an unbroken one).
+    Completed(RunOutcome),
+    /// The run reached its [`SnapshotPlan::suspend_at_ns`] fence and parked;
+    /// feed the capture to [`Runtime::resume_captured`] to continue it.
+    Suspended(RunCapture),
+    /// The run failed mid-flight (panic, deadlock, deadline). Cadence
+    /// snapshots taken before the failure are still returned — they are the
+    /// time-travel entry points for triage.
+    Failed(RuntimeError),
+}
+
+/// The result of a captured run: how it ended plus every cadence snapshot.
+#[derive(Debug)]
+pub struct CapturedRun {
+    /// Completion, suspension, or failure.
+    pub end: RunEnd,
+    /// Cadence snapshots in capture order (excludes the suspension capture).
+    pub snapshots: Vec<RunCapture>,
+}
+
+impl CapturedRun {
+    /// The completed outcome, or `None` for suspended/failed runs.
+    pub fn outcome(self) -> Option<RunOutcome> {
+        match self.end {
+            RunEnd::Completed(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The suspension capture, or `None` when the run did not suspend.
+    pub fn suspended(self) -> Option<RunCapture> {
+        match self.end {
+            RunEnd::Suspended(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Live fence/capture bookkeeping for one captured run.
+struct CaptureCtl {
+    /// Config fingerprint stamped into every snapshot header.
+    fingerprint: u64,
+    cadence_ns: Option<u64>,
+    /// Absolute time of the next cadence capture (`u64::MAX` when disabled).
+    next_cadence_abs: u64,
+    suspend_at_abs: Option<u64>,
+    /// Absolute capture-free fences, sorted ascending.
+    extra_fences: VecDeque<u64>,
+    snapshots: Vec<RunCapture>,
+    suspended: Option<RunCapture>,
+    /// First serialization failure; surfaced after teardown.
+    error: Option<SnapError>,
+}
+
+/// How the scheduler loop ended (before teardown).
+enum LoopEnd {
+    Finished(TaskValue),
+    Suspended,
+}
+
 struct TaskRecord<C> {
     logic: Option<BoxTask<C>>,
     parent: Option<(TaskId, usize)>,
@@ -382,6 +507,101 @@ impl Runtime {
         self.task_faults = faults;
     }
 
+    /// Fingerprint of this runtime's *static* configuration, stamped into
+    /// snapshot headers and checked on restore. Covers the machine config,
+    /// worker count, placement, and monitor count — deliberately **not**
+    /// controller policy knobs or throttle limits, so a warm snapshot can be
+    /// forked across policy variants.
+    pub fn config_fingerprint(&self) -> u64 {
+        let desc = format!(
+            "{:?}|workers={}|placement={:?}|monitors={}",
+            self.machine.config(),
+            self.params.workers,
+            self.params.placement,
+            self.monitors.len()
+        );
+        fingerprint(desc.as_bytes())
+    }
+
+    /// Serialize the runtime's between-runs state: machine, actuator, task
+    /// fault cursor, throttle flag, and every monitor. This is the warm-state
+    /// snapshot for fork-style sweeps — capture once after warm-up, restore
+    /// into N runtimes whose configs differ only in policy knobs, and run a
+    /// variant in each. For capturing *mid-run* state use
+    /// [`Runtime::run_captured`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.header(self.config_fingerprint());
+        self.machine.snap_state(&mut w);
+        self.actuator.snap_state(&mut w);
+        FaultPlan::snap_opt(&mut w, self.task_faults.as_ref());
+        w.bool(self.throttle.active);
+        w.len(self.monitors.len());
+        for m in &self.monitors {
+            let mut mw = SnapWriter::new();
+            m.snap_state(&mut mw);
+            w.blob(&mw.finish());
+        }
+        w.finish()
+    }
+
+    /// Restore state captured by [`Runtime::snapshot`] into this runtime.
+    /// The static configuration must match the captured one (fingerprint
+    /// check); monitors are restored in registration order.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        r.header(self.config_fingerprint())?;
+        self.machine.restore_state(&mut r)?;
+        self.actuator.restore_state(&mut r)?;
+        FaultPlan::restore_opt(&mut r, self.task_faults.as_ref())?;
+        self.throttle.active = r.bool()?;
+        let n = r.len()?;
+        if n != self.monitors.len() {
+            return Err(SnapError::Corrupt("monitor count mismatch"));
+        }
+        for m in &mut self.monitors {
+            let section = r.blob()?;
+            let mut sub = SnapReader::new(section);
+            m.restore_state(&self.machine, &mut sub)?;
+            sub.finish()?;
+        }
+        r.finish()
+    }
+
+    /// Like [`Runtime::run`], but under a [`SnapshotPlan`]: the run captures
+    /// whole-run snapshots at the plan's cadence, suspends at its suspension
+    /// fence, and clamps the clock at every fence so a fence-matched pair of
+    /// runs advances time identically. Returns `Err` only when the run state
+    /// could not be serialized (e.g. a closure-based task); run failures are
+    /// reported through [`RunEnd::Failed`] so pre-failure snapshots survive.
+    pub fn run_captured<C>(
+        &mut self,
+        app: &mut C,
+        root: BoxTask<C>,
+        plan: &SnapshotPlan,
+    ) -> Result<CapturedRun, SnapError> {
+        let mut exec = Exec::new(self, CancelToken::new());
+        exec.arm_capture(plan);
+        exec.run_to_capture(app, Some(root))
+    }
+
+    /// Resume a run suspended by [`Runtime::run_captured`] from its capture
+    /// bytes, continuing under `plan` (whose times stay relative to the
+    /// *original* run start). A resumed run that completes reports elapsed
+    /// time, energy, and stats byte-identically to an unbroken run that was
+    /// fence-matched at the suspension point.
+    pub fn resume_captured<C: 'static>(
+        &mut self,
+        app: &mut C,
+        bytes: &[u8],
+        plan: &SnapshotPlan,
+    ) -> Result<CapturedRun, SnapError> {
+        let mut exec = Exec::new(self, CancelToken::new());
+        exec.restore_exec(bytes)?;
+        exec.arm_capture(plan);
+        exec.run_to_capture(app, None)
+    }
+
     /// Execute `root` against `app` until it completes. Fails with
     /// [`RuntimeError::Deadlock`] if the task graph can never finish (e.g. a
     /// parent waiting on children that were never released), with
@@ -452,6 +672,13 @@ struct Exec<'r, C> {
     deadline_abs_ns: Option<u64>,
     /// Actuator tallies at run start, for delta accounting in teardown.
     start_actuation: ActuationTotals,
+    /// Virtual time the run started (for a resumed run, the *original*
+    /// start restored from the snapshot), for elapsed-time reporting.
+    run_start_ns: u64,
+    /// Node energy at run start, Joules (restored on resume).
+    run_start_j: f64,
+    /// Snapshot fences and captures; `None` for plain (uncaptured) runs.
+    capture: Option<CaptureCtl>,
     torn_down: bool,
 }
 
@@ -466,6 +693,9 @@ impl<'r, C> Exec<'r, C> {
         let draining = cancel.is_cancelled();
         let last_cancel_gen = cancel.generation();
         let next_monitor_cache = rt.monitors.iter().filter_map(|m| m.next_due_ns()).min();
+        let run_start_ns = rt.machine.now_ns();
+        let run_start_j = rt.machine.total_energy_joules();
+        let deadline_abs_ns = rt.params.deadline_ns.map(|d| run_start_ns.saturating_add(d));
         Exec {
             rt,
             tasks: Vec::new(),
@@ -487,8 +717,11 @@ impl<'r, C> Exec<'r, C> {
             last_cancel_gen,
             draining,
             failure: None,
-            deadline_abs_ns: None,
+            deadline_abs_ns,
             start_actuation,
+            run_start_ns,
+            run_start_j,
+            capture: None,
             torn_down: false,
         }
     }
@@ -582,29 +815,28 @@ impl<'r, C> Exec<'r, C> {
     }
 
     fn run(mut self, app: &mut C, root: BoxTask<C>) -> Result<RunOutcome, RuntimeError> {
-        let start_ns = self.rt.machine.now_ns();
-        let start_j = self.rt.machine.total_energy_joules();
-        self.deadline_abs_ns = self.rt.params.deadline_ns.map(|d| start_ns.saturating_add(d));
-
         let result = self.run_loop(app, root);
         self.teardown();
 
         let now = self.rt.machine.now_ns();
-        let elapsed_s = (now - start_ns) as f64 * 1e-9;
-        let joules = self.rt.machine.total_energy_joules() - start_j;
+        let elapsed_s = (now - self.run_start_ns) as f64 * 1e-9;
+        let joules = self.rt.machine.total_energy_joules() - self.run_start_j;
         match result {
-            Ok(value) => Ok(RunOutcome {
+            Ok(LoopEnd::Finished(value)) => Ok(RunOutcome {
                 value,
                 elapsed_s,
                 joules,
                 avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
                 stats: self.stats,
             }),
+            Ok(LoopEnd::Suspended) => {
+                Err(internal("suspension without a capture plan", now).with_partial(self.stats))
+            }
             Err(e) => Err(e.with_partial(self.stats)),
         }
     }
 
-    fn run_loop(&mut self, app: &mut C, root: BoxTask<C>) -> Result<TaskValue, RuntimeError> {
+    fn run_loop(&mut self, app: &mut C, root: BoxTask<C>) -> Result<LoopEnd, RuntimeError> {
         let root_shep = self.shepherd_of(0);
         let root_token = self.run_cancel.child();
         let root_id = self.alloc_task(TaskRecord {
@@ -618,8 +850,19 @@ impl<'r, C> Exec<'r, C> {
             cancel: root_token,
         });
         self.shepherds[root_shep].queue.push_back(root_id);
+        self.loop_body(app)
+    }
 
+    /// The scheduler event loop, entered after the task graph exists —
+    /// directly by a resumed run (whose graph comes from the snapshot).
+    fn loop_body(&mut self, app: &mut C) -> Result<LoopEnd, RuntimeError> {
         while self.root_value.is_none() {
+            if self.capture_fences_due() {
+                // Suspension fence reached (or a capture failed): park here,
+                // *before* limits and monitors — the resumed run re-enters
+                // the loop at exactly this point with identical state.
+                return Ok(LoopEnd::Suspended);
+            }
             self.check_limits()?;
             self.fire_due_monitors();
             self.note_cancellation();
@@ -654,6 +897,7 @@ impl<'r, C> Exec<'r, C> {
         }
         self.root_value
             .take()
+            .map(LoopEnd::Finished)
             .ok_or_else(|| internal("root value present at loop exit", self.rt.machine.now_ns()))
     }
 
@@ -1338,6 +1582,11 @@ impl<'r, C> Exec<'r, C> {
         if let Some(deadline) = self.deadline_abs_ns {
             dt_ns = dt_ns.min(deadline.saturating_sub(now));
         }
+        // Snapshot fences clamp the same way: the clock must land exactly on
+        // every fence so a fence-matched pair of runs advances identically.
+        if let Some(fence) = self.next_fence_abs() {
+            dt_ns = dt_ns.min(fence.saturating_sub(now));
+        }
         Some(dt_ns)
     }
 
@@ -1411,6 +1660,635 @@ impl<'r, C> Exec<'r, C> {
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Whole-run capture
+    // ------------------------------------------------------------------
+
+    /// Install the fence/capture plan for this run. Times in `plan` are
+    /// relative to the (possibly restored) run start; fences already behind
+    /// the clock are dropped, so a resumed run picks up the cadence exactly
+    /// where the suspended run left it.
+    fn arm_capture(&mut self, plan: &SnapshotPlan) {
+        let fp = self.rt.config_fingerprint();
+        let start = self.run_start_ns;
+        let now = self.rt.machine.now_ns();
+        let cadence = plan.cadence_ns.filter(|&c| c > 0);
+        let next_cadence_abs = match cadence {
+            Some(c) => {
+                // First cadence multiple strictly ahead of the clock.
+                let k = now.saturating_sub(start) / c + 1;
+                start.saturating_add(k.saturating_mul(c))
+            }
+            None => u64::MAX,
+        };
+        let suspend_at_abs = plan.suspend_at_ns.map(|t| start.saturating_add(t));
+        let mut extra: Vec<u64> = plan
+            .extra_fences_ns
+            .iter()
+            .map(|&t| start.saturating_add(t))
+            .filter(|&t| t > now)
+            .collect();
+        extra.sort_unstable();
+        extra.dedup();
+        self.capture = Some(CaptureCtl {
+            fingerprint: fp,
+            cadence_ns: cadence,
+            next_cadence_abs,
+            suspend_at_abs,
+            extra_fences: extra.into(),
+            snapshots: Vec::new(),
+            suspended: None,
+            error: None,
+        });
+    }
+
+    /// The earliest pending fence strictly ahead of the clock, if any.
+    fn next_fence_abs(&self) -> Option<u64> {
+        let ctl = self.capture.as_ref()?;
+        let mut next: Option<u64> = None;
+        for cand in [
+            ctl.cadence_ns.map(|_| ctl.next_cadence_abs),
+            ctl.suspend_at_abs,
+            ctl.extra_fences.front().copied(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            next = Some(next.map_or(cand, |n| n.min(cand)));
+        }
+        next
+    }
+
+    /// Process fences the clock has reached: drop passed advance-only
+    /// fences, take due cadence snapshots, and detect the suspension point.
+    /// Returns true when the loop must stop (suspension, or a failed
+    /// serialization whose error is parked in the control block).
+    fn capture_fences_due(&mut self) -> bool {
+        if self.capture.is_none() {
+            return false;
+        }
+        let now = self.rt.machine.now_ns();
+        if let Some(ctl) = self.capture.as_mut() {
+            while ctl.extra_fences.front().is_some_and(|&f| f <= now) {
+                ctl.extra_fences.pop_front();
+            }
+        }
+        loop {
+            let due = self.capture.as_ref().is_some_and(|c| c.next_cadence_abs <= now);
+            if !due {
+                break;
+            }
+            let snap = self.snapshot_bytes();
+            let Some(ctl) = self.capture.as_mut() else { return false };
+            match snap {
+                Ok(bytes) => {
+                    ctl.snapshots.push(RunCapture { t_ns: now, bytes });
+                    let c = ctl.cadence_ns.unwrap_or(u64::MAX);
+                    ctl.next_cadence_abs = ctl.next_cadence_abs.saturating_add(c);
+                }
+                Err(e) => {
+                    ctl.error = Some(e);
+                    return true;
+                }
+            }
+        }
+        let suspend_due =
+            self.capture.as_ref().and_then(|c| c.suspend_at_abs).is_some_and(|t| t <= now);
+        if suspend_due {
+            let snap = self.snapshot_bytes();
+            if let Some(ctl) = self.capture.as_mut() {
+                match snap {
+                    Ok(bytes) => ctl.suspended = Some(RunCapture { t_ns: now, bytes }),
+                    Err(e) => ctl.error = Some(e),
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Drive a captured run to its end (the fresh-start path passes `root`;
+    /// the resume path restores the graph first and passes `None`).
+    fn run_to_capture(
+        mut self,
+        app: &mut C,
+        root: Option<BoxTask<C>>,
+    ) -> Result<CapturedRun, SnapError> {
+        let result = match root {
+            Some(root) => self.run_loop(app, root),
+            None => self.loop_body(app),
+        };
+        self.teardown();
+
+        let now = self.rt.machine.now_ns();
+        let elapsed_s = (now - self.run_start_ns) as f64 * 1e-9;
+        let joules = self.rt.machine.total_energy_joules() - self.run_start_j;
+        let mut ctl = self
+            .capture
+            .take()
+            .ok_or(SnapError::Corrupt("captured run without a capture plan"))?;
+        if let Some(e) = ctl.error.take() {
+            return Err(e);
+        }
+        let end = match result {
+            Ok(LoopEnd::Finished(value)) => RunEnd::Completed(RunOutcome {
+                value,
+                elapsed_s,
+                joules,
+                avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
+                stats: self.stats,
+            }),
+            Ok(LoopEnd::Suspended) => match ctl.suspended.take() {
+                Some(cap) => RunEnd::Suspended(cap),
+                None => return Err(SnapError::Corrupt("suspended without a capture")),
+            },
+            Err(e) => RunEnd::Failed(e.with_partial(self.stats)),
+        };
+        Ok(CapturedRun { end, snapshots: ctl.snapshots })
+    }
+
+    /// Serialize the *entire* run state — machine, actuator, fault cursors,
+    /// cancellation tree, task graph, queues, worker segments, counters, and
+    /// every monitor — into one versioned snapshot. Fails with a typed error
+    /// when the graph holds a task that cannot be captured (closure-based
+    /// logic, or an inbox holding opaque values).
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapError> {
+        let fp = self.capture.as_ref().map_or(0, |c| c.fingerprint);
+        let mut w = SnapWriter::new();
+        w.header(fp);
+
+        // Run anchors: reporting stays relative to the original start.
+        w.u64(self.run_start_ns);
+        w.f64(self.run_start_j);
+
+        // Machine, actuator, and the task-fault RNG cursor.
+        self.rt.machine.snap_state(&mut w);
+        self.rt.actuator.snap_state(&mut w);
+        FaultPlan::snap_opt(&mut w, self.rt.task_faults.as_ref());
+
+        // Throttle flag (the limit is configuration).
+        w.bool(self.rt.throttle.active);
+
+        // Run-scoped cancellation root and scheduler cancel bookkeeping.
+        w.bool(self.run_cancel.local_flag());
+        w.u64(self.run_cancel.generation());
+        w.u64(self.last_cancel_gen);
+        w.bool(self.draining);
+
+        w.opt_u64(self.deadline_abs_ns);
+        w.u64(self.wake_epoch);
+
+        match &self.failure {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.str(&f.message);
+                w.len(f.task_path.len());
+                for p in &f.task_path {
+                    w.str(p);
+                }
+                w.u64(f.worker as u64);
+                w.u64(f.t_ns);
+            }
+        }
+
+        snap_stats(&mut w, &self.stats);
+        snap_totals(&mut w, &self.start_actuation);
+
+        w.len(self.pending_overhead_ns.len());
+        for &o in &self.pending_overhead_ns {
+            w.f64(o);
+        }
+
+        // Task table, slot-exact: ids are slot indices and the free list
+        // drives allocation order, so the layout itself is state.
+        w.len(self.tasks.len());
+        for slot in &self.tasks {
+            let Some(rec) = slot else {
+                w.bool(false);
+                continue;
+            };
+            w.bool(true);
+            let logic = rec
+                .logic
+                .as_ref()
+                .ok_or(SnapError::Unsupported("task logic absent at capture point"))?;
+            let (spec, phase) = logic
+                .snapshot_spec()
+                .ok_or(SnapError::Unsupported("run contains a non-snapshottable (closure) task"))?;
+            spec.snap_state(&mut w);
+            w.u8(phase);
+            match rec.parent {
+                None => w.bool(false),
+                Some((p, s)) => {
+                    w.bool(true);
+                    w.u64(p as u64);
+                    w.u64(s as u64);
+                }
+            }
+            w.u64(rec.home_shepherd as u64);
+            w.u64(rec.pending_children as u64);
+            // Spec tasks complete with empty values, so a parked inbox is
+            // fully described by its length; anything else is opaque.
+            if rec.inbox.iter().any(|v| !v.is_none()) {
+                return Err(SnapError::Unsupported("task inbox holds opaque values"));
+            }
+            w.u64(rec.inbox.len() as u64);
+            w.bool(rec.resume_pending);
+            w.len(rec.staged_children.len());
+            for child in &rec.staged_children {
+                let (cs, cp) = child.snapshot_spec().ok_or(SnapError::Unsupported(
+                    "run contains a non-snapshottable (closure) task",
+                ))?;
+                cs.snap_state(&mut w);
+                w.u8(cp);
+            }
+            w.bool(rec.cancel.local_flag());
+        }
+
+        w.len(self.free.len());
+        for &id in &self.free {
+            w.u64(id as u64);
+        }
+
+        w.len(self.shepherds.len());
+        for s in &self.shepherds {
+            w.len(s.queue.len());
+            for &id in &s.queue {
+                w.u64(id as u64);
+            }
+            w.u64(s.active as u64);
+        }
+
+        w.len(self.workers.len());
+        for st in &self.workers {
+            match st {
+                WorkerState::Idle => w.u8(0),
+                WorkerState::Spinning { epoch_seen, since_ns } => {
+                    w.u8(1);
+                    w.u64(*epoch_seen);
+                    w.u64(*since_ns);
+                }
+                WorkerState::Running(seg) => {
+                    w.u8(2);
+                    match seg.task {
+                        None => w.bool(false),
+                        Some(t) => {
+                            w.bool(true);
+                            w.u64(t as u64);
+                        }
+                    }
+                    w.f64(seg.cpu_rem_ns);
+                    w.f64(seg.mem_rem_ns);
+                    w.u64(seg.spin_epoch);
+                }
+            }
+        }
+
+        // Monitors, each framed as a blob so restore can verify full
+        // consumption of every section.
+        w.len(self.rt.monitors.len());
+        for m in &self.rt.monitors {
+            let mut mw = SnapWriter::new();
+            m.snap_state(&mut mw);
+            w.blob(&mw.finish());
+        }
+
+        Ok(w.finish())
+    }
+}
+
+/// Restore-side capture machinery. Rebuilding parked tasks instantiates
+/// [`SpecTask`] interpreters, which requires `C: 'static`.
+impl<C: 'static> Exec<'_, C> {
+    /// Rebuild the entire run state from bytes written by `snapshot_bytes`.
+    /// The runtime's static configuration must match the captured one; every
+    /// structural reference (task ids, queue entries, shepherd and worker
+    /// counts) is validated before being installed.
+    fn restore_exec(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        r.header(self.rt.config_fingerprint())?;
+
+        self.run_start_ns = r.u64()?;
+        self.run_start_j = r.f64()?;
+
+        self.rt.machine.restore_state(&mut r)?;
+        self.rt.actuator.restore_state(&mut r)?;
+        FaultPlan::restore_opt(&mut r, self.rt.task_faults.as_ref())?;
+
+        self.rt.throttle.active = r.bool()?;
+
+        self.run_cancel.restore_flag(r.bool()?);
+        self.run_cancel.restore_generation(r.u64()?);
+        self.last_cancel_gen = r.u64()?;
+        self.draining = r.bool()?;
+
+        self.deadline_abs_ns = r.opt_u64()?;
+        self.wake_epoch = r.u64()?;
+
+        self.failure = if r.bool()? {
+            let message = r.str()?;
+            let n = r.len()?;
+            let mut task_path = Vec::with_capacity(n);
+            for _ in 0..n {
+                task_path.push(r.str()?);
+            }
+            Some(TaskFailure { message, task_path, worker: r.u64()? as usize, t_ns: r.u64()? })
+        } else {
+            None
+        };
+
+        self.stats = restore_stats(&mut r)?;
+        self.start_actuation = restore_totals(&mut r)?;
+
+        let n_overhead = r.len()?;
+        if n_overhead != self.pending_overhead_ns.len() {
+            return Err(SnapError::Corrupt("pending-overhead worker count mismatch"));
+        }
+        for o in self.pending_overhead_ns.iter_mut() {
+            *o = r.f64()?;
+        }
+
+        // Task table.
+        let n_slots = r.len()?;
+        let mut tasks: Vec<Option<TaskRecord<C>>> = Vec::with_capacity(n_slots);
+        let mut flags: Vec<bool> = vec![false; n_slots];
+        let mut live: usize = 0;
+        for flag_slot in flags.iter_mut() {
+            if !r.bool()? {
+                tasks.push(None);
+                continue;
+            }
+            live += 1;
+            let spec = crate::spec::TaskSpec::restore_state(&mut r)?;
+            let phase = r.u8()?;
+            let parent = if r.bool()? {
+                Some((r.u64()? as usize, r.u64()? as usize))
+            } else {
+                None
+            };
+            let home_shepherd = r.u64()? as usize;
+            if home_shepherd >= self.shepherds.len() {
+                return Err(SnapError::Corrupt("task home shepherd out of range"));
+            }
+            let pending_children = r.u64()? as usize;
+            let inbox_len = r.u64()? as usize;
+            if inbox_len > (1 << 24) {
+                return Err(SnapError::Corrupt("task inbox absurdly large"));
+            }
+            let resume_pending = r.bool()?;
+            let n_staged = r.len()?;
+            let mut staged: Vec<BoxTask<C>> = Vec::with_capacity(n_staged);
+            for _ in 0..n_staged {
+                let cs = crate::spec::TaskSpec::restore_state(&mut r)?;
+                let cp = r.u8()?;
+                staged.push(Box::new(SpecTask::resume(cs, cp)));
+            }
+            *flag_slot = r.bool()?;
+            let mut inbox: Vec<TaskValue> = Vec::new();
+            inbox.resize_with(inbox_len, TaskValue::none);
+            tasks.push(Some(TaskRecord {
+                logic: Some(Box::new(SpecTask::resume(spec, phase))),
+                parent,
+                home_shepherd,
+                pending_children,
+                inbox,
+                resume_pending,
+                staged_children: staged,
+                cancel: CancelToken::new(), // placeholder, rewired below
+            }));
+        }
+
+        // Rebuild the cancellation tree parent-first (slot reuse means a
+        // child's id can be lower than its parent's, so a DFS from the root
+        // — not id order — drives token derivation).
+        let mut children_of: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
+        let mut root_id: Option<TaskId> = None;
+        for (id, slot) in tasks.iter().enumerate() {
+            let Some(rec) = slot else { continue };
+            match rec.parent {
+                None => {
+                    if root_id.replace(id).is_some() {
+                        return Err(SnapError::Corrupt("task graph has multiple roots"));
+                    }
+                }
+                Some((p, _)) => {
+                    if p >= tasks.len() || tasks[p].is_none() {
+                        return Err(SnapError::Corrupt("task parent is not live"));
+                    }
+                    children_of[p].push(id);
+                }
+            }
+        }
+        let Some(root_id) = root_id else {
+            return Err(SnapError::Corrupt("task graph has no root"));
+        };
+        let root_token = self.run_cancel.child();
+        root_token.restore_flag(flags[root_id]);
+        if let Some(rec) = tasks[root_id].as_mut() {
+            rec.cancel = root_token;
+        }
+        let mut stack = vec![root_id];
+        let mut visited: usize = 0;
+        while let Some(id) = stack.pop() {
+            visited += 1;
+            let parent_token =
+                tasks[id].as_ref().map(|rec| rec.cancel.clone()).ok_or(SnapError::Corrupt(
+                    "task graph visits a freed slot",
+                ))?;
+            for &c in &children_of[id] {
+                let token = parent_token.child();
+                token.restore_flag(flags[c]);
+                if let Some(rec) = tasks[c].as_mut() {
+                    rec.cancel = token;
+                }
+                stack.push(c);
+            }
+        }
+        if visited != live {
+            return Err(SnapError::Corrupt("task graph is not a tree"));
+        }
+
+        // Free list, order-exact (allocation pops from the back).
+        let n_free = r.len()?;
+        let mut free: Vec<TaskId> = Vec::with_capacity(n_free);
+        let mut seen_free = vec![false; tasks.len()];
+        for _ in 0..n_free {
+            let id = r.u64()? as usize;
+            if id >= tasks.len() || tasks[id].is_some() || seen_free[id] {
+                return Err(SnapError::Corrupt("free-list entry is not a free slot"));
+            }
+            seen_free[id] = true;
+            free.push(id);
+        }
+
+        // Shepherd queues.
+        let n_sheps = r.len()?;
+        if n_sheps != self.shepherds.len() {
+            return Err(SnapError::Corrupt("shepherd count mismatch"));
+        }
+        for shep in self.shepherds.iter_mut() {
+            let qn = r.len()?;
+            let mut queue = VecDeque::with_capacity(qn);
+            for _ in 0..qn {
+                let id = r.u64()? as usize;
+                if id >= tasks.len() || tasks[id].is_none() {
+                    return Err(SnapError::Corrupt("queued task id is not live"));
+                }
+                queue.push_back(id);
+            }
+            shep.queue = queue;
+            shep.active = r.u64()? as usize;
+        }
+
+        // Worker states.
+        let n_workers = r.len()?;
+        if n_workers != self.workers.len() {
+            return Err(SnapError::Corrupt("worker count mismatch"));
+        }
+        let mut workers: Vec<WorkerState> = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            workers.push(match r.u8()? {
+                0 => WorkerState::Idle,
+                1 => WorkerState::Spinning { epoch_seen: r.u64()?, since_ns: r.u64()? },
+                2 => {
+                    let task = if r.bool()? {
+                        let id = r.u64()? as usize;
+                        if id >= tasks.len() || tasks[id].is_none() {
+                            return Err(SnapError::Corrupt("running task id is not live"));
+                        }
+                        Some(id)
+                    } else {
+                        None
+                    };
+                    WorkerState::Running(Segment {
+                        task,
+                        cpu_rem_ns: r.f64()?,
+                        mem_rem_ns: r.f64()?,
+                        spin_epoch: r.u64()?,
+                    })
+                }
+                _ => return Err(SnapError::Corrupt("unknown worker state tag")),
+            });
+        }
+
+        // Monitors (framed; each section must be fully consumed).
+        let n_monitors = r.len()?;
+        if n_monitors != self.rt.monitors.len() {
+            return Err(SnapError::Corrupt("monitor count mismatch"));
+        }
+        {
+            let rt = &mut *self.rt;
+            for m in &mut rt.monitors {
+                let section = r.blob()?;
+                let mut sub = SnapReader::new(section);
+                m.restore_state(&rt.machine, &mut sub)?;
+                sub.finish()?;
+            }
+        }
+        r.finish()?;
+
+        // Commit and rebuild derived state.
+        self.tasks = tasks;
+        self.free = free;
+        self.live_tasks = live as u64;
+        self.workers = workers;
+        self.active_total = self.shepherds.iter().map(|s| s.active).sum();
+        self.spinner_count = self
+            .workers
+            .iter()
+            .filter(|w| matches!(w, WorkerState::Spinning { .. }))
+            .count();
+        self.running_count =
+            self.workers.iter().filter(|w| matches!(w, WorkerState::Running(_))).count();
+        self.next_monitor_cache =
+            self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min();
+        self.root_value = None;
+        Ok(())
+    }
+}
+
+/// Serialize [`RunStats`] in declaration order.
+fn snap_stats(w: &mut SnapWriter, s: &RunStats) {
+    for v in [
+        s.tasks_completed,
+        s.steps,
+        s.steals,
+        s.spawned,
+        s.resumes,
+        s.monitor_fires,
+        s.spin_entries,
+        s.duty_writes,
+        s.duty_write_attempts,
+        s.duty_verify_failures,
+        s.failed_duty_applies,
+        s.forced_duty_resets,
+        s.breaker_trips,
+        s.throttled_worker_ns,
+        s.peak_live_tasks,
+        s.tasks_cancelled,
+        s.cancellations,
+        s.task_panics,
+        s.lost_wakes,
+        s.wake_recoveries,
+    ] {
+        w.u64(v);
+    }
+}
+
+/// Restore [`RunStats`] written by [`snap_stats`].
+fn restore_stats(r: &mut SnapReader<'_>) -> Result<RunStats, SnapError> {
+    Ok(RunStats {
+        tasks_completed: r.u64()?,
+        steps: r.u64()?,
+        steals: r.u64()?,
+        spawned: r.u64()?,
+        resumes: r.u64()?,
+        monitor_fires: r.u64()?,
+        spin_entries: r.u64()?,
+        duty_writes: r.u64()?,
+        duty_write_attempts: r.u64()?,
+        duty_verify_failures: r.u64()?,
+        failed_duty_applies: r.u64()?,
+        forced_duty_resets: r.u64()?,
+        breaker_trips: r.u64()?,
+        throttled_worker_ns: r.u64()?,
+        peak_live_tasks: r.u64()?,
+        tasks_cancelled: r.u64()?,
+        cancellations: r.u64()?,
+        task_panics: r.u64()?,
+        lost_wakes: r.u64()?,
+        wake_recoveries: r.u64()?,
+    })
+}
+
+/// Serialize [`ActuationTotals`] in declaration order.
+fn snap_totals(w: &mut SnapWriter, t: &ActuationTotals) {
+    for v in [
+        t.writes,
+        t.attempts,
+        t.verify_failures,
+        t.failed_applies,
+        t.forced_resets,
+        t.breaker_trips,
+        t.open_breakers,
+    ] {
+        w.u64(v);
+    }
+}
+
+/// Restore [`ActuationTotals`] written by [`snap_totals`].
+fn restore_totals(r: &mut SnapReader<'_>) -> Result<ActuationTotals, SnapError> {
+    Ok(ActuationTotals {
+        writes: r.u64()?,
+        attempts: r.u64()?,
+        verify_failures: r.u64()?,
+        failed_applies: r.u64()?,
+        forced_resets: r.u64()?,
+        breaker_trips: r.u64()?,
+        open_breakers: r.u64()?,
+    })
 }
 
 /// Backstop for the backstop: if an unwind ever crosses `run` (so `teardown`
@@ -2107,5 +2985,242 @@ mod tests {
         let t1 = elapsed(1);
         let t16 = elapsed(16);
         assert!(t16 > t1, "shared-pool fine-grained: t1={t1} t16={t16}");
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-run snapshot / resume
+    // ------------------------------------------------------------------
+
+    /// A moderately irregular spec tree: wide fork-join of leaves plus a
+    /// nested fork-join, enough to exercise queues, steals, and staged
+    /// children at any suspension point.
+    fn spec_tree(leaves: usize, leaf_ms: u64) -> crate::spec::TaskSpec {
+        use crate::spec::TaskSpec;
+        let mut children: Vec<TaskSpec> =
+            (0..leaves).map(|i| TaskSpec::leaf(ms_cost(leaf_ms + (i as u64 % 3)))).collect();
+        children.push(TaskSpec::fork_join(
+            (0..4).map(|_| TaskSpec::leaf(ms_cost(2))).collect(),
+            ms_cost(1),
+        ));
+        TaskSpec::fork_join(children, ms_cost(1))
+    }
+
+    fn run_unbroken(workers: usize, spec: crate::spec::TaskSpec, fence_ns: u64) -> RunOutcome {
+        let mut rt = runtime(workers);
+        let plan = SnapshotPlan::none().with_fence(fence_ns);
+        let captured = rt.run_captured(&mut (), spec.into_task(), &plan).unwrap();
+        match captured.end {
+            RunEnd::Completed(out) => out,
+            other => panic!("unbroken run did not complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suspend_resume_matches_unbroken_run_bitwise() {
+        let spec = spec_tree(24, 5);
+        let suspend_ns = 9_000_000; // mid-run, while the graph is busy
+        let reference = run_unbroken(8, spec.clone(), suspend_ns);
+
+        let mut rt = runtime(8);
+        let captured = rt
+            .run_captured(&mut (), spec.clone().into_task(), &SnapshotPlan::suspend_at(suspend_ns))
+            .unwrap();
+        let cap = match captured.end {
+            RunEnd::Suspended(cap) => cap,
+            other => panic!("expected suspension, got {other:?}"),
+        };
+        assert_eq!(cap.t_ns, suspend_ns, "fence lands the clock exactly on the suspend point");
+
+        // Resume on a *fresh* runtime with identical configuration.
+        let mut rt2 = runtime(8);
+        let resumed =
+            rt2.resume_captured::<()>(&mut (), &cap.bytes, &SnapshotPlan::none()).unwrap();
+        let out = match resumed.end {
+            RunEnd::Completed(out) => out,
+            other => panic!("resumed run did not complete: {other:?}"),
+        };
+
+        assert_eq!(out.elapsed_s.to_bits(), reference.elapsed_s.to_bits(), "elapsed bit-exact");
+        assert_eq!(out.joules.to_bits(), reference.joules.to_bits(), "energy bit-exact");
+        assert_eq!(out.avg_watts.to_bits(), reference.avg_watts.to_bits());
+        assert_eq!(out.stats, reference.stats, "every counter identical");
+        assert_eq!(out.to_string(), reference.to_string(), "report text identical");
+    }
+
+    #[test]
+    fn double_suspension_chains_losslessly() {
+        // Suspend, resume, suspend again, resume again: still bit-exact
+        // against the fence-matched unbroken run.
+        let spec = spec_tree(16, 4);
+        let (s1, s2) = (4_000_000, 11_000_000);
+        let mut rt = runtime(8);
+        let reference = {
+            let plan = SnapshotPlan::none().with_fence(s1).with_fence(s2);
+            match rt.run_captured(&mut (), spec.clone().into_task(), &plan).unwrap().end {
+                RunEnd::Completed(out) => out,
+                other => panic!("unbroken run did not complete: {other:?}"),
+            }
+        };
+
+        let mut a = runtime(8);
+        let cap1 = a
+            .run_captured(&mut (), spec.clone().into_task(), &SnapshotPlan::suspend_at(s1))
+            .unwrap()
+            .suspended()
+            .expect("first suspension");
+        let mut b = runtime(8);
+        // Times are run-relative: the second stop is at absolute s2.
+        let cap2 = b
+            .resume_captured::<()>(&mut (), &cap1.bytes, &SnapshotPlan::suspend_at(s2))
+            .unwrap()
+            .suspended()
+            .expect("second suspension");
+        assert_eq!(cap2.t_ns, s2);
+        let mut c = runtime(8);
+        let out = match c.resume_captured::<()>(&mut (), &cap2.bytes, &SnapshotPlan::none()) {
+            Ok(CapturedRun { end: RunEnd::Completed(out), .. }) => out,
+            other => panic!("final leg did not complete: {other:?}"),
+        };
+        assert_eq!(out.joules.to_bits(), reference.joules.to_bits());
+        assert_eq!(out.stats, reference.stats);
+    }
+
+    #[test]
+    fn cadence_snapshots_resume_to_identical_end() {
+        // Every cadence snapshot is a valid resume point reaching the same
+        // fence-matched terminal report.
+        let spec = spec_tree(12, 3);
+        let cadence = 5_000_000;
+        let mut rt = runtime(4);
+        let captured = rt
+            .run_captured(&mut (), spec.clone().into_task(), &SnapshotPlan::every(cadence))
+            .unwrap();
+        let reference = match captured.end {
+            RunEnd::Completed(out) => out,
+            other => panic!("run did not complete: {other:?}"),
+        };
+        assert!(!captured.snapshots.is_empty(), "cadence must have fired");
+        for snap in &captured.snapshots {
+            let mut rt2 = runtime(4);
+            // Fence-match the remainder of the cadence schedule.
+            let out = match rt2
+                .resume_captured::<()>(&mut (), &snap.bytes, &SnapshotPlan::every(cadence))
+                .unwrap()
+                .end
+            {
+                RunEnd::Completed(out) => out,
+                other => panic!("resume from t={} failed: {other:?}", snap.t_ns),
+            };
+            assert_eq!(out.joules.to_bits(), reference.joules.to_bits(), "from t={}", snap.t_ns);
+            assert_eq!(out.stats, reference.stats, "from t={}", snap.t_ns);
+        }
+    }
+
+    #[test]
+    fn closure_tasks_refuse_to_snapshot() {
+        let mut rt = runtime(2);
+        let children: Vec<BoxTask<()>> = (0..4).map(|_| compute_leaf(ms_cost(10))).collect();
+        let root = fork_join(children, |_, _| (Cost::ZERO, TaskValue::none()));
+        let err = rt
+            .run_captured(&mut (), root, &SnapshotPlan::suspend_at(1_000_000))
+            .expect_err("closure tasks are not capturable");
+        assert!(matches!(err, SnapError::Unsupported(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let spec = spec_tree(8, 3);
+        let mut rt = runtime(4);
+        let cap = rt
+            .run_captured(&mut (), spec.into_task(), &SnapshotPlan::suspend_at(2_000_000))
+            .unwrap()
+            .suspended()
+            .unwrap();
+        // Different worker count => different fingerprint.
+        let mut other = runtime(8);
+        let err = other
+            .resume_captured::<()>(&mut (), &cap.bytes, &SnapshotPlan::none())
+            .expect_err("mismatched config must be rejected");
+        assert!(matches!(err, SnapError::FingerprintMismatch { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn restore_rejects_truncated_and_corrupt_bytes() {
+        let spec = spec_tree(8, 3);
+        let mut rt = runtime(4);
+        let cap = rt
+            .run_captured(&mut (), spec.into_task(), &SnapshotPlan::suspend_at(2_000_000))
+            .unwrap()
+            .suspended()
+            .unwrap();
+        let mut rt2 = runtime(4);
+        let err = rt2
+            .resume_captured::<()>(&mut (), &cap.bytes[..cap.bytes.len() - 9], &SnapshotPlan::none())
+            .expect_err("truncated snapshot must be rejected");
+        assert!(matches!(err, SnapError::Truncated { .. }), "got {err:?}");
+
+        let mut garbage = cap.bytes.clone();
+        let last = garbage.len() - 1;
+        garbage[last] ^= 0xff;
+        let mut rt3 = runtime(4);
+        assert!(
+            rt3.resume_captured::<()>(&mut (), &garbage, &SnapshotPlan::none()).is_err(),
+            "trailing corruption must not pass undetected"
+        );
+    }
+
+    #[test]
+    fn runtime_level_snapshot_round_trips() {
+        // The machine-layer Runtime::snapshot/restore pair (no task graph).
+        let mut rt = runtime(4);
+        rt.set_task_faults(Some(FaultPlan::new(9).with_task_panic_at_steps(&[1000])));
+        rt.machine_mut().advance(3_000_000);
+        let bytes = rt.snapshot();
+        let mut rt2 = runtime(4);
+        rt2.set_task_faults(Some(FaultPlan::new(9).with_task_panic_at_steps(&[1000])));
+        rt2.restore(&bytes).unwrap();
+        assert_eq!(rt2.machine().now_ns(), rt.machine().now_ns());
+        assert_eq!(
+            rt2.machine().total_energy_joules().to_bits(),
+            rt.machine().total_energy_joules().to_bits()
+        );
+        assert_eq!(rt2.snapshot(), bytes, "re-snapshot is byte-identical");
+    }
+
+    #[test]
+    fn monitors_survive_suspension() {
+        // A PowerTrace keeps sampling across the suspend/resume boundary and
+        // ends with the same serialized state (deadline + full sample list)
+        // as the fence-matched unbroken run.
+        let spec = spec_tree(10, 4);
+        let suspend_ns = 6_000_000;
+        let trace_state = |rt: &mut Runtime| -> Vec<u8> {
+            let monitors = rt.take_monitors();
+            let mut w = SnapWriter::new();
+            monitors[0].snap_state(&mut w);
+            w.finish()
+        };
+
+        let unbroken = {
+            let mut rt = runtime(4);
+            rt.add_monitor(Box::new(PowerTrace::new(1_000_000)));
+            let plan = SnapshotPlan::none().with_fence(suspend_ns);
+            rt.run_captured(&mut (), spec.clone().into_task(), &plan).unwrap();
+            trace_state(&mut rt)
+        };
+        let resumed = {
+            let mut rt = runtime(4);
+            rt.add_monitor(Box::new(PowerTrace::new(1_000_000)));
+            let cap = rt
+                .run_captured(&mut (), spec.into_task(), &SnapshotPlan::suspend_at(suspend_ns))
+                .unwrap()
+                .suspended()
+                .unwrap();
+            let mut rt2 = runtime(4);
+            rt2.add_monitor(Box::new(PowerTrace::new(1_000_000)));
+            rt2.resume_captured::<()>(&mut (), &cap.bytes, &SnapshotPlan::none()).unwrap();
+            trace_state(&mut rt2)
+        };
+        assert_eq!(unbroken, resumed, "power trace identical across the boundary");
     }
 }

@@ -68,6 +68,60 @@ fn parallel_harness_matches_serial_byte_for_byte() {
     assert_eq!(serial, parallel, "parallel harness changed rendered output");
 }
 
+/// Suspension is invisible: a run suspended to a snapshot and resumed on a
+/// brand-new facade reports byte-for-byte what an unbroken (fence-matched)
+/// run reports — rendered text and raw float bits alike. This is the
+/// determinism property the whole-run snapshot subsystem rests on.
+#[test]
+fn resumed_run_matches_unbroken_run_byte_for_byte() {
+    use maestro_bench::scenario::scenario;
+    use maestro_runtime::SnapshotPlan;
+
+    const SUSPEND_NS: u64 = 150_000_000;
+    let key = |r: &maestro::RunReport| {
+        (r.to_string(), r.elapsed_s.to_bits(), r.joules.to_bits(), r.avg_watts.to_bits())
+    };
+
+    let sc = scenario("contended-adaptive").expect("registered");
+    let unbroken = {
+        let mut m = Maestro::new(sc.config.clone());
+        m.run_captured(
+            sc.name,
+            &mut (),
+            sc.spec.clone().into_task(),
+            &SnapshotPlan::none().with_fence(SUSPEND_NS),
+        )
+        .expect("capture succeeds")
+        .report()
+        .expect("completes")
+    };
+    let resumed = {
+        let mut m = Maestro::new(sc.config.clone());
+        let snap = m
+            .run_captured(
+                sc.name,
+                &mut (),
+                sc.spec.clone().into_task(),
+                &SnapshotPlan::suspend_at(SUSPEND_NS),
+            )
+            .expect("capture succeeds")
+            .suspended()
+            .expect("suspends mid-run");
+        let mut m2 = Maestro::new(sc.config.clone());
+        m2.resume_captured(&mut (), &snap, &SnapshotPlan::none())
+            .expect("resume succeeds")
+            .report()
+            .expect("completes")
+    };
+    assert_eq!(key(&unbroken), key(&resumed), "suspension must be invisible");
+    assert_eq!(unbroken.stats, resumed.stats, "scheduler counters");
+    assert_eq!(
+        format!("{:?}", unbroken.throttle),
+        format!("{:?}", resumed.throttle),
+        "controller decisions"
+    );
+}
+
 /// Workload *results* (not just timings) are independent of worker count:
 /// the LULESH field state is bit-identical from 1 to 16 workers, and sorts,
 /// counts, and factorizations verify internally at every width.
