@@ -1,0 +1,157 @@
+//! Perf-regression gate over `maestro-bench/v1` JSON reports.
+//!
+//! `maestro-bench gate --current NEW.json --baseline OLD.json` compares the
+//! scale-independent micro-probes of a freshly generated perf report against
+//! a committed baseline and fails (exit 1) when the event-driven core's
+//! speedup erodes:
+//!
+//! * `scheduler_steps_per_sec` must stay at least `--min-scheduler-ratio`
+//!   (default 3.0) times the baseline. The micro-probe workload is fixed
+//!   (4096-task flat bag, 16 workers), so the ratio is comparable across
+//!   hosts even though the absolute rates are not.
+//! * `total_wall_s` of the current report must stay under `--max-wall-s`
+//!   (default 10.0). In CI the current report is the test-scale smoke run,
+//!   which finishes in well under a second — this bound catches accidental
+//!   O(ticks) regressions, which blow it up by orders of magnitude, without
+//!   being sensitive to runner speed.
+//!
+//! The reports are the flat hand-rolled JSON written by the CLI's `--json`
+//! flag; the vendored serde stub has no JSON backend, so values are pulled
+//! out with a scanning extractor that understands exactly that shape (a
+//! `"key": number` pair on one line, first occurrence wins).
+
+/// Extract the first `"key": <number>` value from a flat JSON document.
+///
+/// This is not a JSON parser — it relies on the `maestro-bench/v1` writer
+/// emitting each scalar on its own line — but it fails loudly (`None`)
+/// rather than misreading when the key is missing or the value is not a
+/// number.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The two numbers the gate reads from each report.
+#[derive(Copy, Clone, Debug)]
+pub struct GateInputs {
+    /// Scheduler micro-probe throughput (steps per second).
+    pub scheduler_steps_per_sec: f64,
+    /// Wall-clock of the whole experiment list, in seconds.
+    pub total_wall_s: f64,
+}
+
+impl GateInputs {
+    /// Pull the gated fields out of a `maestro-bench/v1` report, naming the
+    /// missing field on failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let scheduler_steps_per_sec = json_number(text, "scheduler_steps_per_sec")
+            .ok_or("report has no numeric \"scheduler_steps_per_sec\"")?;
+        let total_wall_s =
+            json_number(text, "total_wall_s").ok_or("report has no numeric \"total_wall_s\"")?;
+        Ok(Self { scheduler_steps_per_sec, total_wall_s })
+    }
+}
+
+/// One gate check outcome: what was measured, what was required, verdict.
+#[derive(Debug)]
+pub struct GateReport {
+    /// current/baseline scheduler throughput ratio.
+    pub scheduler_ratio: f64,
+    /// Floor the ratio is held to.
+    pub min_scheduler_ratio: f64,
+    /// Wall-clock of the current report.
+    pub total_wall_s: f64,
+    /// Ceiling the wall-clock is held to.
+    pub max_wall_s: f64,
+}
+
+impl GateReport {
+    /// Evaluate `current` against `baseline` under the given bounds.
+    pub fn evaluate(
+        current: GateInputs,
+        baseline: GateInputs,
+        min_scheduler_ratio: f64,
+        max_wall_s: f64,
+    ) -> Self {
+        Self {
+            scheduler_ratio: current.scheduler_steps_per_sec / baseline.scheduler_steps_per_sec,
+            min_scheduler_ratio,
+            total_wall_s: current.total_wall_s,
+            max_wall_s,
+        }
+    }
+
+    /// True when every bound holds.
+    pub fn pass(&self) -> bool {
+        self.scheduler_ratio >= self.min_scheduler_ratio && self.total_wall_s <= self.max_wall_s
+    }
+
+    /// Human-readable verdict lines, one per check.
+    pub fn render(&self) -> String {
+        let mark = |ok: bool| if ok { "ok  " } else { "FAIL" };
+        format!(
+            "{} scheduler micro: {:.2}x baseline (floor {:.2}x)\n\
+             {} total wall: {:.3} s (ceiling {:.1} s)\n",
+            mark(self.scheduler_ratio >= self.min_scheduler_ratio),
+            self.scheduler_ratio,
+            self.min_scheduler_ratio,
+            mark(self.total_wall_s <= self.max_wall_s),
+            self.total_wall_s,
+            self.max_wall_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "schema": "maestro-bench/v1",
+  "pr": "PR6",
+  "total_wall_s": 28.1085,
+  "micro": {
+    "machine_advance_ns_per_op": 22.45,
+    "scheduler_steps_per_sec": 2054290
+  }
+}
+"#;
+
+    #[test]
+    fn extracts_numbers_from_report_shape() {
+        assert_eq!(json_number(REPORT, "total_wall_s"), Some(28.1085));
+        assert_eq!(json_number(REPORT, "scheduler_steps_per_sec"), Some(2_054_290.0));
+        assert_eq!(json_number(REPORT, "machine_advance_ns_per_op"), Some(22.45));
+        assert_eq!(json_number(REPORT, "no_such_key"), None);
+        assert_eq!(json_number("{\"k\": \"string\"}", "k"), None);
+    }
+
+    #[test]
+    fn parse_names_the_missing_field() {
+        let err = GateInputs::parse("{}").unwrap_err();
+        assert!(err.contains("scheduler_steps_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn gate_passes_on_improvement_within_wall_budget() {
+        let baseline = GateInputs::parse(REPORT).unwrap();
+        let current = GateInputs { scheduler_steps_per_sec: 7_700_000.0, total_wall_s: 0.8 };
+        let r = GateReport::evaluate(current, baseline, 3.0, 10.0);
+        assert!(r.pass(), "{}", r.render());
+        assert!((r.scheduler_ratio - 3.748).abs() < 0.01);
+    }
+
+    #[test]
+    fn gate_fails_on_eroded_speedup_or_blown_wall() {
+        let baseline = GateInputs::parse(REPORT).unwrap();
+        let slow = GateInputs { scheduler_steps_per_sec: 4_000_000.0, total_wall_s: 0.8 };
+        assert!(!GateReport::evaluate(slow, baseline, 3.0, 10.0).pass());
+        let long = GateInputs { scheduler_steps_per_sec: 8_000_000.0, total_wall_s: 11.0 };
+        assert!(!GateReport::evaluate(long, baseline, 3.0, 10.0).pass());
+    }
+}

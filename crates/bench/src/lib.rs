@@ -20,6 +20,7 @@
 
 pub mod experiments;
 pub mod format;
+pub mod gate;
 pub mod harness;
 pub mod perf;
 pub mod scenario;

@@ -9,6 +9,7 @@
 
 use maestro::{Maestro, MaestroRunEnd, MaestroSnapshot};
 use maestro_bench::experiments::{self, FigureGroup, ThrottleTarget};
+use maestro_bench::gate::{GateInputs, GateReport};
 use maestro_bench::{format, harness, perf, scenario};
 use maestro_runtime::SnapshotPlan;
 use maestro_workloads::{Family, Scale};
@@ -18,6 +19,8 @@ use std::time::Instant;
 const USAGE: &str = "\
 usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment>...
        maestro-bench replay --snapshot PATH [--until T_NS]
+       maestro-bench gate --current PATH --baseline PATH
+                          [--min-scheduler-ratio R] [--max-wall-s S]
 
   --csv emits machine-readable CSV instead of the aligned comparison tables
   (supported for table1-3, fig1-4, and table4-7).
@@ -26,6 +29,11 @@ usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment
   byte-identical for every N.
   --json PATH additionally writes a perf-trajectory report (wall-clock per
   experiment plus hot-path micro-probes); schema in EXPERIMENTS.md.
+
+  gate compares two --json perf reports and exits nonzero when the current
+  one falls below --min-scheduler-ratio times the baseline's scheduler
+  micro-probe (default 3.0) or its total_wall_s exceeds --max-wall-s
+  (default 10.0, sized for the test-scale CI smoke run).
 
   replay loads a snapshot file written by the chaos triage harness (or your
   own run_captured call), rebuilds the named scenario, and resumes it —
@@ -50,6 +58,10 @@ experiments:
   ablation    §IV/§V     — duty-cycle vs DVFS vs power-cap on LULESH
   all         everything above, in order
 ";
+
+/// PR tag stamped into `--json` perf reports; bump alongside a new
+/// committed `BENCH_PR<N>.json` trajectory point.
+const PR_LABEL: &str = "PR7";
 
 /// Every experiment `all` expands to, in print order.
 const ALL: &[&str] = &[
@@ -167,7 +179,7 @@ fn perf_report_json(
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"maestro-bench/v1\",");
-    let _ = writeln!(out, "  \"pr\": \"PR6\",");
+    let _ = writeln!(out, "  \"pr\": \"{PR_LABEL}\",");
     let _ = writeln!(
         out,
         "  \"scale\": \"{}\",",
@@ -205,6 +217,66 @@ fn perf_report_json(
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
     out
+}
+
+/// `maestro-bench gate --current PATH --baseline PATH`: the CI perf gate.
+/// Exit codes: 0 all bounds hold, 1 a perf bound was violated, 2 bad usage
+/// or an unreadable/malformed report.
+fn run_gate(args: &[String]) -> ! {
+    let mut current_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut min_ratio = 3.0f64;
+    let mut max_wall_s = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut path_arg = |slot: &mut Option<String>, flag: &str| match it.next() {
+            Some(p) => *slot = Some(p.clone()),
+            None => {
+                eprintln!("{flag} needs a path\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        match a.as_str() {
+            "--current" => path_arg(&mut current_path, "--current"),
+            "--baseline" => path_arg(&mut baseline_path, "--baseline"),
+            "--min-scheduler-ratio" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => min_ratio = r,
+                _ => {
+                    eprintln!("--min-scheduler-ratio needs a positive number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--max-wall-s" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => max_wall_s = s,
+                _ => {
+                    eprintln!("--max-wall-s needs a positive number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown gate argument: {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(current_path), Some(baseline_path)) = (current_path, baseline_path) else {
+        eprintln!("gate requires --current PATH and --baseline PATH\n{USAGE}");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> GateInputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        GateInputs::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let report =
+        GateReport::evaluate(load(&current_path), load(&baseline_path), min_ratio, max_wall_s);
+    print!("{}", report.render());
+    std::process::exit(if report.pass() { 0 } else { 1 });
 }
 
 /// `maestro-bench replay --snapshot PATH [--until T_NS]`: the time-travel
@@ -322,6 +394,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("replay") {
         run_replay(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("gate") {
+        run_gate(&raw[1..]);
     }
     let mut scale = Scale::Paper;
     let mut csv = false;

@@ -78,7 +78,8 @@ pub fn micro_perf() -> MicroPerf {
     }
 }
 
-/// Cold-sweep vs. warm-fork-sweep comparison recorded in `BENCH_PR6.json`.
+/// Cold-sweep vs. warm-fork-sweep comparison recorded in the
+/// `BENCH_PR*.json` trajectory (since PR 6).
 #[derive(Copy, Clone, Debug)]
 pub struct ForkSweepPerf {
     /// Number of policy variants swept.

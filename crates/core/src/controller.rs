@@ -282,6 +282,11 @@ impl ThrottleController {
     }
 }
 
+/// The controller's decision epochs are the supervised daemon's sample
+/// deadlines: one timer-queue event per period drives measure → classify →
+/// actuate, and between events the scheduler never touches the controller.
+/// The deadline moves only inside `fire` (via [`Supervisor::sample`]),
+/// honoring the `Monitor` due-time contract.
 impl Monitor for ThrottleController {
     fn next_due_ns(&self) -> Option<u64> {
         Some(self.supervisor.next_due_ns())

@@ -29,8 +29,20 @@
 /// Snapshot format magic: `b"MAESNAP\0"` as a little-endian u64.
 pub const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"MAESNAP\0");
 
-/// Current snapshot format version. Bump on any layout change.
-pub const SNAP_VERSION: u32 = 1;
+/// Current snapshot format version. Bump on any layout change *or* any
+/// change to how serialized values are derived: replay correctness depends
+/// on the restored engine re-deriving bit-identical state, so a snapshot
+/// produced by a different derivation must be rejected, not reinterpreted.
+///
+/// * **v1** — tick-driven engine: energy/temperature integrated in fixed
+///   substeps, scheduler segments re-folded on every poll.
+/// * **v2** — event-driven engine: machine state is folded with closed-form
+///   analytic integration at sync points and captured anchor-free (plain
+///   scalars at the snapshot clock); scheduler segments are barrier-folded
+///   at every fence. The serialized *fields* match v1, but the float bits a
+///   replay produces do not, so v1 snapshots are rejected with
+///   [`SnapError::BadVersion`] instead of silently diverging.
+pub const SNAP_VERSION: u32 = 2;
 
 /// Errors surfaced while encoding or decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -359,6 +371,20 @@ mod tests {
         ));
         let mut garbage = SnapReader::new(&[0u8; 20]);
         assert!(matches!(garbage.header(fp), Err(SnapError::BadMagic(_))));
+    }
+
+    #[test]
+    fn v1_snapshots_rejected() {
+        // A pre-event-core (v1) snapshot would restore into an engine whose
+        // integration derives different float bits — it must be refused
+        // outright, never reinterpreted.
+        let fp = fingerprint(b"config");
+        let mut w = SnapWriter::new();
+        w.header(fp);
+        let mut bytes = w.finish();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.header(fp), Err(SnapError::BadVersion(1))));
     }
 
     #[test]

@@ -199,6 +199,12 @@ impl RcrDaemon {
     }
 
     /// Virtual time at which the next sample is due.
+    ///
+    /// This is an *event*, not a polled condition: the runtime holds it in
+    /// a timer queue and jumps the virtual clock straight to it. It moves
+    /// only inside [`RcrDaemon::sample`] (and on state restore) — the
+    /// stability window the scheduler's `Monitor` due-time contract
+    /// requires.
     pub fn next_due_ns(&self) -> u64 {
         self.next_due_ns
     }

@@ -171,6 +171,13 @@ impl Supervisor {
 
     /// Virtual time of the next supervision action (sample, or restart
     /// check while down).
+    ///
+    /// Stable between [`Supervisor::sample`] calls (and across snapshot
+    /// restore), so the runtime can hold it in its timer queue and jump the
+    /// clock to it — the `Monitor` due-time contract. While the daemon is
+    /// down this is the backoff expiry (clamped to one period), so the
+    /// scheduler wakes exactly when a restart becomes possible instead of
+    /// polling for it.
     pub fn next_due_ns(&self) -> u64 {
         self.next_due_ns
     }

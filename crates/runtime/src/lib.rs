@@ -52,6 +52,7 @@
 
 pub mod adapters;
 pub mod cancel;
+pub mod events;
 pub mod monitor;
 pub mod params;
 pub mod report;
@@ -61,8 +62,9 @@ pub mod task;
 
 pub use adapters::{compute_leaf, fork_join, leaf, parallel_for, sequential, single, taskloop};
 pub use cancel::CancelToken;
+pub use events::EventQueue;
 pub use monitor::{CancelAt, Monitor, ThrottleState, Watchdog};
-pub use params::{ParamsError, RuntimeParams};
+pub use params::{EventDriver, ParamsError, RuntimeParams};
 pub use report::{RunOutcome, RunStats};
 pub use scheduler::{
     CapturedRun, RunCapture, RunEnd, RunLimit, Runtime, RuntimeError, SnapshotPlan, TaskFailure,

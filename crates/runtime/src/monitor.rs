@@ -45,8 +45,25 @@ impl ThrottleState {
 }
 
 /// A periodic observer driven by the virtual clock.
+///
+/// # Due-time contract (event-driven scheduling)
+///
+/// The scheduler keeps every monitor's deadline in a timer queue and jumps
+/// the virtual clock straight to the earliest one — deadlines are *events*,
+/// not conditions polled each iteration. That works only if
+/// [`next_due_ns`](Monitor::next_due_ns) is **stable between fires**: it may
+/// change only inside [`fire`](Monitor::fire) (its own, or another monitor's
+/// in the same pass — deadlines may be coupled through shared cells, as the
+/// RCR daemon's heartbeat feeds its watchdog) or inside
+/// [`restore_state`](Monitor::restore_state). The scheduler re-reads every
+/// deadline after each fire pass and after a restore, and at no other time.
+/// A monitor whose due time drifted outside those windows would simply not
+/// be observed until the next unrelated event.
 pub trait Monitor {
     /// The next virtual time this monitor wants to run, or `None` to stop.
+    ///
+    /// Must be stable between fire passes — see the trait-level due-time
+    /// contract.
     fn next_due_ns(&self) -> Option<u64>;
 
     /// Run once at (or just after) the due time. May read machine state,

@@ -50,6 +50,26 @@ pub enum Placement {
     Scatter,
 }
 
+/// How the scheduler finds the next virtual-time event.
+///
+/// Both drivers run the *same* simulation — identical folds, identical
+/// machine calls, byte-identical reports. They differ only in how the next
+/// event time and the due set are computed, which is exactly what makes
+/// `Scan` a cheap differential oracle for the queue bookkeeping (see
+/// `tests/event_driver.rs`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum EventDriver {
+    /// Priority-queue lookup: next event is a heap peek, due events are
+    /// heap pops. O(log workers) per event. The default.
+    #[default]
+    Queue,
+    /// Reference driver: next event is a linear scan over worker segments
+    /// and monitors, due events are found by re-scanning. O(workers) per
+    /// event — the shape of the pre-event-queue scheduler, kept as the
+    /// differential-testing oracle.
+    Scan,
+}
+
 /// Tunable costs and policies of the tasking runtime.
 #[derive(Copy, Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct RuntimeParams {
@@ -93,6 +113,10 @@ pub struct RuntimeParams {
     /// backstop against zero-cost livelock. Exceeding it ends the run in
     /// `RuntimeError::DeadlineExceeded`. `None` (the default) disables it.
     pub step_budget: Option<u64>,
+    /// Event-lookup strategy ([`EventDriver::Queue`] unless testing). Not
+    /// part of the snapshot config fingerprint: both drivers produce
+    /// bit-identical machine state, so snapshots interoperate across them.
+    pub event_driver: EventDriver,
 }
 
 impl RuntimeParams {
@@ -112,6 +136,7 @@ impl RuntimeParams {
             low_power_spin: true,
             deadline_ns: None,
             step_budget: None,
+            event_driver: EventDriver::Queue,
         }
     }
 

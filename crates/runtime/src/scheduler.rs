@@ -21,19 +21,24 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::{
     fingerprint, ActuationTotals, Actuator, ActuatorConfig, CoreActivity, CoreId, Cost, DutyCycle,
-    FaultPlan, Machine,
+    FaultPlan, Machine, SocketId,
 };
 
 use crate::cancel::CancelToken;
+use crate::events::{key_from_time_ns, time_ns_from_key, EventQueue};
 use crate::monitor::{Monitor, ThrottleState};
-use crate::params::{ParamsError, RuntimeParams};
+use crate::params::{EventDriver, ParamsError, RuntimeParams};
 use crate::report::{RunOutcome, RunStats};
 use crate::spec::SpecTask;
 use crate::task::{BoxTask, Step, TaskCtx, TaskValue};
 
 type TaskId = usize;
 
-/// Tolerance for treating a segment as complete, in nanoseconds.
+/// Completion tolerance, in nanoseconds of virtual time: a segment whose
+/// absolute completion time is within this of the clock is due. The clock
+/// lands on completions via `ceil`, so this only absorbs float dust from
+/// the rate arithmetic — it must stay well under 1 ns so no later distinct
+/// event can be swallowed.
 const EPS_NS: f64 = 0.5;
 
 /// The compute charge of an injected task wedge: large enough that the
@@ -403,6 +408,45 @@ struct Segment {
     mem_rem_ns: f64,
     /// Wake epoch captured when a spin transition began.
     spin_epoch: u64,
+    /// Virtual time `cpu_rem_ns`/`mem_rem_ns` were last folded to. The
+    /// remaining work is *not* decremented every clock advance; elapsed
+    /// time converts to finished work only when a rate changes, at a
+    /// snapshot fence, or on retirement ([`Segment::fold_to`]).
+    fold_ns: u64,
+    /// CPU progress rate (effective core speed / dilation) cached at the
+    /// fold; `1.0` for fixed-rate transitions.
+    speed: f64,
+    /// Memory progress rate (socket contention factor) cached at the fold;
+    /// `1.0` for fixed-rate transitions.
+    phi: f64,
+    /// Absolute completion time under the cached rates, nanoseconds.
+    completion_abs: f64,
+}
+
+impl Segment {
+    /// Consume the virtual time from `fold_ns` to `now_ns` at the cached
+    /// rates: the CPU phase drains first, leftover time then drains the
+    /// memory phase. Rates only change while the clock is stationary, so
+    /// the cached rates are exactly the rates in effect over the interval.
+    fn fold_to(&mut self, now_ns: u64) {
+        debug_assert!(now_ns >= self.fold_ns, "segment folded backwards");
+        let elapsed = (now_ns - self.fold_ns) as f64;
+        if elapsed > 0.0 {
+            if self.task.is_none() {
+                self.cpu_rem_ns -= elapsed;
+            } else {
+                let t_cpu = self.cpu_rem_ns / self.speed;
+                if elapsed < t_cpu {
+                    self.cpu_rem_ns -= elapsed * self.speed;
+                } else {
+                    let leftover = elapsed - t_cpu;
+                    self.cpu_rem_ns = 0.0;
+                    self.mem_rem_ns = (self.mem_rem_ns - leftover * self.phi).max(0.0);
+                }
+            }
+        }
+        self.fold_ns = now_ns;
+    }
 }
 
 enum WorkerState {
@@ -627,6 +671,20 @@ impl Runtime {
     }
 }
 
+/// Core a worker is pinned to under the configured placement policy.
+fn placement_core(params: &RuntimeParams, machine: &Machine, worker: usize) -> CoreId {
+    match params.placement {
+        crate::params::Placement::Block => CoreId(worker as u16),
+        crate::params::Placement::Scatter => {
+            let topo = machine.topology();
+            let sockets = topo.sockets as usize;
+            let socket = worker % sockets;
+            let index = worker / sockets;
+            CoreId((socket * topo.cores_per_socket as usize + index) as u16)
+        }
+    }
+}
+
 /// Per-run execution state, borrowing the runtime.
 ///
 /// Teardown (restoring every core to full duty) runs on every exit path:
@@ -645,10 +703,39 @@ struct Exec<'r, C> {
     spinner_count: usize,
     /// Maintained count of workers in `WorkerState::Running`.
     running_count: usize,
-    /// Cached `min` of every monitor's `next_due_ns()`. Monitors only
-    /// change state inside `fire`, so the cache is recomputed after each
-    /// firing pass instead of on every scheduler iteration.
-    next_monitor_cache: Option<u64>,
+    /// Pending segment completions, keyed by absolute completion time.
+    /// One *live* entry per running worker; superseded entries (the
+    /// worker's `seg_gen` moved on) are discarded lazily as they surface.
+    completions: EventQueue,
+    /// Per-worker segment generation, bumped whenever a worker leaves
+    /// `Running` or its segment is re-rated — the liveness stamp for
+    /// `completions` entries.
+    seg_gen: Vec<u64>,
+    /// Monitor deadlines keyed by `next_due_ns()`. Due times move only
+    /// inside a fire pass (or on restore), so the queue is rebuilt
+    /// wholesale at those points and never holds stale entries.
+    timers: EventQueue,
+    /// Workers whose just-created segments still need rates and a
+    /// completion event; drained by `reconcile_rates`.
+    fresh_segments: Vec<usize>,
+    /// Scratch for collecting due completions in canonical worker order.
+    due_scratch: Vec<usize>,
+    /// Maintained total of queued tasks across all shepherd queues.
+    queued_total: usize,
+    /// Wake epoch the last completed dispatch pass ran against; a pass is
+    /// only worth re-running when the epoch moved (or throttle/draining
+    /// state makes spinners re-evaluate) — see `dispatch_needed`.
+    wake_epoch_seen: u64,
+    /// Machine knob epoch observed by the last rate reconciliation.
+    knob_epoch_seen: u64,
+    /// Work dilation observed by the last rate reconciliation.
+    dilation_seen: f64,
+    /// Per-socket contention factor observed by the last reconciliation.
+    phi_seen: Vec<f64>,
+    /// Worker → pinned core, precomputed (placement is fixed per run).
+    worker_core: Vec<CoreId>,
+    /// Worker → shepherd (= socket index), precomputed.
+    worker_shep: Vec<usize>,
     /// Recycled inbox buffers from freed tasks, reused by `alloc_task` and
     /// the spawn path instead of allocating per region.
     inbox_pool: Vec<Vec<TaskValue>>,
@@ -692,10 +779,24 @@ impl<'r, C> Exec<'r, C> {
         let start_actuation = rt.actuator.totals();
         let draining = cancel.is_cancelled();
         let last_cancel_gen = cancel.generation();
-        let next_monitor_cache = rt.monitors.iter().filter_map(|m| m.next_due_ns()).min();
         let run_start_ns = rt.machine.now_ns();
         let run_start_j = rt.machine.total_energy_joules();
         let deadline_abs_ns = rt.params.deadline_ns.map(|d| run_start_ns.saturating_add(d));
+        let worker_core: Vec<CoreId> =
+            (0..n_workers).map(|w| placement_core(&rt.params, &rt.machine, w)).collect();
+        let worker_shep: Vec<usize> = worker_core
+            .iter()
+            .map(|&c| rt.machine.topology().socket_of(c).index())
+            .collect();
+        let mut timers = EventQueue::new();
+        for (i, m) in rt.monitors.iter().enumerate() {
+            if let Some(due) = m.next_due_ns() {
+                timers.insert(due, i as u32, 0);
+            }
+        }
+        let phi_seen: Vec<f64> =
+            (0..sockets).map(|s| rt.machine.contention_factor(SocketId(s as u8))).collect();
+        let knob_epoch_seen = rt.machine.knob_epoch();
         Exec {
             rt,
             tasks: Vec::new(),
@@ -706,7 +807,20 @@ impl<'r, C> Exec<'r, C> {
             active_total: 0,
             spinner_count: 0,
             running_count: 0,
-            next_monitor_cache,
+            completions: EventQueue::new(),
+            seg_gen: vec![0; n_workers],
+            timers,
+            fresh_segments: Vec::new(),
+            due_scratch: Vec::new(),
+            queued_total: 0,
+            // Force-stale: the first loop iteration always runs a dispatch
+            // pass (it has the root task queued anyway).
+            wake_epoch_seen: 1,
+            knob_epoch_seen,
+            dilation_seen: 1.0,
+            phi_seen,
+            worker_core,
+            worker_shep,
             inbox_pool: Vec::new(),
             child_pool: Vec::new(),
             pending_overhead_ns: vec![0.0; n_workers],
@@ -727,20 +841,11 @@ impl<'r, C> Exec<'r, C> {
     }
 
     fn core_of(&self, worker: usize) -> CoreId {
-        match self.rt.params.placement {
-            crate::params::Placement::Block => CoreId(worker as u16),
-            crate::params::Placement::Scatter => {
-                let topo = self.rt.machine.topology();
-                let sockets = topo.sockets as usize;
-                let socket = worker % sockets;
-                let index = worker / sockets;
-                CoreId((socket * topo.cores_per_socket as usize + index) as u16)
-            }
-        }
+        self.worker_core[worker]
     }
 
     fn shepherd_of(&self, worker: usize) -> usize {
-        self.rt.machine.topology().socket_of(self.core_of(worker)).index()
+        self.worker_shep[worker]
     }
 
     fn cycles_to_ns(&self, cycles: u64) -> f64 {
@@ -789,7 +894,8 @@ impl<'r, C> Exec<'r, C> {
     }
 
     fn total_active(&self) -> usize {
-        debug_assert_eq!(
+        #[cfg(maestro_verify)]
+        assert_eq!(
             self.active_total,
             self.shepherds.iter().map(|s| s.active).sum::<usize>(),
             "active_total counter diverged from the per-shepherd scan"
@@ -798,12 +904,17 @@ impl<'r, C> Exec<'r, C> {
     }
 
     /// Replace worker `w`'s state, keeping the spinner/running counters in
-    /// sync. Every variant change must go through here.
+    /// sync. Every variant change must go through here. Leaving `Running`
+    /// bumps the worker's segment generation, invalidating any completion
+    /// event scheduled for the old segment.
     fn set_worker(&mut self, w: usize, state: WorkerState) -> WorkerState {
         let old = std::mem::replace(&mut self.workers[w], state);
         match &old {
             WorkerState::Spinning { .. } => self.spinner_count -= 1,
-            WorkerState::Running(_) => self.running_count -= 1,
+            WorkerState::Running(_) => {
+                self.running_count -= 1;
+                self.seg_gen[w] += 1;
+            }
             WorkerState::Idle => {}
         }
         match &self.workers[w] {
@@ -850,6 +961,7 @@ impl<'r, C> Exec<'r, C> {
             cancel: root_token,
         });
         self.shepherds[root_shep].queue.push_back(root_id);
+        self.queued_total += 1;
         self.loop_body(app)
     }
 
@@ -866,7 +978,9 @@ impl<'r, C> Exec<'r, C> {
             self.check_limits()?;
             self.fire_due_monitors();
             self.note_cancellation();
-            self.dispatch_fixpoint(app)?;
+            if self.dispatch_needed() {
+                self.dispatch_fixpoint(app)?;
+            }
             if self.root_value.is_some() {
                 break;
             }
@@ -889,7 +1003,7 @@ impl<'r, C> Exec<'r, C> {
                 });
             };
             self.rt.machine.advance(dt_ns);
-            self.progress_segments(app, dt_ns as f64)?;
+            self.progress_segments(app)?;
         }
 
         if let Some(failure) = self.failure.take() {
@@ -971,8 +1085,9 @@ impl<'r, C> Exec<'r, C> {
 
     fn fire_due_monitors(&mut self) {
         let now = self.rt.machine.now_ns();
-        // Nothing due yet: skip the per-monitor pass entirely. The cache is
-        // exact — monitors only change their due time inside `fire`.
+        // Nothing due yet: skip the per-monitor pass entirely. The timer
+        // queue is exact — monitors only change their due time inside
+        // `fire`, and every fire pass ends by rebuilding the queue.
         if self.next_monitor_due().is_none_or(|due| due > now) {
             return;
         }
@@ -983,20 +1098,40 @@ impl<'r, C> Exec<'r, C> {
                 self.stats.monitor_fires += 1;
             }
         }
-        self.next_monitor_cache = self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min();
+        self.rebuild_timers();
         if self.rt.throttle.active != was_active {
             // Throttle (de)activation is a wake condition for spinners.
             self.wake_spinners();
         }
     }
 
+    /// Re-key every monitor in the timer queue. A fire can move *another*
+    /// monitor's deadline (the RCR daemon's heartbeat feeds the watchdog's
+    /// due time through a shared cell), so instead of fine-grained
+    /// invalidation the whole queue — at most a handful of monitors — is
+    /// rebuilt after each fire pass and on restore, the only two points
+    /// where due times are allowed to change.
+    fn rebuild_timers(&mut self) {
+        self.timers.clear();
+        for (i, m) in self.rt.monitors.iter().enumerate() {
+            if let Some(due) = m.next_due_ns() {
+                self.timers.insert(due, i as u32, 0);
+            }
+        }
+    }
+
     fn next_monitor_due(&self) -> Option<u64> {
-        debug_assert_eq!(
-            self.next_monitor_cache,
+        let due = match self.rt.params.event_driver {
+            EventDriver::Queue => self.timers.peek().map(|e| e.key),
+            EventDriver::Scan => self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min(),
+        };
+        #[cfg(maestro_verify)]
+        assert_eq!(
+            self.timers.peek().map(|e| e.key),
             self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min(),
-            "cached monitor due time diverged from the monitor scan"
+            "timer queue diverged from the monitor scan"
         );
-        self.next_monitor_cache
+        due
     }
 
     /// Bump the wake epoch so every spinner re-evaluates — unless an
@@ -1030,7 +1165,8 @@ impl<'r, C> Exec<'r, C> {
     }
 
     fn has_spinners(&self) -> bool {
-        debug_assert_eq!(
+        #[cfg(maestro_verify)]
+        assert_eq!(
             self.spinner_count,
             self.workers.iter().filter(|w| matches!(w, WorkerState::Spinning { .. })).count(),
             "spinner_count counter diverged from the worker scan"
@@ -1060,6 +1196,32 @@ impl<'r, C> Exec<'r, C> {
     // Dispatch
     // ------------------------------------------------------------------
 
+    /// Whether a dispatch pass could change any worker's state — the
+    /// event-driven replacement for unconditionally scanning every worker
+    /// every iteration. An idle worker acts only on queued work, or on an
+    /// active throttle (a worker looking for work under a full shepherd
+    /// enters the spin state even with an empty queue). A spinner
+    /// re-evaluates on an unseen wake epoch, on throttle deactivation, and
+    /// while draining — exactly its eligibility condition below. When this
+    /// returns false, a full pass would visit no eligible worker whose
+    /// `try_dispatch` can make progress.
+    fn dispatch_needed(&self) -> bool {
+        #[cfg(maestro_verify)]
+        assert_eq!(
+            self.queued_total,
+            self.shepherds.iter().map(|s| s.queue.len()).sum::<usize>(),
+            "queued_total counter diverged from the shepherd-queue scan"
+        );
+        let idle = self.workers.len() - self.spinner_count - self.running_count;
+        if idle > 0 && (self.queued_total > 0 || (self.rt.throttle.active && !self.draining)) {
+            return true;
+        }
+        self.spinner_count > 0
+            && (self.wake_epoch != self.wake_epoch_seen
+                || !self.rt.throttle.active
+                || self.draining)
+    }
+
     /// Returns whether any worker changed state, or an error from stepping.
     fn dispatch_fixpoint(&mut self, app: &mut C) -> Result<bool, RuntimeError> {
         let mut any = false;
@@ -1084,6 +1246,11 @@ impl<'r, C> Exec<'r, C> {
                 }
             }
             if !progress {
+                // A no-progress pass leaves every surviving spinner with
+                // `epoch_seen == wake_epoch`: the pass is converged against
+                // the current epoch, and `dispatch_needed` can skip
+                // dispatch until something moves it again.
+                self.wake_epoch_seen = self.wake_epoch;
                 return Ok(any);
             }
             any = true;
@@ -1172,12 +1339,14 @@ impl<'r, C> Exec<'r, C> {
     /// Pop from the local queue (LIFO) or steal from another shepherd (FIFO).
     fn acquire_task(&mut self, shep: usize) -> Option<(TaskId, bool)> {
         if let Some(t) = self.shepherds[shep].queue.pop_back() {
+            self.queued_total -= 1;
             return Some((t, false));
         }
         let n = self.shepherds.len();
         for i in 1..n {
             let victim = (shep + i) % n;
             if let Some(t) = self.shepherds[victim].queue.pop_front() {
+                self.queued_total -= 1;
                 return Some((t, true));
             }
         }
@@ -1220,8 +1389,13 @@ impl<'r, C> Exec<'r, C> {
                             cpu_rem_ns,
                             mem_rem_ns: 0.0,
                             spin_epoch: self.wake_epoch,
+                            fold_ns: self.rt.machine.now_ns(),
+                            speed: 1.0,
+                            phi: 1.0,
+                            completion_abs: 0.0,
                         }),
                     );
+                    self.fresh_segments.push(w);
                 } else {
                     self.set_worker(
                         w,
@@ -1366,6 +1540,10 @@ impl<'r, C> Exec<'r, C> {
                         cpu_rem_ns: cost.cpu_time_ns(freq) + carry_ns,
                         mem_rem_ns: cost.mem_time_ns(lat),
                         spin_epoch: 0,
+                        fold_ns: now_ns,
+                        speed: 1.0,
+                        phi: 1.0,
+                        completion_abs: 0.0,
                     };
                     self.rt.machine.set_activity(
                         self.core_of(w),
@@ -1378,6 +1556,9 @@ impl<'r, C> Exec<'r, C> {
                     self.shepherds[shep].active += 1;
                     self.active_total += 1;
                     self.set_worker(w, WorkerState::Running(seg));
+                    // Rates are assigned by `reconcile_rates` once the whole
+                    // event batch has settled the machine's activity state.
+                    self.fresh_segments.push(w);
                     return Ok(());
                 }
                 Step::SpawnWait(children) => {
@@ -1407,6 +1588,10 @@ impl<'r, C> Exec<'r, C> {
                         cpu_rem_ns: spawn_ns + carry_ns,
                         mem_rem_ns: 0.0,
                         spin_epoch: 0,
+                        fold_ns: now_ns,
+                        speed: 1.0,
+                        phi: 1.0,
+                        completion_abs: 0.0,
                     };
                     self.rt.machine.set_activity(
                         self.core_of(w),
@@ -1416,6 +1601,7 @@ impl<'r, C> Exec<'r, C> {
                     self.shepherds[shep].active += 1;
                     self.active_total += 1;
                     self.set_worker(w, WorkerState::Running(seg));
+                    self.fresh_segments.push(w);
                     return Ok(());
                 }
                 Step::Done(value) => {
@@ -1486,6 +1672,7 @@ impl<'r, C> Exec<'r, C> {
                     parent_record.resume_pending = true;
                     let home = parent_record.home_shepherd;
                     self.shepherds[home].queue.push_back(p);
+                    self.queued_total += 1;
                     // Parallel region / loop termination wakes spinners.
                     self.wake_spinners();
                 }
@@ -1516,6 +1703,7 @@ impl<'r, C> Exec<'r, C> {
                 cancel: parent_token.child(),
             });
             self.shepherds[shep].queue.push_back(id);
+            self.queued_total += 1;
         }
         // The drained staging buffer keeps its capacity; recycle it.
         if staged.capacity() > 0 {
@@ -1539,43 +1727,115 @@ impl<'r, C> Exec<'r, C> {
         }
     }
 
-    fn segment_completion_ns(&self, w: usize, seg: &Segment, dilation: f64) -> f64 {
-        if seg.task.is_none() {
-            return seg.cpu_rem_ns; // fixed-rate transition
+    /// Fold worker `w`'s running segment to `now_ns`, assign the rates in
+    /// effect right now, recompute its absolute completion time, and (in
+    /// queue mode) schedule the completion event under a fresh generation.
+    fn rate_segment(&mut self, w: usize, now_ns: u64, dilation: f64) {
+        let speed = self.rt.machine.effective_speed(self.worker_core[w]) / dilation;
+        let phi = self.phi_seen[self.worker_shep[w]];
+        let queue = self.rt.params.event_driver == EventDriver::Queue;
+        let WorkerState::Running(seg) = &mut self.workers[w] else {
+            return;
+        };
+        seg.fold_to(now_ns);
+        if seg.task.is_some() {
+            seg.speed = speed;
+            seg.phi = phi;
+            seg.completion_abs = now_ns as f64 + seg.cpu_rem_ns / speed + seg.mem_rem_ns / phi;
+        } else {
+            seg.speed = 1.0;
+            seg.phi = 1.0;
+            seg.completion_abs = now_ns as f64 + seg.cpu_rem_ns;
         }
-        let core = self.core_of(w);
-        let speed = self.rt.machine.effective_speed(core) / dilation;
-        let socket = self.rt.machine.topology().socket_of(core);
-        let phi = self.rt.machine.contention_factor(socket);
-        seg.cpu_rem_ns / speed + seg.mem_rem_ns / phi
+        let key = key_from_time_ns(seg.completion_abs.max(0.0));
+        self.seg_gen[w] += 1;
+        if queue {
+            self.completions.insert(key, w as u32, self.seg_gen[w]);
+        }
+    }
+
+    /// Bring cached per-segment rates in line with the machine, and give
+    /// rates + completion events to segments created this iteration.
+    ///
+    /// Rates can only change while the clock is stationary (dispatch,
+    /// completions, and monitor fires all run between advances), so one
+    /// reconciliation immediately before the next-event lookup observes
+    /// every change. Detection is O(sockets), not O(workers): a duty or
+    /// p-state write bumps the machine's knob epoch, a contention change
+    /// shows up as a bit-changed per-socket φ, and a dilation change as a
+    /// bit-changed divisor. Only when one of those moves (rare in steady
+    /// state — identical task mixes leave φ bit-identical thanks to the
+    /// machine's equality-skipping mutators) are affected segments
+    /// refolded.
+    fn reconcile_rates(&mut self) {
+        let now = self.rt.machine.now_ns();
+        let knob = self.rt.machine.knob_epoch();
+        let dilation = self.work_dilation();
+        let global =
+            knob != self.knob_epoch_seen || dilation.to_bits() != self.dilation_seen.to_bits();
+        let mut changed_mask: u64 = 0;
+        for s in 0..self.phi_seen.len() {
+            let phi = self.rt.machine.contention_factor(SocketId(s as u8));
+            if phi.to_bits() != self.phi_seen[s].to_bits() {
+                self.phi_seen[s] = phi;
+                changed_mask |= 1 << s;
+            }
+        }
+        if global || changed_mask != 0 {
+            for w in 0..self.workers.len() {
+                let on_changed_socket = (changed_mask >> self.worker_shep[w]) & 1 != 0;
+                if !(global || on_changed_socket) {
+                    continue;
+                }
+                // Fixed-rate transitions don't depend on any knob.
+                if matches!(&self.workers[w], WorkerState::Running(seg) if seg.task.is_some()) {
+                    self.rate_segment(w, now, dilation);
+                }
+            }
+            self.knob_epoch_seen = knob;
+            self.dilation_seen = dilation;
+        }
+        // Fresh segments are rated last, after φ reflects every activity
+        // change of the batch (including the fresh segments' own).
+        while let Some(w) = self.fresh_segments.pop() {
+            if matches!(self.workers[w], WorkerState::Running(_)) {
+                self.rate_segment(w, now, dilation);
+            }
+        }
     }
 
     /// Time until the next interesting event, or `None` on deadlock.
-    fn next_event_dt(&self) -> Option<u64> {
+    fn next_event_dt(&mut self) -> Option<u64> {
+        self.reconcile_rates();
         let now = self.rt.machine.now_ns();
         // O(1) deadlock check: no running segment and no pending monitor.
         if self.running_count == 0 && self.next_monitor_due().is_none() {
             return None;
         }
-        let mut dt: Option<f64> = None;
-        let mut fold = |cand: f64| {
-            dt = Some(match dt {
-                None => cand,
-                Some(d) => d.min(cand),
-            });
-        };
-        if self.running_count > 0 {
-            let dilation = self.work_dilation();
-            for (w, state) in self.workers.iter().enumerate() {
-                if let WorkerState::Running(seg) = state {
-                    fold(self.segment_completion_ns(w, seg, dilation));
-                }
+        let next_completion = match self.rt.params.event_driver {
+            EventDriver::Queue => {
+                let seg_gen = &self.seg_gen;
+                self.completions
+                    .peek_live(|id, gen| seg_gen[id as usize] == gen)
+                    .map(|e| time_ns_from_key(e.key))
             }
-        }
+            EventDriver::Scan => {
+                let mut min: Option<f64> = None;
+                for state in &self.workers {
+                    if let WorkerState::Running(seg) = state {
+                        let c = seg.completion_abs.max(0.0);
+                        min = Some(min.map_or(c, |m: f64| m.min(c)));
+                    }
+                }
+                min
+            }
+        };
+        let mut dt: Option<f64> = next_completion.map(|c| (c - now as f64).max(0.0));
         if let Some(due) = self.next_monitor_due() {
-            fold(due.saturating_sub(now) as f64);
+            let cand = due.saturating_sub(now) as f64;
+            dt = Some(dt.map_or(cand, |d| d.min(cand)));
         }
-        let mut dt_ns = dt.map(|d| d.max(0.0).ceil() as u64)?;
+        let mut dt_ns = dt.map(|d| d.ceil() as u64)?;
         // Never step past the run deadline: a huge (wedged) segment must not
         // carry the clock years beyond the configured limit. Only clamp an
         // existing event — a dead graph still reports deadlock, not a wait.
@@ -1590,41 +1850,46 @@ impl<'r, C> Exec<'r, C> {
         Some(dt_ns)
     }
 
-    /// Move all running segments forward by `dt_ns` and handle completions.
-    fn progress_segments(&mut self, app: &mut C, dt_ns: f64) -> Result<(), RuntimeError> {
-        // Phase 1: progress every segment under the rates in effect *before*
-        // any completion changes machine activity.
-        let dilation = self.work_dilation();
-        let mut completed: Vec<usize> = Vec::new();
-        for w in 0..self.workers.len() {
-            if !matches!(self.workers[w], WorkerState::Running(_)) {
-                continue;
-            }
-            let core = self.core_of(w);
-            let duty = self.rt.machine.effective_speed(core) / dilation;
-            let socket = self.rt.machine.topology().socket_of(core);
-            let phi = self.rt.machine.contention_factor(socket);
-            if let WorkerState::Running(seg) = &mut self.workers[w] {
-                if seg.task.is_none() {
-                    seg.cpu_rem_ns -= dt_ns;
-                } else {
-                    let t_cpu = seg.cpu_rem_ns / duty;
-                    if dt_ns < t_cpu {
-                        seg.cpu_rem_ns -= dt_ns * duty;
-                    } else {
-                        let leftover = dt_ns - t_cpu;
-                        seg.cpu_rem_ns = 0.0;
-                        seg.mem_rem_ns = (seg.mem_rem_ns - leftover * phi).max(0.0);
-                    }
+    /// Retire every segment whose completion time the clock has reached and
+    /// continue the affected tasks. Due events are collected first and
+    /// processed in ascending worker order, so results never depend on heap
+    /// internals (the scan driver produces the same canonical order
+    /// directly).
+    fn progress_segments(&mut self, app: &mut C) -> Result<(), RuntimeError> {
+        let bound = self.rt.machine.now_ns() as f64 + EPS_NS;
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        match self.rt.params.event_driver {
+            EventDriver::Queue => {
+                let key_bound = key_from_time_ns(bound);
+                let seg_gen = &self.seg_gen;
+                while let Some(e) =
+                    self.completions.pop_due(key_bound, |id, gen| seg_gen[id as usize] == gen)
+                {
+                    due.push(e.id as usize);
                 }
-                if seg.cpu_rem_ns <= EPS_NS && seg.mem_rem_ns <= EPS_NS {
-                    completed.push(w);
+                due.sort_unstable();
+            }
+            EventDriver::Scan => {
+                for (w, state) in self.workers.iter().enumerate() {
+                    if let WorkerState::Running(seg) = state {
+                        if seg.completion_abs <= bound {
+                            due.push(w);
+                        }
+                    }
                 }
             }
         }
 
-        // Phase 2: act on completions.
-        for w in completed {
+        let result = self.retire_due(app, &due);
+        due.clear();
+        self.due_scratch = due;
+        result
+    }
+
+    /// Act on the collected due completions, in order.
+    fn retire_due(&mut self, app: &mut C, due: &[usize]) -> Result<(), RuntimeError> {
+        for &w in due {
             let state = self.set_worker(w, WorkerState::Idle);
             let WorkerState::Running(seg) = state else {
                 return Err(internal("collected worker not running", self.rt.machine.now_ns()));
@@ -1729,6 +1994,36 @@ impl<'r, C> Exec<'r, C> {
             return false;
         }
         let now = self.rt.machine.now_ns();
+        // Every fence — capture-free extra fence, cadence capture, or
+        // suspension — is a full integration barrier: the machine folds all
+        // lazy thermal/energy state to the fence time. A capturing fence
+        // would fold implicitly inside `snap_state`; doing it for *every*
+        // fence keeps the sync schedule (and therefore the float bits) of a
+        // fence-matched unbroken run identical to a suspended/resumed one.
+        let any_fence_due = self.capture.as_ref().is_some_and(|ctl| {
+            ctl.extra_fences.front().is_some_and(|&f| f <= now)
+                || (ctl.cadence_ns.is_some() && ctl.next_cadence_abs <= now)
+                || ctl.suspend_at_abs.is_some_and(|t| t <= now)
+        });
+        if any_fence_due {
+            self.rt.machine.sync_all();
+            // Same discipline for the scheduler's lazy state: reconcile
+            // rates first (the previous iteration's completions may have
+            // moved φ and no reconciliation has run since), then fold every
+            // running segment to the fence and re-derive its completion
+            // time. The serialized remaining-work values — and the fold
+            // schedule itself — thereby match between a fence-matched
+            // unbroken run and a suspended/resumed one, which re-rates all
+            // segments at the restore point with exactly these inputs.
+            self.reconcile_rates();
+            let now_f = self.rt.machine.now_ns();
+            let dilation = self.work_dilation();
+            for w in 0..self.workers.len() {
+                if matches!(self.workers[w], WorkerState::Running(_)) {
+                    self.rate_segment(w, now_f, dilation);
+                }
+            }
+        }
         if let Some(ctl) = self.capture.as_mut() {
             while ctl.extra_fences.front().is_some_and(|&f| f <= now) {
                 ctl.extra_fences.pop_front();
@@ -2167,6 +2462,12 @@ impl<C: 'static> Exec<'_, C> {
                         cpu_rem_ns: r.f64()?,
                         mem_rem_ns: r.f64()?,
                         spin_epoch: r.u64()?,
+                        // Snapshots serialize barrier-folded remaining work;
+                        // rates and the completion time are re-derived below.
+                        fold_ns: self.rt.machine.now_ns(),
+                        speed: 1.0,
+                        phi: 1.0,
+                        completion_abs: 0.0,
                     })
                 }
                 _ => return Err(SnapError::Corrupt("unknown worker state tag")),
@@ -2202,8 +2503,31 @@ impl<C: 'static> Exec<'_, C> {
             .count();
         self.running_count =
             self.workers.iter().filter(|w| matches!(w, WorkerState::Running(_))).count();
-        self.next_monitor_cache =
-            self.rt.monitors.iter().filter_map(|m| m.next_due_ns()).min();
+        self.rebuild_timers();
+        self.queued_total = self.shepherds.iter().map(|s| s.queue.len()).sum();
+        self.completions.clear();
+        self.fresh_segments.clear();
+        for g in self.seg_gen.iter_mut() {
+            *g = 0;
+        }
+        // Force-stale so the first resumed iteration runs a dispatch pass.
+        // If the fence-matched unbroken run skips that pass, it is a no-op
+        // here too (no eligible worker), so the runs stay bit-identical.
+        self.wake_epoch_seen = self.wake_epoch.wrapping_add(1);
+        self.knob_epoch_seen = self.rt.machine.knob_epoch();
+        for s in 0..self.phi_seen.len() {
+            self.phi_seen[s] = self.rt.machine.contention_factor(SocketId(s as u8));
+        }
+        let dilation = self.work_dilation();
+        self.dilation_seen = dilation;
+        // Re-rate every restored segment at the restore instant — the same
+        // fold-and-rate the unbroken run performed at this fence.
+        let now = self.rt.machine.now_ns();
+        for w in 0..self.workers.len() {
+            if matches!(self.workers[w], WorkerState::Running(_)) {
+                self.rate_segment(w, now, dilation);
+            }
+        }
         self.root_value = None;
         Ok(())
     }

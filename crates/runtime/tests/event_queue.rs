@@ -1,0 +1,123 @@
+//! Property tests for the scheduler's [`EventQueue`]: under any
+//! interleaving of inserts, cancellations (generation bumps), and pops, the
+//! queue pops live events in nondecreasing key order and never loses one.
+//!
+//! The model under test mirrors how the scheduler uses the queue for
+//! segment completions: each id has a live generation counter, a re-schedule
+//! bumps the generation and inserts a fresh entry (leaving the stale entry
+//! for lazy discard), and a pop is only observed when its `(id, gen)` still
+//! matches the live counter.
+
+use maestro_runtime::EventQueue;
+use proptest::prelude::*;
+
+/// One scripted queue operation.
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    /// Schedule `id` at `key` (bumping its generation — the scheduler never
+    /// has two live entries for one id).
+    Schedule { id: u8, key: u64 },
+    /// Cancel whatever `id` has scheduled (generation bump, no insert).
+    Cancel { id: u8 },
+    /// Pop every live event with key ≤ bound.
+    PopDue { bound: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Schedules listed twice to bias the mix toward insertions.
+    prop_oneof![
+        (0u8..12, 0u64..1000).prop_map(|(id, key)| Op::Schedule { id, key }),
+        (0u8..12, 0u64..1000).prop_map(|(id, key)| Op::Schedule { id, key }),
+        (0u8..12).prop_map(|id| Op::Cancel { id }),
+        (0u64..1200).prop_map(|bound| Op::PopDue { bound }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Replaying any op script against the queue and a naive shadow model:
+    /// every `pop_due` drains exactly the shadow's due set, in
+    /// nondecreasing key order, and a final unbounded drain surfaces every
+    /// remaining live event — none lost, none duplicated, no stale ghosts.
+    #[test]
+    fn pops_match_shadow_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut q = EventQueue::new();
+        // Shadow: per-id live generation and (for live ids) scheduled key.
+        let mut gen = [0u64; 12];
+        let mut scheduled: [Option<u64>; 12] = [None; 12];
+
+        let drain = |q: &mut EventQueue,
+                         bound: u64,
+                         gen: &[u64; 12],
+                         scheduled: &mut [Option<u64>; 12]| {
+            let mut last_key = 0u64;
+            while let Some(e) = q.pop_due(bound, |id, g| gen[id as usize] == g) {
+                prop_assert!(e.key >= last_key, "keys regressed: {} after {last_key}", e.key);
+                last_key = e.key;
+                let id = e.id as usize;
+                prop_assert_eq!(
+                    scheduled[id].take(),
+                    Some(e.key),
+                    "popped an event the shadow did not consider live (id {})", id
+                );
+            }
+            // Everything at or below the bound must have surfaced.
+            for (id, s) in scheduled.iter().enumerate() {
+                if let Some(k) = s {
+                    prop_assert!(*k > bound, "due event lost: id {id} at key {k} ≤ {bound}");
+                }
+            }
+        };
+
+        for op in ops {
+            match op {
+                Op::Schedule { id, key } => {
+                    let i = id as usize;
+                    gen[i] += 1;
+                    scheduled[i] = Some(key);
+                    q.insert(key, u32::from(id), gen[i]);
+                }
+                Op::Cancel { id } => {
+                    let i = id as usize;
+                    gen[i] += 1;
+                    scheduled[i] = None;
+                }
+                Op::PopDue { bound } => drain(&mut q, bound, &gen, &mut scheduled),
+            }
+        }
+        // Final full drain: exactly the still-live set comes out.
+        drain(&mut q, u64::MAX, &gen, &mut scheduled);
+        prop_assert!(scheduled.iter().all(Option::is_none), "live events left behind");
+        prop_assert!(q.is_empty(), "drained queue still holds entries");
+    }
+
+    /// `peek_live` agrees with the next successful `pop_due`: peeking never
+    /// disturbs ordering, and the peeked event is exactly the one popped.
+    #[test]
+    fn peek_live_previews_next_pop(
+        entries in prop::collection::vec((0u8..12, 0u64..1000), 1..40),
+        stale_mask in prop::collection::vec((0u8..2).prop_map(|b| b == 1), 40),
+    ) {
+        let mut q = EventQueue::new();
+        let mut gen = [0u64; 12];
+        for (i, &(id, key)) in entries.iter().enumerate() {
+            let idx = id as usize;
+            gen[idx] += 1;
+            q.insert(key, u32::from(id), gen[idx]);
+            if stale_mask[i % stale_mask.len()] {
+                gen[idx] += 1; // cancel it again right away
+            }
+        }
+        loop {
+            let peeked = q.peek_live(|id, g| gen[id as usize] == g);
+            let popped = q.pop_due(u64::MAX, |id, g| gen[id as usize] == g);
+            prop_assert_eq!(peeked, popped);
+            if popped.is_none() {
+                break;
+            }
+            // Consume: one live entry per id, as the scheduler maintains.
+            gen[popped.unwrap().id as usize] += 1;
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Differential validation of the event-driven scheduler core.
+//!
+//! [`EventDriver::Queue`] (heap lookup) and [`EventDriver::Scan`] (the
+//! linear scan shaped like the pre-event-queue scheduler) must run the
+//! *same* simulation: identical segment folds, identical machine calls,
+//! bit-identical reports. Any divergence means the queue bookkeeping —
+//! generations, timer rebuilds, due-set collection — changed observable
+//! behavior, which the event-core refactor is forbidden to do.
+//!
+//! The sweep covers the clean scenario registry, the chaos seed matrix
+//! (scripted daemon kills, probe faults, duty-write faults — the same
+//! `CHAOS_SEED`-narrowable matrix as `chaos_control_loop.rs`), and
+//! cross-driver snapshot interop: `event_driver` is not part of the config
+//! fingerprint, so a run suspended under one driver must resume under the
+//! other with byte-identical results.
+
+use maestro::{Maestro, MaestroConfig, RunReport};
+use maestro_bench::scenario::{scenario, SCENARIO_NAMES};
+use maestro_machine::FaultPlan;
+use maestro_runtime::{EventDriver, RunStats, SnapshotPlan};
+
+const MS: u64 = 1_000_000;
+
+/// Every observable bit of a report, as comparable integers: float fields
+/// via `to_bits`, counters directly. Two runs are "the same simulation"
+/// exactly when these match.
+fn report_bits(r: &RunReport) -> (u64, u64, u64, Vec<u64>, RunStats, Option<Vec<u64>>) {
+    let throttle = r.throttle.as_ref().map(|t| {
+        vec![
+            t.throttled_fraction.to_bits(),
+            t.activations as u64,
+            t.decisions as u64,
+            t.throttled_worker_s.to_bits(),
+            t.duty_writes,
+            t.safe_mode_decisions as u64,
+            t.missed_deadlines,
+            t.daemon_kills,
+            t.daemon_restarts,
+            u64::from(t.daemon_gave_up),
+            t.checkpoint_restores,
+            t.failed_duty_applies,
+            t.breaker_trips,
+            t.forced_duty_resets,
+        ]
+    });
+    (
+        r.elapsed_s.to_bits(),
+        r.joules.to_bits(),
+        r.avg_watts.to_bits(),
+        r.chip_temps_c.iter().map(|t| t.to_bits()).collect(),
+        r.stats,
+        throttle,
+    )
+}
+
+fn run_scenario(name: &str, driver: EventDriver) -> RunReport {
+    let sc = scenario(name).expect("registered scenario");
+    let mut cfg = sc.config;
+    cfg.runtime.event_driver = driver;
+    let mut m = Maestro::new(cfg);
+    m.run(sc.name, &mut (), sc.spec.into_task())
+}
+
+/// The clean registry: every scenario reports bit-identically under the
+/// queue and scan drivers.
+#[test]
+fn drivers_agree_on_every_scenario() {
+    for name in SCENARIO_NAMES {
+        let q = run_scenario(name, EventDriver::Queue);
+        let s = run_scenario(name, EventDriver::Scan);
+        assert!(q.elapsed_s > 0.0 && q.joules > 0.0, "{name}: degenerate run");
+        assert_eq!(report_bits(&q), report_bits(&s), "{name}: drivers diverged");
+    }
+}
+
+/// The chaos seed matrix (narrowable with `CHAOS_SEED=<n>`, as in
+/// `chaos_control_loop.rs`).
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be an integer seed")],
+        Err(_) => (1..=8).collect(),
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One seeded chaos run of the contended adaptive scenario under `driver`:
+/// scripted daemon kills, transient probe faults, and duty-write faults,
+/// all derived deterministically from `seed`.
+fn chaos_run(seed: u64, driver: EventDriver) -> RunReport {
+    let mut rng = seed;
+    let n_kills = 1 + (splitmix(&mut rng) % 2) as usize;
+    let kills: Vec<u64> = (0..n_kills)
+        .map(|i| 200 * MS + i as u64 * 300 * MS + splitmix(&mut rng) % (100 * MS))
+        .collect();
+    let read_plan = FaultPlan::new(seed)
+        .with_transient_error_rate(0.05 + 0.10 * unit_f64(&mut rng))
+        .with_drop_sample_rate(0.05 * unit_f64(&mut rng))
+        .with_sample_jitter(2 * MS)
+        .with_daemon_kills(&kills);
+    let write_plan = FaultPlan::new(seed ^ 0x5eed)
+        .with_duty_write_fail_rate(0.10 + 0.15 * unit_f64(&mut rng))
+        .with_duty_write_torn_rate(0.10 * unit_f64(&mut rng));
+
+    let sc = scenario("contended-adaptive").expect("registered scenario");
+    let mut cfg: MaestroConfig = sc.config;
+    cfg.runtime.event_driver = driver;
+    cfg.controller.faults = Some(read_plan);
+    let mut m = Maestro::try_new(cfg).expect("valid config");
+    m.runtime_mut().set_actuation_faults(Some(write_plan));
+    m.try_run(sc.name, &mut (), sc.spec.into_task())
+        .unwrap_or_else(|e| panic!("seed {seed} ({driver:?}): chaos run failed: {e}"))
+}
+
+/// Under every seeded fault schedule, the two drivers stay bit-identical —
+/// fault injection, daemon restarts, and actuator retries included.
+#[test]
+fn drivers_agree_on_chaos_seed_matrix() {
+    for seed in seeds() {
+        let q = chaos_run(seed, EventDriver::Queue);
+        let s = chaos_run(seed, EventDriver::Scan);
+        assert_eq!(
+            report_bits(&q),
+            report_bits(&s),
+            "CHAOS_SEED={seed}: drivers diverged under faults"
+        );
+    }
+}
+
+/// `event_driver` is a lookup strategy, not simulation state: a run
+/// suspended under the queue driver resumes under the scan driver (and
+/// vice versa) bit-identically to an unbroken queue-driver run.
+#[test]
+fn snapshots_interoperate_across_drivers() {
+    const SUSPEND_NS: u64 = 150 * MS;
+    let sc = scenario("contended-adaptive").expect("registered scenario");
+
+    let unbroken = {
+        let mut cfg = sc.config.clone();
+        cfg.runtime.event_driver = EventDriver::Queue;
+        let mut m = Maestro::new(cfg);
+        // Fence-matched: the unbroken run must advance its clock through
+        // the same fence as the suspended pair.
+        m.run_captured(
+            sc.name,
+            &mut (),
+            sc.spec.clone().into_task(),
+            &SnapshotPlan::none().with_fence(SUSPEND_NS),
+        )
+        .expect("capture succeeds")
+        .report()
+        .expect("unbroken run completes")
+    };
+
+    for (first, second) in
+        [(EventDriver::Queue, EventDriver::Scan), (EventDriver::Scan, EventDriver::Queue)]
+    {
+        let snap = {
+            let mut cfg = sc.config.clone();
+            cfg.runtime.event_driver = first;
+            let mut m = Maestro::new(cfg);
+            m.run_captured(
+                sc.name,
+                &mut (),
+                sc.spec.clone().into_task(),
+                &SnapshotPlan::suspend_at(SUSPEND_NS),
+            )
+            .expect("capture succeeds")
+            .suspended()
+            .expect("run suspends at the fence")
+        };
+        let resumed = {
+            let mut cfg = sc.config.clone();
+            cfg.runtime.event_driver = second;
+            let mut m = Maestro::new(cfg);
+            m.resume_captured(&mut (), &snap, &SnapshotPlan::none())
+                .expect("resume succeeds")
+                .report()
+                .expect("resumed run completes")
+        };
+        assert_eq!(
+            report_bits(&unbroken),
+            report_bits(&resumed),
+            "suspend under {first:?} + resume under {second:?} diverged from unbroken run"
+        );
+    }
+}
