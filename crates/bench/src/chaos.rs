@@ -1,0 +1,78 @@
+//! Shared chaos-suite plumbing: seed matrices and reproducible failure
+//! context.
+//!
+//! Every chaos suite in the repository (the PR-3/4 control-loop sweep, the
+//! PR-8 fleet sweep) runs seeded fault schedules and must make a red CI
+//! line reproducible on its own. The two pieces they share live here:
+//! [`seeds`] reads the `CHAOS_SEED` narrowing convention the CI chaos
+//! matrix uses to fan one seed per job, and [`with_chaos_context`] re-
+//! raises any assertion failure with the seed, the active fault schedule,
+//! and the virtual timestamp attached.
+
+use std::cell::Cell;
+
+/// The chaos seed matrix: all of `1..=max` locally, a single seed when
+/// `CHAOS_SEED=<n>` is set (how the CI matrix splits the sweep across
+/// jobs).
+pub fn seeds(max: u64) -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be an integer seed")],
+        Err(_) => (1..=max).collect(),
+    }
+}
+
+/// Run `body` with chaos context attached to any assertion failure inside
+/// it: the active seed (what `CHAOS_SEED=<n>` would replay), the fault
+/// schedule that was live, and the virtual timestamp the run had reached
+/// (`t_ns` — the body updates it once the clock exists). Every panic is
+/// re-raised with that header, so a red CI line is reproducible on its own.
+pub fn with_chaos_context<R>(
+    seed: u64,
+    schedule: &str,
+    t_ns: &Cell<u64>,
+    body: impl FnOnce() -> R,
+) -> R {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "chaos assertion failed at t={} ns (CHAOS_SEED={seed})\n\
+                 fault schedule: {schedule}\n{msg}",
+                t_ns.get()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_reraises_with_seed_schedule_and_time() {
+        let t = Cell::new(0u64);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_chaos_context(42, "loss=0.5", &t, || {
+                t.set(1_234);
+                panic!("inner failure");
+            })
+        }))
+        .expect_err("must propagate");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("CHAOS_SEED=42"), "{msg}");
+        assert!(msg.contains("loss=0.5"), "{msg}");
+        assert!(msg.contains("t=1234 ns"), "{msg}");
+        assert!(msg.contains("inner failure"), "{msg}");
+    }
+
+    #[test]
+    fn passing_bodies_return_their_value() {
+        let t = Cell::new(0u64);
+        assert_eq!(with_chaos_context(1, "none", &t, || 7), 7);
+    }
+}

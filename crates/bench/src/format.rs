@@ -9,6 +9,7 @@
 use crate::experiments::{
     AblationRow, ColdStart, CompilerRow, DutyCycleProbe, OverheadProbe, ScalingCurve, ThrottleRow,
 };
+use maestro_fleet::FleetReport;
 use std::fmt::Write;
 
 fn header_line(out: &mut String, title: &str) {
@@ -219,6 +220,16 @@ pub fn render_dutycycle(p: &DutyCycleProbe) -> String {
         "duty-register write latency : {:>6.1} µs (≈250 memory operations)",
         p.duty_write_latency_ns as f64 / 1000.0
     );
+    out
+}
+
+/// Render a fleet run: title line, then the report's own deterministic
+/// rendering (aggregate energy/cap-safety/fault lines plus the per-node
+/// throttle statistics table).
+pub fn render_fleet(title: &str, report: &FleetReport) -> String {
+    let mut out = String::new();
+    header_line(&mut out, title);
+    out.push_str(&report.render());
     out
 }
 

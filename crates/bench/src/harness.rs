@@ -1,104 +1,31 @@
 //! Scoped-thread work queue for fanning independent simulations across
 //! host cores.
 //!
-//! Every experiment cell (one workload × compiler × thread-count run) is a
-//! self-contained deterministic simulation: it builds its own [`Machine`],
-//! runtime, and workload from value-typed configuration, shares no mutable
-//! state with any other cell, and produces the same bits regardless of
-//! which host thread executes it or when. That makes the fan-out trivially
-//! safe: run cells in any order on any number of threads, collect results
-//! *by index*, and the assembled tables are byte-identical to a serial run.
+//! The implementation was born here in PR 5 for fanning experiment cells;
+//! PR 8 promoted it to [`maestro_fleet::harness`] so the fleet crate can
+//! shard node simulations without depending on the bench crate. This
+//! module re-exports it unchanged — every `harness::parallel_map` call
+//! site in the bench crate and its tests keeps working verbatim.
 //!
-//! [`Machine`]: maestro_machine::Machine
+//! The contract is unchanged too: each mapped cell must be a
+//! self-contained deterministic computation (builds its own state from
+//! value-typed configuration, shares nothing mutable), so results
+//! collected *by index* are byte-identical to a serial run for any job
+//! count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Worker-thread count used when the CLI gives no `--jobs N`:
-/// `MAESTRO_BENCH_JOBS` if set to a positive integer, otherwise the host's
-/// available parallelism, otherwise 1.
-pub fn default_jobs() -> usize {
-    if let Ok(v) = std::env::var("MAESTRO_BENCH_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Map `f` over `0..n` on up to `jobs` scoped threads, returning results
-/// in index order.
-///
-/// With `jobs <= 1` (or a single item) this degenerates to a plain serial
-/// in-order loop — no threads, no locks — so `--jobs 1` is exactly the
-/// pre-parallel harness. Otherwise worker threads claim indices from a
-/// shared atomic counter (dynamic scheduling: long cells don't convoy
-/// short ones) and deposit each result into its own slot.
-///
-/// # Panics
-///
-/// Propagates a panic from any invocation of `f` (the scope joins all
-/// workers first).
-pub fn parallel_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index produced a result")
-        })
-        .collect()
-}
+pub use maestro_fleet::harness::{default_jobs, parallel_map};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn serial_and_parallel_agree() {
-        let f = |i: usize| i * i + 1;
-        let serial = parallel_map(37, 1, f);
-        for jobs in [2, 3, 8, 64] {
-            assert_eq!(parallel_map(37, jobs, f), serial);
+    fn reexported_parallel_map_matches_serial() {
+        let f = |i: usize| i * 3 + 1;
+        let serial = parallel_map(23, 1, f);
+        for jobs in [2, 8] {
+            assert_eq!(parallel_map(23, jobs, f), serial);
         }
-    }
-
-    #[test]
-    fn empty_and_single() {
-        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
-        assert_eq!(parallel_map(1, 4, |i| i + 7), vec![7]);
-    }
-
-    #[test]
-    fn more_jobs_than_items() {
-        assert_eq!(parallel_map(3, 16, |i| i), vec![0, 1, 2]);
-    }
-
-    #[test]
-    fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
     }
 }

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod format;
 pub mod gate;

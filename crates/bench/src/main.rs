@@ -11,6 +11,7 @@ use maestro::{Maestro, MaestroRunEnd, MaestroSnapshot};
 use maestro_bench::experiments::{self, FigureGroup, ThrottleTarget};
 use maestro_bench::gate::{GateInputs, GateReport};
 use maestro_bench::{format, harness, perf, scenario};
+use maestro_fleet::Fleet;
 use maestro_runtime::SnapshotPlan;
 use maestro_workloads::{Family, Scale};
 use std::fmt::Write as _;
@@ -39,6 +40,11 @@ usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment
   own run_captured call), rebuilds the named scenario, and resumes it —
   to completion, or to the virtual timestamp --until T_NS (time-travel:
   re-executes only the snapshot->failure window, no cold-start prefix).
+  Fleet node snapshots (written by the fleet chaos suites) replay the same
+  way: the single crashed shard is rebuilt from its fleet scenario name and
+  advanced in isolation — with no coordinator, its lease expires and the
+  node degrades to its floor cap, which is exactly the LeaseExpired path
+  being triaged.
 
 experiments:
   table1      Table I    — GCC vs ICC at -O2, 16 threads
@@ -56,18 +62,42 @@ experiments:
   dutycycle   §IV        — low-power spin state savings
   overhead    §IV-B      — controller overhead on a scaling benchmark
   ablation    §IV/§V     — duty-cycle vs DVFS vs power-cap on LULESH
+  fleet       §V outlook — fleet power coordination under correlated failures
   all         everything above, in order
+
+  fleet runs scenario 'fleet-correlated-failures' (120 nodes, rolling load
+  wave, correlated crash wave + rack partition + lossy grant channel) at
+  paper scale, or 'fleet-smoke' (8 nodes) under --test-scale, and reports
+  fleet energy, the cap-violation count (0 by invariant), and per-node
+  throttle statistics.
 ";
 
 /// PR tag stamped into `--json` perf reports; bump alongside a new
 /// committed `BENCH_PR<N>.json` trajectory point.
-const PR_LABEL: &str = "PR7";
+const PR_LABEL: &str = "PR8";
 
 /// Every experiment `all` expands to, in print order.
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "table4", "table5", "table6",
-    "table7", "coldstart", "dutycycle", "overhead", "ablation",
+    "table7", "coldstart", "dutycycle", "overhead", "ablation", "fleet",
 ];
+
+/// Run the fleet coordination drill at the requested scale and render it.
+fn render_fleet_experiment(scale: Scale, jobs: usize) -> String {
+    let name = if scale == Scale::Test { "fleet-smoke" } else { "fleet-correlated-failures" };
+    let sc = scenario::fleet_scenario(name).expect("registered fleet scenario");
+    let epochs = sc.epochs;
+    let nodes = sc.config.nodes;
+    let mut fleet = Fleet::new(sc.config);
+    fleet.advance_epochs(epochs, jobs);
+    let report = fleet.report();
+    format::render_fleet(
+        &format!(
+            "Fleet power coordination — scenario '{name}' ({nodes} nodes, {epochs} epochs)"
+        ),
+        &report,
+    )
+}
 
 /// Render one experiment to its output text, or `None` for an unknown name.
 fn render_one(name: &str, scale: Scale, csv: bool, jobs: usize) -> Option<String> {
@@ -141,6 +171,7 @@ fn render_one(name: &str, scale: Scale, csv: bool, jobs: usize) -> Option<String
         "dutycycle" => format::render_dutycycle(&experiments::dutycycle_probe()),
         "overhead" => format::render_overhead(&experiments::overhead_probe(scale, jobs)),
         "ablation" => format::render_ablation(&experiments::ablation(scale, jobs)),
+        "fleet" => render_fleet_experiment(scale, jobs),
         _ => return None,
     })
 }
@@ -174,6 +205,7 @@ fn perf_report_json(
     timed: &[Timed],
     micro: &perf::MicroPerf,
     fork: &perf::ForkSweepPerf,
+    fleet: &perf::FleetPerf,
     total_wall_s: f64,
 ) -> String {
     let mut out = String::new();
@@ -214,6 +246,16 @@ fn perf_report_json(
     let _ = writeln!(out, "    \"cold_wall_s\": {:.4},", fork.cold_wall_s);
     let _ = writeln!(out, "    \"warm_wall_s\": {:.4},", fork.warm_wall_s);
     let _ = writeln!(out, "    \"speedup\": {:.3}", fork.speedup);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"fleet\": {{");
+    let _ = writeln!(out, "    \"nodes\": {},", fleet.nodes);
+    let _ = writeln!(out, "    \"virtual_s\": {:.1},", fleet.virtual_s);
+    let _ = writeln!(out, "    \"wall_s\": {:.4},", fleet.wall_s);
+    let _ = writeln!(
+        out,
+        "    \"node_virtual_s_per_wall_s\": {:.0}",
+        fleet.node_virtual_s_per_wall_s
+    );
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
     out
@@ -320,6 +362,11 @@ fn run_replay(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
+    // Fleet node snapshots carry their own magic; sniff for it first and
+    // fall through to the Maestro snapshot format otherwise.
+    if let Ok(fleet_snap) = scenario::read_fleet_node_snapshot(&bytes) {
+        run_fleet_replay(&fleet_snap, until, &path);
+    }
     let snap = match MaestroSnapshot::from_bytes(&bytes) {
         Ok(s) => s,
         Err(e) => {
@@ -390,6 +437,65 @@ fn run_replay(args: &[String]) -> ! {
     }
 }
 
+/// Replay a single fleet shard from a fleet node snapshot: rebuild the
+/// node under its registered fleet scenario and advance it in isolation.
+/// With no coordinator feeding it grants, its lease expires on the event
+/// timer and the node degrades to its floor cap — the exact LeaseExpired
+/// sequence fleet chaos failures need triaged. Exit codes match `replay`.
+fn run_fleet_replay(snap: &scenario::FleetNodeSnapshot, until: Option<u64>, path: &str) -> ! {
+    let Some(sc) = scenario::fleet_scenario(&snap.scenario) else {
+        eprintln!(
+            "snapshot names fleet scenario '{}', which this binary does not know; \
+             known fleet scenarios: {}",
+            snap.scenario,
+            scenario::FLEET_SCENARIO_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+    let (mut node, captured_ns) = match Fleet::restore_node(&sc.config, &snap.node_blob) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{path} does not restore under scenario '{}': {e}", snap.scenario);
+            std::process::exit(2);
+        }
+    };
+    if let Some(t) = until {
+        if t <= captured_ns {
+            eprintln!(
+                "--until {t} is not after the snapshot time {captured_ns} ns; nothing to replay"
+            );
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "replaying fleet scenario '{}' node {} from snapshot at t={} ns ({})",
+        snap.scenario,
+        node.id(),
+        captured_ns,
+        path
+    );
+    // Default horizon: one more coordination epoch past the capture point.
+    let target = until.unwrap_or(captured_ns + sc.config.epoch_ns);
+    let before = node.trace().len();
+    node.advance_to(target);
+    println!(
+        "replayed {} ns of virtual time ({} -> {} ns); {} new trace events, \
+         node {} with enforced cap {:.1} W, throttle level {}, {:.3} J total",
+        target - captured_ns,
+        captured_ns,
+        target,
+        node.trace().len() - before,
+        if node.up() { "up" } else { "down" },
+        node.enforced_cap_w(),
+        node.throttle_level(),
+        node.energy_j(),
+    );
+    for (t, e) in &node.trace()[before..] {
+        println!("  t={t} ns  {e:?}");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("replay") {
@@ -455,7 +561,8 @@ fn main() {
     if let Some(path) = json_path {
         let micro = perf::micro_perf();
         let fork = perf::fork_sweep_probe(jobs);
-        let report = perf_report_json(scale, jobs, &timed, &micro, &fork, total_wall_s);
+        let fleet = perf::fleet_advance_probe(jobs);
+        let report = perf_report_json(scale, jobs, &timed, &micro, &fork, &fleet, total_wall_s);
         if let Err(e) = std::fs::write(&path, report) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

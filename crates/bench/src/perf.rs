@@ -172,9 +172,60 @@ pub fn fork_sweep_probe(jobs: usize) -> ForkSweepPerf {
     }
 }
 
+/// Fleet-advance throughput recorded in the `BENCH_PR*.json` trajectory
+/// (since PR 8): how many node×virtual-seconds of fleet simulation one
+/// wall-clock second buys.
+#[derive(Copy, Clone, Debug)]
+pub struct FleetPerf {
+    /// Nodes in the probe fleet.
+    pub nodes: usize,
+    /// Virtual seconds each node was advanced.
+    pub virtual_s: f64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// `nodes * virtual_s / wall_s` — the headline throughput.
+    pub node_virtual_s_per_wall_s: f64,
+}
+
+/// Time a mid-sized fault-free fleet (32 nodes, 20 epochs of 1 s) fanned
+/// over the job pool. Fault-free so the number tracks the simulation hot
+/// path, not the fault schedule's density.
+pub fn fleet_advance_probe(jobs: usize) -> FleetPerf {
+    use maestro_fleet::{Fleet, FleetConfig};
+
+    const NODES: usize = 32;
+    const EPOCHS: u64 = 20;
+    // Warm-up round, then one timed round.
+    let mut wall_s = 0.0;
+    for round in 0..2 {
+        let mut fleet = Fleet::new(FleetConfig::new(NODES, 95.0, 1));
+        let start = Instant::now();
+        fleet.advance_epochs(EPOCHS, jobs);
+        let dt = start.elapsed().as_secs_f64();
+        black_box(fleet.report().total_energy_j);
+        if round > 0 {
+            wall_s = dt;
+        }
+    }
+    let virtual_s = EPOCHS as f64;
+    FleetPerf {
+        nodes: NODES,
+        virtual_s,
+        wall_s,
+        node_virtual_s_per_wall_s: NODES as f64 * virtual_s / wall_s,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_probe_reports_positive_throughput() {
+        let p = fleet_advance_probe(2);
+        assert_eq!(p.nodes, 32);
+        assert!(p.node_virtual_s_per_wall_s.is_finite() && p.node_virtual_s_per_wall_s > 0.0);
+    }
 
     #[test]
     fn probes_produce_finite_positive_numbers() {

@@ -16,6 +16,8 @@
 use std::path::{Path, PathBuf};
 
 use maestro::{MaestroConfig, MaestroSnapshot, Policy};
+use maestro_fleet::{Fleet, FleetConfig, FleetFaultPlan};
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::Cost;
 use maestro_runtime::TaskSpec;
 
@@ -77,6 +79,110 @@ pub fn limit_variant(base: &MaestroConfig, limit_per_shepherd: usize) -> Maestro
     let mut cfg = base.clone();
     cfg.policy = Policy::Adaptive { limit_per_shepherd };
     cfg
+}
+
+// ---------------------------------------------------------------------
+// Fleet scenarios
+// ---------------------------------------------------------------------
+
+/// A named, reproducible fleet recipe: the [`FleetConfig`] plus how many
+/// coordination epochs the experiment runs.
+#[derive(Clone, Debug)]
+pub struct FleetScenario {
+    /// Registry name (carried in fleet node snapshot files).
+    pub name: &'static str,
+    /// The fleet configuration (nodes, caps, faults — all of it).
+    pub config: FleetConfig,
+    /// Epochs the canonical experiment runs.
+    pub epochs: u64,
+}
+
+/// Every fleet scenario name the registry resolves.
+pub const FLEET_SCENARIO_NAMES: &[&str] =
+    &["fleet-smoke", "fleet-baseline", "fleet-correlated-failures"];
+
+/// Resolve a fleet scenario by name. Pure: the same name always produces
+/// the same configuration, so a node snapshot taken under
+/// `fleet_scenario(n)` can be restored by any process that can call
+/// `fleet_scenario(n)`.
+pub fn fleet_scenario(name: &str) -> Option<FleetScenario> {
+    let (config, epochs) = match name {
+        // CI-sized chaos cocktail: every fault class on 8 nodes.
+        "fleet-smoke" => {
+            let mut cfg = FleetConfig::new(8, 100.0, 8);
+            cfg.nodes_per_rack = 4;
+            cfg.faults = FleetFaultPlan::new(8)
+                .with_crash_wave(3_000_000_000, 2, 2, 200_000_000)
+                .with_partition(5_000_000_000, 8_000_000_000, 4, 2)
+                .with_grant_loss_rate(0.15)
+                .with_grant_dup_rate(0.10)
+                .with_grant_delay(0.25, 500_000_000)
+                .with_report_loss_rate(0.10);
+            (cfg, 12)
+        }
+        // Fault-free control: the coordinator tracking the rolling wave.
+        "fleet-baseline" => (FleetConfig::new(32, 95.0, 1), 30),
+        // The §V-style drill: ≥100 nodes under a rolling load wave, hit by
+        // a correlated crash wave (three racks, staggered) and a rack-scale
+        // telemetry partition, over a lossy grant channel.
+        "fleet-correlated-failures" => {
+            let mut cfg = FleetConfig::new(120, 95.0, 42);
+            cfg.faults = FleetFaultPlan::new(42)
+                .with_crash_wave(20_000_000_000, 40, 24, 250_000_000)
+                .with_partition(30_000_000_000, 45_000_000_000, 80, 24)
+                .with_grant_loss_rate(0.10)
+                .with_grant_dup_rate(0.05)
+                .with_grant_delay(0.20, 800_000_000)
+                .with_report_loss_rate(0.10)
+                .with_daemon_faults(0.01, 7_000_000_000);
+            (cfg, 60)
+        }
+        _ => return None,
+    };
+    Some(FleetScenario {
+        name: FLEET_SCENARIO_NAMES.iter().find(|&&n| n == name)?,
+        config,
+        epochs,
+    })
+}
+
+/// Magic string opening a fleet node snapshot file (distinguishes it from
+/// a [`MaestroSnapshot`] for the replay CLI's format sniffing).
+const FLEET_SNAP_MAGIC: &str = "maestro-fleet-node-snap/v1";
+
+/// Serialize one fleet node's state for `maestro-bench replay`: the
+/// scenario name travels with the bytes, so the replay CLI can rebuild the
+/// exact [`FleetConfig`] the shard was running under.
+pub fn write_fleet_node_snapshot(scenario_name: &str, fleet: &Fleet, node: usize) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.str(FLEET_SNAP_MAGIC);
+    w.str(scenario_name);
+    w.blob(&fleet.snapshot_node(node));
+    w.finish()
+}
+
+/// A parsed fleet node snapshot file: scenario name plus the inner
+/// [`Fleet::snapshot_node`] blob (validated against the scenario's config
+/// fingerprint at restore time).
+#[derive(Clone, Debug)]
+pub struct FleetNodeSnapshot {
+    /// The fleet scenario the shard was running under.
+    pub scenario: String,
+    /// The inner node-state blob for [`Fleet::restore_node`].
+    pub node_blob: Vec<u8>,
+}
+
+/// Parse a fleet node snapshot file. `Err` means the bytes are not this
+/// format (fall through to other snapshot kinds) or are truncated.
+pub fn read_fleet_node_snapshot(bytes: &[u8]) -> Result<FleetNodeSnapshot, SnapError> {
+    let mut r = SnapReader::new(bytes);
+    if r.str()? != FLEET_SNAP_MAGIC {
+        return Err(SnapError::Corrupt("not a fleet node snapshot"));
+    }
+    let scenario = r.str()?;
+    let node_blob = r.blob()?.to_vec();
+    r.finish()?;
+    Ok(FleetNodeSnapshot { scenario, node_blob })
 }
 
 /// The nearest snapshot at or before `failure_t_ns` — the time-travel entry
@@ -192,6 +298,33 @@ mod tests {
         let end =
             m2.resume_captured(&mut (), &restored, &SnapshotPlan::none()).unwrap().end;
         assert!(matches!(end, MaestroRunEnd::Completed(_)), "{end:?}");
+    }
+
+    #[test]
+    fn every_registered_fleet_scenario_resolves() {
+        for name in FLEET_SCENARIO_NAMES {
+            let sc = fleet_scenario(name).expect("registered fleet name resolves");
+            assert_eq!(sc.name, *name);
+            assert!(sc.config.nodes >= 8 && sc.epochs > 0);
+        }
+        assert!(fleet_scenario("no-such-fleet").is_none());
+        let big = fleet_scenario("fleet-correlated-failures").unwrap();
+        assert!(big.config.nodes >= 100, "the §V drill is fleet-scale");
+    }
+
+    #[test]
+    fn fleet_node_snapshot_file_round_trips() {
+        let sc = fleet_scenario("fleet-smoke").unwrap();
+        let mut fleet = Fleet::new(sc.config.clone());
+        fleet.advance_epochs(4, 2);
+        let bytes = write_fleet_node_snapshot(sc.name, &fleet, 2);
+        let parsed = read_fleet_node_snapshot(&bytes).unwrap();
+        assert_eq!(parsed.scenario, "fleet-smoke");
+        let (node, t) = Fleet::restore_node(&sc.config, &parsed.node_blob).unwrap();
+        assert_eq!(t, fleet.now_ns());
+        assert_eq!(node.trace(), fleet.node(2).trace());
+        // A Maestro snapshot is not mistaken for a fleet one and vice versa.
+        assert!(read_fleet_node_snapshot(b"garbage").is_err());
     }
 
     #[test]

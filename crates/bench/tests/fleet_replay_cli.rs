@@ -1,0 +1,83 @@
+//! End-to-end test of `maestro-bench replay` on a fleet node snapshot:
+//! run the registered smoke fleet to the middle of its crash wave, write
+//! the crashed shard's snapshot with the library, then drive the compiled
+//! binary over it.
+
+use maestro_bench::scenario::{fleet_scenario, write_fleet_node_snapshot};
+use maestro_fleet::Fleet;
+use std::process::Command;
+
+const SEC: u64 = 1_000_000_000;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_maestro-bench"))
+}
+
+/// Run `fleet-smoke` to 4 s (past its 3 s crash wave) and snapshot node 2
+/// — the first node the wave takes down.
+fn write_crashed_shard_snapshot(tag: &str) -> (std::path::PathBuf, u64) {
+    let sc = fleet_scenario("fleet-smoke").expect("registered fleet scenario");
+    let mut fleet = Fleet::new(sc.config);
+    fleet.advance_epochs(4, 2);
+    assert!(
+        fleet.node(2).stats().crashes >= 1,
+        "scenario drift: node 2 should have crashed by 4 s"
+    );
+    let bytes = write_fleet_node_snapshot(sc.name, &fleet, 2);
+    let path = std::env::temp_dir().join(format!("maestro-fleet-replay-cli-{tag}.snap"));
+    std::fs::write(&path, bytes).expect("snapshot written");
+    (path, fleet.now_ns())
+}
+
+#[test]
+fn fleet_shard_replays_from_its_snapshot() {
+    let (path, captured_ns) = write_crashed_shard_snapshot("until");
+    assert_eq!(captured_ns, 4 * SEC);
+    let until = 9 * SEC;
+    let out = bin()
+        .args(["replay", "--snapshot", path.to_str().unwrap(), "--until", &until.to_string()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("replaying fleet scenario 'fleet-smoke' node 2"), "{stdout}");
+    assert!(stdout.contains(&format!("replayed {} ns of virtual time", until - captured_ns)), "{stdout}");
+    // Replayed in isolation the shard gets no fresh grants: the restored
+    // lease state ends at the floor, visible in the replay summary.
+    assert!(stdout.contains("enforced cap 40.0 W"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn fleet_replay_without_until_advances_one_epoch() {
+    let (path, captured_ns) = write_crashed_shard_snapshot("one-epoch");
+    let out = bin()
+        .args(["replay", "--snapshot", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains(&format!("{} -> {} ns", captured_ns, captured_ns + SEC)), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn fleet_replay_rejects_stale_until_and_unknown_scenario() {
+    let (path, captured_ns) = write_crashed_shard_snapshot("stale");
+    let out = bin()
+        .args([
+            "replay",
+            "--snapshot",
+            path.to_str().unwrap(),
+            "--until",
+            &(captured_ns - 1).to_string(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "--until before capture must be rejected");
+    std::fs::remove_file(path).ok();
+}

@@ -13,7 +13,7 @@
 //!   bound by adjusting the shepherd-local concurrency limit, the software
 //!   analogue of RAPL power clamping (Rountree et al., HP-PAC 2012).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use maestro_machine::{Machine, PState};
@@ -134,30 +134,56 @@ impl PowerCapTrace {
 /// Shared handle to a [`PowerCapTrace`].
 pub type PowerCapTraceHandle = Rc<RefCell<PowerCapTrace>>;
 
+/// Externally writable cap input for a [`PowerCapController`].
+///
+/// The fleet coordinator's budget-lease machinery owns one of these per
+/// node and moves it as leases are granted and expire; the controller reads
+/// it at every decision, so a cap change between two decisions takes effect
+/// at the next one — same phase relationship as a fixed cap.
+pub type CapHandle = Rc<Cell<f64>>;
+
 /// Keep whole-node power at or below a bound by adjusting the shepherd
 /// concurrency limit: over the cap → one fewer active worker per shepherd;
 /// comfortably under (≤ 92 %) → one more.
 pub struct PowerCapController {
     daemon: RcrDaemon,
-    cap_w: f64,
+    cap: CapHandle,
     max_limit: usize,
     trace: PowerCapTraceHandle,
 }
 
 impl PowerCapController {
-    /// Cap node power at `cap_w` Watts on `machine`'s topology.
+    /// Cap node power at a fixed `cap_w` Watts on `machine`'s topology.
     pub fn new(machine: &Machine, cap_w: f64) -> (Self, PowerCapTraceHandle) {
         assert!(cap_w > 0.0, "cap must be positive");
+        let (ctrl, trace, _) = Self::with_cap_handle(machine, Rc::new(Cell::new(cap_w)));
+        (ctrl, trace)
+    }
+
+    /// Cap node power at whatever `cap` holds at each decision point —
+    /// the lease-aware form. The returned [`CapHandle`] is the same `cap`
+    /// passed in, for callers that want to build-and-share in one line.
+    pub fn with_cap_handle(
+        machine: &Machine,
+        cap: CapHandle,
+    ) -> (Self, PowerCapTraceHandle, CapHandle) {
+        assert!(cap.get() > 0.0, "cap must be positive");
         let trace: PowerCapTraceHandle = Rc::new(RefCell::new(PowerCapTrace::default()));
         (
             PowerCapController {
                 daemon: RcrDaemon::new(machine),
-                cap_w,
+                cap: Rc::clone(&cap),
                 max_limit: machine.topology().cores_per_socket as usize,
                 trace: Rc::clone(&trace),
             },
             trace,
+            cap,
         )
+    }
+
+    /// The cap the next decision will enforce.
+    pub fn cap_w(&self) -> f64 {
+        self.cap.get()
     }
 }
 
@@ -170,13 +196,14 @@ impl Monitor for PowerCapController {
         // As above: on a failed tick the cap logic runs on the last good
         // power reading, which biases toward keeping the current limit.
         let _ = self.daemon.sample(machine);
+        let cap_w = self.cap.get();
         let node_w: f64 =
             self.daemon.blackboard().snapshot_all().iter().map(|s| s.power_w).sum();
         if self.daemon.samples_taken() >= 2 {
-            if node_w > self.cap_w {
+            if node_w > cap_w {
                 throttle.limit_per_shepherd = throttle.limit_per_shepherd.saturating_sub(1).max(1);
                 throttle.active = true;
-            } else if node_w <= self.cap_w * 0.92 && throttle.limit_per_shepherd < self.max_limit {
+            } else if node_w <= cap_w * 0.92 && throttle.limit_per_shepherd < self.max_limit {
                 throttle.limit_per_shepherd += 1;
                 if throttle.limit_per_shepherd >= self.max_limit {
                     throttle.active = false;
@@ -283,5 +310,21 @@ mod tests {
         drive(&mut m, &mut ctrl, &mut throttle, 2.0);
         assert!(!throttle.active, "well under the cap: limit fully relaxed");
         assert_eq!(throttle.limit_per_shepherd, 8);
+    }
+
+    #[test]
+    fn cap_handle_moves_the_cap_between_decisions() {
+        let mut m = hot_machine(); // ~150 W loaded
+        let cap: CapHandle = Rc::new(Cell::new(500.0)); // generous: no throttling
+        let (mut ctrl, _t, cap) = PowerCapController::with_cap_handle(&m, cap);
+        assert_eq!(ctrl.cap_w(), 500.0);
+        let mut throttle = ThrottleState::new(8);
+        drive(&mut m, &mut ctrl, &mut throttle, 2.0);
+        assert_eq!(throttle.limit_per_shepherd, 8, "under a 500 W cap nothing tightens");
+        // A lease expiry slams the cap down; the very next decision reacts.
+        cap.set(80.0);
+        drive(&mut m, &mut ctrl, &mut throttle, 2.0);
+        assert!(throttle.active);
+        assert!(throttle.limit_per_shepherd < 8, "cap drop must tighten: {throttle:?}");
     }
 }

@@ -202,6 +202,11 @@ pub struct Machine {
     /// activity). The runtime compares this against its last-seen value to
     /// decide whether cached segment completion times need refolding.
     knob_epoch: u64,
+    /// Whether the node has power. An unpowered machine draws exactly 0 W
+    /// (no base, no leakage — silicon without voltage leaks nothing),
+    /// accrues no energy, and its packages cool passively toward ambient
+    /// via [`ThermalParams::cool`]. Fleet-level node crashes flip this.
+    powered: bool,
 }
 
 impl Machine {
@@ -227,6 +232,7 @@ impl Machine {
             ],
             power_cache: (0..n_sockets).map(|_| PowerCache::new()).collect(),
             knob_epoch: 0,
+            powered: true,
             cfg,
         };
         m.rebuild_core_arrays();
@@ -311,8 +317,13 @@ impl Machine {
             return;
         }
         let dt_s = (self.clock_ns - anchor) as f64 / NS_PER_SEC as f64;
-        let p_nonleak = self.socket_power_nonleak_w(socket);
-        let (temp_c, energy_j) = self.cfg.thermal.integrate(st.temp_c.get(), p_nonleak, dt_s);
+        let (temp_c, energy_j) = if self.powered {
+            let p_nonleak = self.socket_power_nonleak_w(socket);
+            self.cfg.thermal.integrate(st.temp_c.get(), p_nonleak, dt_s)
+        } else {
+            // Unpowered window: zero draw, pure Newton cooling.
+            (self.cfg.thermal.cool(st.temp_c.get(), dt_s), 0.0)
+        };
         st.temp_c.set(temp_c);
         st.energy_j.set(st.energy_j.get() + energy_j);
         st.anchor_ns.set(self.clock_ns);
@@ -347,6 +358,41 @@ impl Machine {
     /// execution rates has changed.
     pub fn knob_epoch(&self) -> u64 {
         self.knob_epoch
+    }
+
+    /// Whether the node currently has power.
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Cut or restore power to the whole node.
+    ///
+    /// Powering **off** first folds every socket to "now" (the window just
+    /// ended was powered), then forces all cores to `Idle` at `FULL` duty
+    /// and every package to `PState::MAX` — volatile execution state does
+    /// not survive an outage, and on the subsequent power-up the hardware
+    /// boots in its reset configuration, exactly the state
+    /// [`Machine::new`] constructs. While off, the machine draws 0 W,
+    /// accrues no energy, and cools toward ambient. Powering **on** folds
+    /// the cooling window and resumes normal integration; the clock and
+    /// energy counters are continuous across the outage (the energy
+    /// integral over it is exactly zero). Redundant writes are no-ops.
+    pub fn set_powered(&mut self, on: bool) {
+        if self.powered == on {
+            return;
+        }
+        // Fold the window that just ended under the *old* power state.
+        self.sync_all();
+        self.powered = on;
+        if !on {
+            self.duty.fill(DutyCycle::FULL);
+            self.activity.fill(CoreActivity::Idle);
+            for s in &mut self.sockets {
+                s.pstate = PState::MAX;
+            }
+            self.rebuild_core_arrays();
+        }
+        self.knob_epoch += 1;
     }
 
     /// Declare what `core` does from now until the next activity change.
@@ -445,14 +491,21 @@ impl Machine {
     }
 
     /// Instantaneous power of `socket` (Watts), including leakage at the
-    /// present temperature.
+    /// present temperature. Exactly zero while the node is unpowered (no
+    /// voltage ⇒ no leakage either, however warm the package still is).
     pub fn socket_power_w(&self, socket: SocketId) -> f64 {
         self.sync_socket(socket);
+        if !self.powered {
+            return 0.0;
+        }
         self.socket_power_nonleak_w(socket)
             + self.cfg.thermal.leakage_w(self.sockets[socket.index()].temp_c.get())
     }
 
     fn socket_power_nonleak_w(&self, socket: SocketId) -> f64 {
+        if !self.powered {
+            return 0.0;
+        }
         self.refresh_power_cache(socket);
         let cached = self.power_cache[socket.index()].nonleak_w.get();
         #[cfg(maestro_verify)]
@@ -464,6 +517,9 @@ impl Machine {
     /// validation reference for the cached aggregate. Reads no cache, so
     /// it is safe to call while the cache is being refreshed.
     fn compute_socket_power_nonleak_w(&self, socket: SocketId) -> f64 {
+        if !self.powered {
+            return 0.0;
+        }
         // DVFS lowers voltage with frequency, so all *dynamic* core power
         // scales by f·V²; the package base and memory system do not.
         let dvfs_scale = self.sockets[socket.index()].pstate.dynamic_power_fraction();
@@ -489,6 +545,9 @@ impl Machine {
     /// callers should use [`Machine::socket_power_w`].
     pub fn socket_power_brute_force_w(&self, socket: SocketId) -> f64 {
         self.sync_socket(socket);
+        if !self.powered {
+            return 0.0;
+        }
         self.compute_socket_power_nonleak_w(socket)
             + self.cfg.thermal.leakage_w(self.sockets[socket.index()].temp_c.get())
     }
@@ -567,6 +626,7 @@ impl Machine {
             w.f64(s.energy_j.get());
             w.u8(s.pstate.index() as u8);
         }
+        w.bool(self.powered);
     }
 
     /// Restore dynamic state captured by [`Machine::snap_state`] into this
@@ -613,10 +673,12 @@ impl Machine {
                 pstate,
             });
         }
+        let powered = r.bool()?;
         self.clock_ns = clock_ns;
         self.duty = duty;
         self.activity = activity;
         self.sockets = sockets;
+        self.powered = powered;
         self.rebuild_core_arrays();
         Ok(())
     }
@@ -954,6 +1016,94 @@ mod tests {
         assert_eq!(a.knob_epoch(), b.knob_epoch(), "redundant knob writes must not bump epoch");
         assert_eq!(a.total_energy_joules().to_bits(), b.total_energy_joules().to_bits());
         assert_eq!(a.temperature_c(SocketId(1)).to_bits(), b.temperature_c(SocketId(1)).to_bits());
+    }
+
+    #[test]
+    fn unpowered_node_draws_nothing_and_cools() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, busy(0.9, 2.0));
+        }
+        m.advance(2 * NS_PER_SEC);
+        let e_off = m.total_energy_joules();
+        let t_off = m.temperature_c(SocketId(0));
+        m.set_powered(false);
+        assert!(!m.powered());
+        assert_eq!(m.node_power_w(), 0.0);
+        assert_eq!(m.socket_power_brute_force_w(SocketId(0)), 0.0);
+        m.advance(30 * NS_PER_SEC);
+        // No energy accrues across the outage; the package cools.
+        assert_eq!(m.total_energy_joules().to_bits(), e_off.to_bits());
+        let t_cooled = m.temperature_c(SocketId(0));
+        assert!(t_cooled < t_off, "{t_cooled} !< {t_off}");
+        assert!(t_cooled > m.config().thermal.ambient_c);
+        // Cooling follows the closed form exactly.
+        let expect = m.config().thermal.cool(t_off, 30.0);
+        assert_eq!(t_cooled.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn power_cycle_boots_in_reset_state() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, busy(1.0, 1.0));
+            m.set_duty(c, DutyCycle::MIN);
+        }
+        m.set_pstate(SocketId(1), PState::MIN);
+        m.set_powered(false);
+        m.advance(5 * NS_PER_SEC);
+        m.set_powered(true);
+        assert!(m.powered());
+        for c in m.topology().all_cores() {
+            assert_eq!(m.activity(c), CoreActivity::Idle);
+            assert_eq!(m.duty(c), DutyCycle::FULL);
+        }
+        assert_eq!(m.pstate(SocketId(1)), PState::MAX);
+        // Back on: draws idle power again, energy resumes accruing.
+        assert!(m.node_power_w() > 0.0);
+        let e0 = m.total_energy_joules();
+        m.advance(NS_PER_SEC);
+        assert!(m.total_energy_joules() > e0);
+    }
+
+    #[test]
+    fn redundant_set_powered_is_noop() {
+        let mut m = machine();
+        let epoch = m.knob_epoch();
+        m.set_powered(true);
+        assert_eq!(m.knob_epoch(), epoch);
+        m.set_powered(false);
+        let epoch_off = m.knob_epoch();
+        m.set_powered(false);
+        assert_eq!(m.knob_epoch(), epoch_off);
+    }
+
+    #[test]
+    fn powered_flag_survives_snapshot_round_trip() {
+        let mut m = machine();
+        for c in m.topology().all_cores() {
+            m.set_activity(c, busy(0.6, 1.0));
+        }
+        m.advance(NS_PER_SEC);
+        m.set_powered(false);
+        m.advance(3 * NS_PER_SEC);
+        let mut w = SnapWriter::new();
+        m.snap_state(&mut w);
+        let bytes = w.finish();
+        let mut fresh = machine();
+        let mut r = SnapReader::new(&bytes);
+        fresh.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(!fresh.powered());
+        assert_eq!(fresh.node_power_w(), 0.0);
+        // Both machines cool identically after restore.
+        m.advance(7 * NS_PER_SEC);
+        fresh.advance(7 * NS_PER_SEC);
+        assert_eq!(
+            m.temperature_c(SocketId(0)).to_bits(),
+            fresh.temperature_c(SocketId(0)).to_bits()
+        );
+        assert_eq!(m.total_energy_joules().to_bits(), fresh.total_energy_joules().to_bits());
     }
 
     #[test]

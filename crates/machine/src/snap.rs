@@ -42,7 +42,11 @@ pub const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"MAESNAP\0");
 ///   at every fence. The serialized *fields* match v1, but the float bits a
 ///   replay produces do not, so v1 snapshots are rejected with
 ///   [`SnapError::BadVersion`] instead of silently diverging.
-pub const SNAP_VERSION: u32 = 2;
+/// * **v3** — the machine gains a `powered` flag (fleet node crash/restart
+///   support): a trailing bool in the machine block, and unpowered windows
+///   integrate with pure Newton cooling and zero energy. v2 blobs lack the
+///   field and are rejected.
+pub const SNAP_VERSION: u32 = 3;
 
 /// Errors surfaced while encoding or decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -79,6 +79,20 @@ impl ThermalParams {
         }
     }
 
+    /// Pure Newton cooling of an **unpowered** package: exponential decay
+    /// toward ambient with no heat input and no leakage (silicon without
+    /// voltage leaks nothing, so the energy integral over the window is
+    /// exactly zero and the passive time constant `C/k` applies throughout).
+    ///
+    /// Closed form, so — like [`ThermalParams::integrate`] — the result is
+    /// independent of how the window is partitioned into calls.
+    #[inline]
+    pub fn cool(&self, t0_c: f64, dt_s: f64) -> f64 {
+        debug_assert!(dt_s >= 0.0);
+        let tau = self.capacitance_j_per_k / self.conductance_w_per_k;
+        self.ambient_c + (t0_c.min(self.tj_max_c) - self.ambient_c) * (-dt_s / tau).exp()
+    }
+
     /// Advance temperature `t_c` by `dt_s` seconds under constant
     /// non-leakage power `p_w`, returning the new temperature.
     ///
@@ -262,6 +276,22 @@ mod tests {
         let cooled = th.step(hot, 5.0, 10.0);
         assert!(cooled < hot);
         assert!(cooled >= th.ambient_c);
+    }
+
+    #[test]
+    fn cool_is_pure_exponential_decay() {
+        let th = p();
+        let tau = th.capacitance_j_per_k / th.conductance_w_per_k;
+        let t1 = th.cool(80.0, tau);
+        let expect = th.ambient_c + (80.0 - th.ambient_c) * (-1.0f64).exp();
+        assert!((t1 - expect).abs() < 1e-12, "t1={t1} expect={expect}");
+        // Split-invariance: two half-windows equal one full window exactly.
+        let whole = th.cool(80.0, 7.5);
+        let split = th.cool(th.cool(80.0, 3.0), 4.5);
+        assert!((whole - split).abs() < 1e-9);
+        // Long horizon lands on ambient; zero dt is identity.
+        assert!((th.cool(80.0, 1e6) - th.ambient_c).abs() < 1e-9);
+        assert_eq!(th.cool(55.0, 0.0), 55.0);
     }
 
     #[test]

@@ -40,12 +40,14 @@ pub mod blackboard;
 pub mod classify;
 pub mod daemon;
 pub mod history;
+pub mod lease;
 pub mod region;
 pub mod supervisor;
 
 pub use blackboard::{Blackboard, HealthFlags, MeterDesc, SocketSnapshot};
 pub use classify::{Level, MeterThresholds, ThrottleSignals};
 pub use daemon::{DaemonCheckpoint, DaemonHealth, DropReason, RcrDaemon, SampleOutcome};
+pub use lease::{BudgetLease, LeaseDecision, LeaseSlot};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorOutcome, SupervisorStats};
 pub use history::SampleHistory;
 pub use region::{Region, RegionReport};

@@ -16,10 +16,12 @@
 //! | [`runtime`] | the Qthreads/Sherwood tasking runtime |
 //! | [`core`](mod@core) | the adaptive throttling controller + facade |
 //! | [`workloads`] | micro-benchmarks, BOTS, LULESH |
+//! | [`fleet`] | the fault-tolerant fleet power coordinator (§V outlook) |
 //! | [`bench`](mod@bench) | the table/figure reproduction harness |
 
 pub use maestro as core;
 pub use maestro_bench as bench;
+pub use maestro_fleet as fleet;
 pub use maestro_machine as machine;
 pub use maestro_rapl as rapl;
 pub use maestro_rcr as rcr;

@@ -25,6 +25,7 @@
 //! fans the seeds out across jobs; locally the whole set runs in-process.
 
 use maestro::{Maestro, MaestroConfig, MaestroRunEnd, MaestroSnapshot};
+use maestro_bench::chaos::with_chaos_context;
 use maestro_bench::scenario;
 use maestro_machine::{
     Actuator, ActuatorConfig, CoreActivity, Cost, DutyCycle, FaultPlan, Machine, MachineConfig,
@@ -42,10 +43,7 @@ const MS: u64 = 1_000_000;
 /// The seed matrix: all of 1..=8 locally, a single seed under `CHAOS_SEED`
 /// (how the CI matrix splits the sweep across jobs).
 fn seeds() -> Vec<u64> {
-    match std::env::var("CHAOS_SEED") {
-        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be an integer seed")],
-        Err(_) => (1..=8).collect(),
-    }
+    maestro_bench::chaos::seeds(8)
 }
 
 /// SplitMix64 — the same generator the fault plans use, reused here to
@@ -60,29 +58,6 @@ fn splitmix(state: &mut u64) -> u64 {
 
 fn unit_f64(state: &mut u64) -> f64 {
     (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
-}
-
-/// Run `body` with chaos context attached to any assertion failure inside
-/// it: the active seed (what `CHAOS_SEED=<n>` would replay), the fault
-/// schedule that was live, and the virtual timestamp the run had reached
-/// (`t_ns` — the body updates it once the clock exists). Every panic is
-/// re-raised with that header, so a red CI line is reproducible on its own.
-fn with_chaos_context<R>(seed: u64, schedule: &str, t_ns: &Cell<u64>, body: impl FnOnce() -> R) -> R {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
-        Ok(r) => r,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic payload>");
-            panic!(
-                "chaos assertion failed at t={} ns (CHAOS_SEED={seed})\n\
-                 fault schedule: {schedule}\n{msg}",
-                t_ns.get()
-            );
-        }
-    }
 }
 
 /// A hot, memory-contended workload (high intensity, high MLP) — the kind

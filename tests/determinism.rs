@@ -68,6 +68,42 @@ fn parallel_harness_matches_serial_byte_for_byte() {
     assert_eq!(serial, parallel, "parallel harness changed rendered output");
 }
 
+/// The fleet shard fan-out is invisible too: advancing a fleet's nodes on
+/// 1, 2, or 4 shard threads produces byte-identical degradation traces and
+/// rendered reports, for multiple seeds, faults and all — because node
+/// advances share nothing and every message exchange happens serially at
+/// epoch boundaries in node order.
+#[test]
+fn fleet_parallel_shards_match_serial_byte_for_byte() {
+    use maestro_fleet::{Fleet, FleetConfig, FleetFaultPlan};
+
+    const SEC: u64 = 1_000_000_000;
+    let run = |seed: u64, jobs: usize| {
+        let mut cfg = FleetConfig::new(12, 95.0, seed);
+        cfg.nodes_per_rack = 4;
+        cfg.faults = FleetFaultPlan::new(seed)
+            .with_crash_wave(3 * SEC, 2, 3, 150_000_000)
+            .with_partition(5 * SEC, 9 * SEC, 6, 3)
+            .with_grant_loss_rate(0.2)
+            .with_grant_dup_rate(0.1)
+            .with_grant_delay(0.3, 600_000_000)
+            .with_report_loss_rate(0.15);
+        let mut f = Fleet::new(cfg);
+        f.advance_epochs(14, jobs);
+        let report = f.report();
+        (f.trace_digest(), report.render(), report.total_energy_j.to_bits())
+    };
+    for seed in [3, 19] {
+        let serial = run(seed, 1);
+        for jobs in [2, 4] {
+            let fanned = run(seed, jobs);
+            assert_eq!(serial.0, fanned.0, "seed {seed}, jobs {jobs}: trace digest");
+            assert_eq!(serial.1, fanned.1, "seed {seed}, jobs {jobs}: rendered report");
+            assert_eq!(serial.2, fanned.2, "seed {seed}, jobs {jobs}: energy bits");
+        }
+    }
+}
+
 /// Suspension is invisible: a run suspended to a snapshot and resumed on a
 /// brand-new facade reports byte-for-byte what an unbroken (fence-matched)
 /// run reports — rendered text and raw float bits alike. This is the
