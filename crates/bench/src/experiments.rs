@@ -527,6 +527,109 @@ impl OverheadProbe {
     }
 }
 
+// ---------------------------------------------------------------------
+// Service workload: admission/retry/brownout demo + the Pareto sweep
+// ---------------------------------------------------------------------
+
+/// One service scenario's outcome: facade measurements plus the service
+/// summary (tails, goodput, conservation ledger, governor levels).
+#[derive(Debug)]
+pub struct ServiceRow {
+    /// Service scenario registry name.
+    pub scenario: String,
+    /// Virtual run time, seconds.
+    pub elapsed_s: f64,
+    /// Energy, Joules.
+    pub joules: f64,
+    /// The service-side summary.
+    pub summary: maestro_service::ServiceSummary,
+}
+
+/// The scenarios the `service` experiment renders, in print order: the two
+/// governed traffic shapes, then the storm pair (collapse vs recovery).
+pub const SERVICE_DEMO_SCENARIOS: &[&str] =
+    &["svc-steady", "svc-burst", "svc-storm", "svc-storm-guarded"];
+
+/// The energy-vs-p99 sweep: one workload, three governor SLOs.
+pub const PARETO_SCENARIOS: &[&str] =
+    &["svc-pareto-tight", "svc-pareto-mid", "svc-pareto-relaxed"];
+
+/// Rebuild a service scenario at the requested scale: test scale divides
+/// the arrival total by 10 (a pure function of the name and scale, so the
+/// cell stays deterministic).
+pub fn service_at_scale(name: &str, scale: Scale) -> crate::scenario::ServiceScenario {
+    let mut sc = crate::scenario::service_scenario(name).expect("registered service scenario");
+    if scale == Scale::Test {
+        sc.service.arrivals.total_requests /= 10;
+    }
+    sc
+}
+
+/// Run one service scenario end to end and reduce it to a (Send) row.
+fn service_cell(name: &str, scale: Scale) -> ServiceRow {
+    let sc = service_at_scale(name, scale);
+    let (mut m, source, handle) = crate::scenario::service_facade(&sc);
+    let r = m
+        .try_run_service(sc.name, &mut (), source)
+        .unwrap_or_else(|e| panic!("service scenario {name} must complete: {e}"));
+    ServiceRow {
+        scenario: name.to_string(),
+        elapsed_s: r.elapsed_s,
+        joules: r.joules,
+        summary: maestro_service::ServiceSummary::collect(&handle, r.elapsed_s),
+    }
+}
+
+/// The `service` experiment: every demo scenario as an independent cell.
+pub fn service_rows(scale: Scale, jobs: usize) -> Vec<ServiceRow> {
+    crate::harness::parallel_map(SERVICE_DEMO_SCENARIOS.len(), jobs, |i| {
+        service_cell(SERVICE_DEMO_SCENARIOS[i], scale)
+    })
+}
+
+/// One point of the energy-vs-tail-latency Pareto curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// Service scenario registry name.
+    pub scenario: String,
+    /// The governor's SLO for this point, ns.
+    pub slo_p99_ns: u64,
+    /// Achieved whole-run p99, ns.
+    pub p99_ns: u64,
+    /// Energy over the run, Joules.
+    pub joules: f64,
+    /// Completed requests per virtual second.
+    pub goodput_rps: f64,
+    /// Final energy-ladder level (deeper = more throttled).
+    pub energy_level: usize,
+    /// Final brownout level.
+    pub brownout_level: u8,
+}
+
+/// The Pareto sweep: the same workload under each SLO setting, one cell
+/// per point. Results are byte-identical for any job count (each cell is a
+/// pure function of the scenario name and scale).
+pub fn pareto(scale: Scale, jobs: usize) -> Vec<ParetoPoint> {
+    crate::harness::parallel_map(PARETO_SCENARIOS.len(), jobs, |i| {
+        let name = PARETO_SCENARIOS[i];
+        let row = service_cell(name, scale);
+        let slo = crate::scenario::service_scenario(name)
+            .expect("registered")
+            .governor
+            .expect("pareto scenarios are governed")
+            .slo_p99_ns;
+        ParetoPoint {
+            scenario: row.scenario,
+            slo_p99_ns: slo,
+            p99_ns: row.summary.p99_ns,
+            joules: row.joules,
+            goodput_rps: row.summary.goodput_rps,
+            energy_level: row.summary.energy_level,
+            brownout_level: row.summary.brownout_level,
+        }
+    })
+}
+
 /// Run a well-scaling benchmark with and without the controller: "On the
 /// other applications, which already scale well, our throttling
 /// implementation never detected the need to throttle and resulted in only

@@ -7,7 +7,8 @@
 //! determinism tests can compare rendered tables directly.
 
 use crate::experiments::{
-    AblationRow, ColdStart, CompilerRow, DutyCycleProbe, OverheadProbe, ScalingCurve, ThrottleRow,
+    AblationRow, ColdStart, CompilerRow, DutyCycleProbe, OverheadProbe, ParetoPoint, ScalingCurve,
+    ServiceRow, ThrottleRow,
 };
 use maestro_fleet::FleetReport;
 use std::fmt::Write;
@@ -230,6 +231,66 @@ pub fn render_fleet(title: &str, report: &FleetReport) -> String {
     let mut out = String::new();
     header_line(&mut out, title);
     out.push_str(&report.render());
+    out
+}
+
+/// Render the service demo: one row per scenario with tails, goodput, and
+/// the conservation ledger.
+pub fn render_service(title: &str, rows: &[ServiceRow]) -> String {
+    let mut out = String::new();
+    header_line(&mut out, title);
+    let _ = writeln!(
+        out,
+        "{:<20} | {:>9} {:>9} {:>9} | {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} | lvl E/B",
+        "scenario", "p50(µs)", "p99(µs)", "p99.9", "rps", "ok", "shed", "cancel", "retries", "J"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(118));
+    for r in rows {
+        let s = &r.summary;
+        let c = &s.counters;
+        let _ = writeln!(
+            out,
+            "{:<20} | {:>9.1} {:>9.1} {:>9.1} | {:>9.0} | {:>8} {:>8} {:>8} {:>8} | {:>8.1} | {}/{}",
+            r.scenario,
+            s.p50_ns as f64 / 1000.0,
+            s.p99_ns as f64 / 1000.0,
+            s.p999_ns as f64 / 1000.0,
+            s.goodput_rps,
+            c.completed,
+            c.shed,
+            c.cancelled,
+            c.retries_spent,
+            r.joules,
+            s.energy_level,
+            s.brownout_level,
+        );
+    }
+    out
+}
+
+/// Render the energy-vs-p99 Pareto sweep.
+pub fn render_pareto(title: &str, points: &[ParetoPoint]) -> String {
+    let mut out = String::new();
+    header_line(&mut out, title);
+    let _ = writeln!(
+        out,
+        "{:<20} | {:>10} {:>10} | {:>9} {:>9} | lvl E/B",
+        "scenario", "SLO(µs)", "p99(µs)", "J", "rps"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<20} | {:>10.0} {:>10.1} | {:>9.1} {:>9.0} | {}/{}",
+            p.scenario,
+            p.slo_p99_ns as f64 / 1000.0,
+            p.p99_ns as f64 / 1000.0,
+            p.joules,
+            p.goodput_rps,
+            p.energy_level,
+            p.brownout_level,
+        );
+    }
     out
 }
 

@@ -22,6 +22,7 @@ usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment
        maestro-bench replay --snapshot PATH [--until T_NS]
        maestro-bench gate --current PATH --baseline PATH
                           [--min-scheduler-ratio R] [--max-wall-s S]
+                          [--min-goodput RPS]
 
   --csv emits machine-readable CSV instead of the aligned comparison tables
   (supported for table1-3, fig1-4, and table4-7).
@@ -31,10 +32,14 @@ usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment
   --json PATH additionally writes a perf-trajectory report (wall-clock per
   experiment plus hot-path micro-probes); schema in EXPERIMENTS.md.
 
-  gate compares two --json perf reports and exits nonzero when the current
-  one falls below --min-scheduler-ratio times the baseline's scheduler
-  micro-probe (default 3.0) or its total_wall_s exceeds --max-wall-s
-  (default 10.0, sized for the test-scale CI smoke run).
+  gate compares two --json perf reports and exits nonzero when any bound
+  is violated — every criterion is evaluated and printed, so one run
+  diagnoses every broken bound: the current report must reach at least
+  --min-scheduler-ratio times the baseline's scheduler micro-probe
+  (default 3.0), stay under --max-wall-s total wall (default 10.0, sized
+  for the test-scale CI smoke run), and — when --min-goodput is given —
+  keep the minimum service goodput across the Pareto sweep at or above
+  RPS requests per second.
 
   replay loads a snapshot file written by the chaos triage harness (or your
   own run_captured call), rebuilds the named scenario, and resumes it —
@@ -44,7 +49,9 @@ usage: maestro-bench [--test-scale] [--csv] [--jobs N] [--json PATH] <experiment
   way: the single crashed shard is rebuilt from its fleet scenario name and
   advanced in isolation — with no coordinator, its lease expires and the
   node degrades to its floor cap, which is exactly the LeaseExpired path
-  being triaged.
+  being triaged. Snapshots of service scenarios (svc-*) rebuild the whole
+  service stack — arrival stream, admission controller, retry ledger, SLO
+  governor — from the serialized source state and resume the open-loop run.
 
 experiments:
   table1      Table I    — GCC vs ICC at -O2, 16 threads
@@ -63,6 +70,7 @@ experiments:
   overhead    §IV-B      — controller overhead on a scaling benchmark
   ablation    §IV/§V     — duty-cycle vs DVFS vs power-cap on LULESH
   fleet       §V outlook — fleet power coordination under correlated failures
+  service     SLO outlook— open-loop service workload under the governor
   all         everything above, in order
 
   fleet runs scenario 'fleet-correlated-failures' (120 nodes, rolling load
@@ -70,17 +78,36 @@ experiments:
   paper scale, or 'fleet-smoke' (8 nodes) under --test-scale, and reports
   fleet energy, the cap-violation count (0 by invariant), and per-node
   throttle statistics.
+
+  service runs the SLO-guarded demo scenarios (steady, bursty, a metastable
+  retry storm with budgets disabled, and the same storm guarded by retry
+  budgets + admission control) plus the energy-vs-tail-latency Pareto sweep:
+  one workload under three p99 SLOs, each point reporting the duty ladder /
+  brownout level the governor settled on, its p99, joules, and goodput.
 ";
 
 /// PR tag stamped into `--json` perf reports; bump alongside a new
 /// committed `BENCH_PR<N>.json` trajectory point.
-const PR_LABEL: &str = "PR8";
+const PR_LABEL: &str = "PR9";
 
 /// Every experiment `all` expands to, in print order.
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "table4", "table5", "table6",
-    "table7", "coldstart", "dutycycle", "overhead", "ablation", "fleet",
+    "table7", "coldstart", "dutycycle", "overhead", "ablation", "fleet", "service",
 ];
+
+/// Run the service demo rows and the Pareto sweep and render both tables.
+fn render_service_experiment(scale: Scale, jobs: usize) -> String {
+    let mut out = format::render_service(
+        "SLO-guarded service — admission control, retry budgets, brownout",
+        &experiments::service_rows(scale, jobs),
+    );
+    out.push_str(&format::render_pareto(
+        "Energy vs tail latency — one workload, three p99 SLOs",
+        &experiments::pareto(scale, jobs),
+    ));
+    out
+}
 
 /// Run the fleet coordination drill at the requested scale and render it.
 fn render_fleet_experiment(scale: Scale, jobs: usize) -> String {
@@ -172,6 +199,7 @@ fn render_one(name: &str, scale: Scale, csv: bool, jobs: usize) -> Option<String
         "overhead" => format::render_overhead(&experiments::overhead_probe(scale, jobs)),
         "ablation" => format::render_ablation(&experiments::ablation(scale, jobs)),
         "fleet" => render_fleet_experiment(scale, jobs),
+        "service" => render_service_experiment(scale, jobs),
         _ => return None,
     })
 }
@@ -206,6 +234,7 @@ fn perf_report_json(
     micro: &perf::MicroPerf,
     fork: &perf::ForkSweepPerf,
     fleet: &perf::FleetPerf,
+    pareto: &[experiments::ParetoPoint],
     total_wall_s: f64,
 ) -> String {
     let mut out = String::new();
@@ -256,6 +285,34 @@ fn perf_report_json(
         "    \"node_virtual_s_per_wall_s\": {:.0}",
         fleet.node_virtual_s_per_wall_s
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"service\": {{");
+    let _ = writeln!(out, "    \"pareto\": [");
+    for (i, p) in pareto.iter().enumerate() {
+        let comma = if i + 1 == pareto.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      {{\"scenario\": \"{}\", \"slo_p99_ns\": {}, \"p99_ns\": {}, \
+             \"joules\": {:.2}, \"goodput_rps\": {:.0}, \"energy_level\": {}, \
+             \"brownout_level\": {}}}{comma}",
+            p.scenario,
+            p.slo_p99_ns,
+            p.p99_ns,
+            p.joules,
+            p.goodput_rps,
+            p.energy_level,
+            p.brownout_level,
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    // Minimum across the sweep, on its own line so the gate's flat scanner
+    // can read it without parsing the pareto array.
+    let min_goodput = pareto.iter().map(|p| p.goodput_rps).fold(f64::INFINITY, f64::min);
+    let _ = writeln!(
+        out,
+        "    \"service_goodput_rps\": {:.0}",
+        if min_goodput.is_finite() { min_goodput } else { 0.0 }
+    );
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
     out
@@ -269,6 +326,7 @@ fn run_gate(args: &[String]) -> ! {
     let mut baseline_path: Option<String> = None;
     let mut min_ratio = 3.0f64;
     let mut max_wall_s = 10.0f64;
+    let mut min_goodput = 0.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut path_arg = |slot: &mut Option<String>, flag: &str| match it.next() {
@@ -295,6 +353,13 @@ fn run_gate(args: &[String]) -> ! {
                     std::process::exit(2);
                 }
             },
+            "--min-goodput" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(g) if g > 0.0 => min_goodput = g,
+                _ => {
+                    eprintln!("--min-goodput needs a positive number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown gate argument: {other}\n{USAGE}");
                 std::process::exit(2);
@@ -315,8 +380,13 @@ fn run_gate(args: &[String]) -> ! {
             std::process::exit(2);
         })
     };
-    let report =
-        GateReport::evaluate(load(&current_path), load(&baseline_path), min_ratio, max_wall_s);
+    let report = GateReport::evaluate(
+        load(&current_path),
+        load(&baseline_path),
+        min_ratio,
+        max_wall_s,
+        min_goodput,
+    );
     print!("{}", report.render());
     std::process::exit(if report.pass() { 0 } else { 1 });
 }
@@ -374,6 +444,12 @@ fn run_replay(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
+    // Service snapshots carry a svc-* scenario name; the whole service
+    // stack (arrival stream, admission state, retry ledger, governor) is
+    // rebuilt from the registry and restored from the serialized source.
+    if let Some(sc) = scenario::service_scenario(snap.name()) {
+        run_service_replay(&sc, &snap, until, &path);
+    }
     let Some(sc) = scenario::scenario(snap.name()) else {
         eprintln!(
             "snapshot names scenario '{}', which this binary does not know; \
@@ -418,6 +494,79 @@ fn run_replay(args: &[String]) -> ! {
         MaestroRunEnd::Completed(report) => {
             println!("run completed past the requested point:");
             println!("{report}");
+            std::process::exit(0);
+        }
+        MaestroRunEnd::Suspended(at) => {
+            println!(
+                "replayed {} ns of virtual time ({} -> {} ns); state captured, \
+                 re-run with a later --until (or none) to continue",
+                at.t_ns() - snap.t_ns(),
+                snap.t_ns(),
+                at.t_ns()
+            );
+            std::process::exit(0);
+        }
+        MaestroRunEnd::Failed(e) => {
+            println!("failure reproduced during replay: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Replay a service scenario from a Maestro snapshot: rebuild the facade
+/// and a fresh service stack from the registry, then resume — the restore
+/// path swaps the serialized arrival/admission/retry state into the fresh
+/// source, so the request stream continues exactly where it was suspended.
+/// Exit codes match `replay`.
+fn run_service_replay(
+    sc: &scenario::ServiceScenario,
+    snap: &MaestroSnapshot,
+    until: Option<u64>,
+    path: &str,
+) -> ! {
+    if let Some(t) = until {
+        if t <= snap.t_ns() {
+            eprintln!(
+                "--until {t} is not after the snapshot time {} ns; nothing to replay",
+                snap.t_ns()
+            );
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "replaying service scenario '{}' from snapshot at t={} ns ({})",
+        snap.name(),
+        snap.t_ns(),
+        path
+    );
+    let plan = match until {
+        Some(t) => SnapshotPlan::suspend_at(t),
+        None => SnapshotPlan::none(),
+    };
+    let (mut m, source, handle) = scenario::service_facade(sc);
+    let run = match m.resume_service_captured(&mut (), source, snap, &plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run.end {
+        MaestroRunEnd::Completed(report) => {
+            let c = handle.borrow().counters;
+            println!("run completed past the requested point:");
+            println!("{report}");
+            println!(
+                "requests: {} arrived / {} completed / {} shed / {} cancelled / \
+                 {} failed ({} retries spent, conservation gap {})",
+                c.arrived,
+                c.completed,
+                c.shed,
+                c.cancelled,
+                c.failed,
+                c.retries_spent,
+                c.conservation_gap(),
+            );
             std::process::exit(0);
         }
         MaestroRunEnd::Suspended(at) => {
@@ -562,7 +711,9 @@ fn main() {
         let micro = perf::micro_perf();
         let fork = perf::fork_sweep_probe(jobs);
         let fleet = perf::fleet_advance_probe(jobs);
-        let report = perf_report_json(scale, jobs, &timed, &micro, &fork, &fleet, total_wall_s);
+        let pareto = experiments::pareto(scale, jobs);
+        let report =
+            perf_report_json(scale, jobs, &timed, &micro, &fork, &fleet, &pareto, total_wall_s);
         if let Err(e) = std::fs::write(&path, report) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

@@ -15,11 +15,14 @@
 
 use std::path::{Path, PathBuf};
 
-use maestro::{MaestroConfig, MaestroSnapshot, Policy};
+use maestro::{Maestro, MaestroConfig, MaestroSnapshot, Policy};
 use maestro_fleet::{Fleet, FleetConfig, FleetFaultPlan};
 use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::Cost;
 use maestro_runtime::TaskSpec;
+use maestro_service::{
+    ArrivalConfig, GovernorConfig, ServiceConfig, ServiceHandle, ServiceSource, ServiceStack,
+};
 
 /// A named, reproducible run recipe: configuration plus spec workload.
 #[derive(Clone, Debug)]
@@ -144,6 +147,117 @@ pub fn fleet_scenario(name: &str) -> Option<FleetScenario> {
         config,
         epochs,
     })
+}
+
+// ---------------------------------------------------------------------
+// Service scenarios
+// ---------------------------------------------------------------------
+
+/// A named, reproducible service recipe: facade configuration, the
+/// open-loop service workload, and the optional SLO governor. Service
+/// scenarios run under `Policy::Fixed` — the [`maestro_service::SloGovernor`]
+/// is the sole throttle driver, so the energy ladder never fights the
+/// RCR controller.
+#[derive(Clone, Debug)]
+pub struct ServiceScenario {
+    /// Registry name (prefixed `svc-`, carried in snapshots).
+    pub name: &'static str,
+    /// Facade configuration.
+    pub config: MaestroConfig,
+    /// The service workload: arrivals, admission, retries, request shape.
+    pub service: ServiceConfig,
+    /// Governor configuration; `None` runs ungoverned (the storm demos).
+    pub governor: Option<GovernorConfig>,
+}
+
+/// Every service scenario name the registry resolves. The `svc-pareto-*`
+/// family is the energy-vs-tail-latency sweep: identical workload, three
+/// SLO settings.
+pub const SERVICE_SCENARIO_NAMES: &[&str] = &[
+    "svc-steady",
+    "svc-burst",
+    "svc-storm",
+    "svc-storm-guarded",
+    "svc-pareto-tight",
+    "svc-pareto-mid",
+    "svc-pareto-relaxed",
+];
+
+/// The diurnal + burst arrival profile the burst scenarios share.
+fn bursty_arrivals(seed: u64, base_rps: f64, total: u64) -> ArrivalConfig {
+    ArrivalConfig {
+        seed,
+        base_rate_rps: base_rps,
+        diurnal_amp: 0.4,
+        diurnal_period_ns: 300_000_000,
+        burst_every_ns: 150_000_000,
+        burst_len_ns: 15_000_000,
+        burst_mult: 6.0,
+        total_requests: total,
+    }
+}
+
+/// The overload workload both storm scenarios share: sustained arrivals
+/// beyond capacity with tight deadlines, so timed-out attempts pile into
+/// the retry path. `svc-storm` strips the budget (metastable collapse);
+/// `svc-storm-guarded` keeps it (budgets + shedding recover goodput).
+fn storm_service(seed: u64) -> ServiceConfig {
+    let mut cfg = ServiceConfig::simple(seed, 90_000.0, 60_000, 400_000);
+    cfg.classes[0].retry_limit = 5;
+    cfg
+}
+
+/// The Pareto-family workload: one configuration, swept over governor SLOs.
+/// The per-request deadline is deliberately generous (well past the most
+/// relaxed SLO) so the three points differ only in the governor objective.
+fn pareto_service(seed: u64) -> ServiceConfig {
+    ServiceConfig::simple(seed, 60_000.0, 30_000, 6_000_000)
+}
+
+/// Resolve a service scenario by name. Pure: the same name always produces
+/// the same recipe, so a snapshot taken under `service_scenario(n)` can be
+/// resumed by any process that can call `service_scenario(n)`.
+pub fn service_scenario(name: &str) -> Option<ServiceScenario> {
+    let (service, governor) = match name {
+        "svc-steady" => (
+            ServiceConfig::simple(101, 40_000.0, 60_000, 2_000_000),
+            Some(GovernorConfig::new(2_000_000)),
+        ),
+        "svc-burst" => {
+            let mut cfg = ServiceConfig::simple(102, 30_000.0, 60_000, 2_000_000);
+            cfg.arrivals = bursty_arrivals(102, 30_000.0, 60_000);
+            (cfg, Some(GovernorConfig::new(2_000_000)))
+        }
+        "svc-storm" => {
+            let mut cfg = storm_service(103);
+            cfg.retry.budget = None;
+            (cfg, None)
+        }
+        "svc-storm-guarded" => (storm_service(103), None),
+        "svc-pareto-tight" => (pareto_service(104), Some(GovernorConfig::new(700_000))),
+        "svc-pareto-mid" => (pareto_service(104), Some(GovernorConfig::new(1_400_000))),
+        "svc-pareto-relaxed" => (pareto_service(104), Some(GovernorConfig::new(2_800_000))),
+        _ => return None,
+    };
+    Some(ServiceScenario {
+        name: SERVICE_SCENARIO_NAMES.iter().find(|&&n| n == name)?,
+        config: MaestroConfig::fixed(16),
+        service,
+        governor,
+    })
+}
+
+/// Build the ready-to-run pieces for a service scenario: the facade with
+/// the governor (if any) installed as a monitor, the boxed source to hand
+/// to `try_run_service`/`run_service_captured`, and the shared handle the
+/// report layer reads after the run.
+pub fn service_facade(sc: &ServiceScenario) -> (Maestro, Box<ServiceSource>, ServiceHandle) {
+    let stack = ServiceStack::new(&sc.service, sc.governor.as_ref(), 0);
+    let mut m = Maestro::new(sc.config.clone());
+    if let Some(governor) = stack.governor {
+        m.runtime_mut().add_monitor(Box::new(governor));
+    }
+    (m, stack.source, stack.handle)
 }
 
 /// Magic string opening a fleet node snapshot file (distinguishes it from
@@ -298,6 +412,57 @@ mod tests {
         let end =
             m2.resume_captured(&mut (), &restored, &SnapshotPlan::none()).unwrap().end;
         assert!(matches!(end, MaestroRunEnd::Completed(_)), "{end:?}");
+    }
+
+    #[test]
+    fn every_registered_service_scenario_resolves() {
+        for name in SERVICE_SCENARIO_NAMES {
+            let sc = service_scenario(name).expect("registered service name resolves");
+            assert_eq!(sc.name, *name);
+            assert!(name.starts_with("svc-"), "replay routing keys on the prefix: {name}");
+            assert!(sc.service.arrivals.total_requests > 0);
+        }
+        assert!(service_scenario("svc-no-such").is_none());
+        // The storm pair differs only in the retry budget.
+        let storm = service_scenario("svc-storm").unwrap();
+        let guarded = service_scenario("svc-storm-guarded").unwrap();
+        assert!(storm.service.retry.budget.is_none(), "collapse demo runs unbudgeted");
+        assert!(guarded.service.retry.budget.is_some(), "recovery demo keeps the budget");
+        // The Pareto family is one workload under three SLOs.
+        let tight = service_scenario("svc-pareto-tight").unwrap();
+        let relaxed = service_scenario("svc-pareto-relaxed").unwrap();
+        assert_eq!(tight.service, relaxed.service, "identical workload across the sweep");
+        assert!(
+            tight.governor.as_ref().unwrap().slo_p99_ns
+                < relaxed.governor.as_ref().unwrap().slo_p99_ns
+        );
+    }
+
+    #[test]
+    fn service_snapshot_replays_on_a_rebuilt_facade() {
+        // The replay CLI's service loop: scenario name -> fresh facade +
+        // fresh stack -> resume from file bytes, mid-burst.
+        let sc = service_scenario("svc-burst").unwrap();
+        let (mut m, source, _handle) = service_facade(&sc);
+        let snap = m
+            .run_service_captured(sc.name, &mut (), source, &SnapshotPlan::suspend_at(155_000_000))
+            .unwrap()
+            .suspended()
+            .expect("suspends inside the second burst window");
+        let bytes = snap.to_bytes();
+
+        let restored = MaestroSnapshot::from_bytes(&bytes).unwrap();
+        let sc2 = service_scenario(restored.name()).expect("snapshot names a service scenario");
+        let (mut m2, source2, handle2) = service_facade(&sc2);
+        let end = m2
+            .resume_service_captured(&mut (), source2, &restored, &SnapshotPlan::none())
+            .unwrap()
+            .end;
+        assert!(matches!(end, MaestroRunEnd::Completed(_)), "{end:?}");
+        let c = handle2.borrow().counters;
+        assert_eq!(c.conservation_gap(), 0, "{c:?}");
+        assert_eq!(c.arrived, sc.service.arrivals.total_requests, "{c:?}");
+        assert_eq!(c.in_flight + c.pending_retry, 0, "{c:?}");
     }
 
     #[test]

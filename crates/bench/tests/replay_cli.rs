@@ -52,6 +52,41 @@ fn replay_without_until_runs_to_completion() {
 }
 
 #[test]
+fn replay_routes_service_snapshots_and_prints_the_ledger() {
+    use maestro_bench::experiments::service_at_scale;
+    use maestro_bench::scenario::service_facade;
+    use maestro_workloads::Scale;
+
+    // Suspend inside the first burst window: arrival RNG mid-stream,
+    // retries pending, admission queue hot.
+    let sc = service_at_scale("svc-burst", Scale::Test);
+    let (mut m, source, _) = service_facade(&sc);
+    let snap = m
+        .run_service_captured(sc.name, &mut (), source, &SnapshotPlan::suspend_at(8_000_000))
+        .expect("capture succeeds")
+        .suspended()
+        .expect("suspends mid-burst");
+    let path = std::env::temp_dir().join("maestro-replay-cli-service.snap");
+    std::fs::write(&path, snap.to_bytes()).expect("snapshot written");
+
+    let out = bin()
+        .args(["replay", "--snapshot", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("replaying service scenario 'svc-burst'"), "{stdout}");
+    assert!(stdout.contains("run completed"), "{stdout}");
+    // The rebuilt stack finishes the request stream with a balanced ledger.
+    assert!(stdout.contains("conservation gap 0"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn replay_rejects_garbage_and_bad_usage() {
     let path = std::env::temp_dir().join("maestro-replay-cli-garbage.snap");
     std::fs::write(&path, b"not a snapshot").unwrap();

@@ -8,8 +8,8 @@ use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
 use maestro_machine::{fingerprint, Machine, MachineConfig, PState};
 use maestro_rcr::{Region, RegionReport, DEFAULT_SAMPLE_PERIOD_NS};
 use maestro_runtime::{
-    BoxTask, CapturedRun, RunEnd, RunOutcome, RunStats, Runtime, RuntimeError, RuntimeParams,
-    SnapshotPlan, TaskValue, Watchdog,
+    BoxTask, CapturedRun, RequestSource, RunEnd, RunOutcome, RunStats, Runtime, RuntimeError,
+    RuntimeParams, SnapshotPlan, TaskValue, Watchdog,
 };
 
 use crate::alternatives::{
@@ -362,6 +362,63 @@ impl Maestro {
             throttle,
             value: outcome.value,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Service runs (open-loop request traffic, no root task)
+    // ------------------------------------------------------------------
+
+    /// Execute an open-loop service run, measured like [`Maestro::try_run`]:
+    /// `source` injects request trees as virtual time advances and the run
+    /// ends when the source exhausts and every request settles. Terminal
+    /// errors carry partial stats with the service counters folded in.
+    pub fn try_run_service<C: 'static>(
+        &mut self,
+        name: &str,
+        app: &mut C,
+        source: Box<dyn RequestSource>,
+    ) -> Result<RunReport, RuntimeError> {
+        let anchors = self.run_anchors();
+        let region = Region::start(name, self.runtime.machine());
+        let outcome = self.runtime.run_service(app, source)?;
+        let report = region.end(self.runtime.machine());
+        Ok(self.build_report(name, outcome, report, &anchors))
+    }
+
+    /// [`Maestro::try_run_service`] under a [`SnapshotPlan`] — the service
+    /// analogue of [`Maestro::run_captured`].
+    pub fn run_service_captured<C: 'static>(
+        &mut self,
+        name: &str,
+        app: &mut C,
+        source: Box<dyn RequestSource>,
+        plan: &SnapshotPlan,
+    ) -> Result<MaestroRun, SnapError> {
+        let anchors = self.run_anchors();
+        let region = Region::start(name, self.runtime.machine());
+        let captured = self.runtime.run_service_captured(app, source, plan)?;
+        Ok(self.wrap_captured(name, region, anchors, captured))
+    }
+
+    /// Resume a suspended service run. `source` must be freshly built with
+    /// the captured run's configuration; its dynamic state (RNG cursors,
+    /// retry queue, admission ledger, histograms) is restored from the
+    /// snapshot before the loop continues.
+    pub fn resume_service_captured<C: 'static>(
+        &mut self,
+        app: &mut C,
+        source: Box<dyn RequestSource>,
+        snapshot: &MaestroSnapshot,
+        plan: &SnapshotPlan,
+    ) -> Result<MaestroRun, SnapError> {
+        let captured =
+            self.runtime.resume_service_captured(app, source, &snapshot.runtime_bytes, plan)?;
+        let anchors = RunAnchors {
+            decisions_before: snapshot.decisions_before,
+            missed_before: snapshot.missed_before,
+            cp_before: snapshot.cp_before,
+        };
+        Ok(self.wrap_captured(&snapshot.name, snapshot.region.clone(), anchors, captured))
     }
 
     // ------------------------------------------------------------------
@@ -782,6 +839,31 @@ mod tests {
         let tight = &reports[0].1.throttle.as_ref().unwrap().throttled_worker_s;
         let loose = &reports[2].1.throttle.as_ref().unwrap().throttled_worker_s;
         assert!(tight >= loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn service_run_completes_under_the_slo_governor() {
+        use maestro_service::{GovernorConfig, ServiceConfig, ServiceStack, ServiceSummary};
+
+        let cfg = ServiceConfig::simple(5, 40_000.0, 2_000, 2_000_000);
+        let stack = ServiceStack::new(&cfg, Some(&GovernorConfig::new(1_500_000)), 0);
+        let mut m = Maestro::new(MaestroConfig::fixed(16));
+        let governor = stack.governor.expect("a governor config yields a governor");
+        m.runtime_mut().add_monitor(Box::new(governor));
+        let r =
+            m.try_run_service("svc", &mut (), stack.source).expect("healthy service run finishes");
+        assert!(r.elapsed_s > 0.0 && r.joules > 0.0);
+
+        let summary = ServiceSummary::collect(&stack.handle, r.elapsed_s);
+        let c = &summary.counters;
+        assert_eq!(c.arrived, 2_000, "{c:?}");
+        assert_eq!(c.conservation_gap(), 0, "{c:?}");
+        assert_eq!(c.in_flight, 0, "{c:?}");
+        assert_eq!(c.pending_retry, 0, "{c:?}");
+        assert!(c.completed > 0, "{c:?}");
+        // The run stats carry the service ledger for the report layer.
+        assert_eq!(r.stats.requests_shed, c.shed);
+        assert_eq!(r.stats.retries_spent, c.retries_spent);
     }
 
     #[test]

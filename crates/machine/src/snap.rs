@@ -46,7 +46,12 @@ pub const SNAP_MAGIC: u64 = u64::from_le_bytes(*b"MAESNAP\0");
 ///   support): a trailing bool in the machine block, and unpowered windows
 ///   integrate with pure Newton cooling and zero energy. v2 blobs lack the
 ///   field and are rejected.
-pub const SNAP_VERSION: u32 = 3;
+/// * **v4** — service runs: `RunStats` grows three trailing counters
+///   (`requests_shed`/`retries_spent`/`slo_violations`) and the scheduler
+///   block gains a trailing service section (live-request table plus the
+///   request source's framed state). v3 blobs would misalign on the stats
+///   extension and are rejected.
+pub const SNAP_VERSION: u32 = 4;
 
 /// Errors surfaced while encoding or decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

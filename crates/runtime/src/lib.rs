@@ -57,6 +57,7 @@ pub mod monitor;
 pub mod params;
 pub mod report;
 pub mod scheduler;
+pub mod service;
 pub mod spec;
 pub mod task;
 
@@ -69,5 +70,6 @@ pub use report::{RunOutcome, RunStats};
 pub use scheduler::{
     CapturedRun, RunCapture, RunEnd, RunLimit, Runtime, RuntimeError, SnapshotPlan, TaskFailure,
 };
+pub use service::{RequestSource, ServiceCounters, ServiceInjection};
 pub use spec::{SpecTask, TaskSpec};
 pub use task::{BoxTask, Step, TaskCtx, TaskLogic, TaskValue};

@@ -90,6 +90,16 @@ pub trait Monitor {
         let _ = (machine, r);
         Ok(())
     }
+
+    /// Post-restore hook: re-apply any throttle directive this monitor owns
+    /// as *policy*. The throttle limit is deliberately not serialized (it is
+    /// configuration, and one snapshot may be forked across limit variants),
+    /// so a monitor that drives the limit dynamically — e.g. an SLO
+    /// governor's duty ladder — must reimpose its restored level here. The
+    /// default does nothing.
+    fn restore_throttle(&self, throttle: &mut ThrottleState) {
+        let _ = throttle;
+    }
 }
 
 /// A monitor that records the node power trace at a fixed period — used by

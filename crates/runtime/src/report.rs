@@ -50,6 +50,15 @@ pub struct RunStats {
     /// Forced wake-epoch bumps issued when the scheduler found spinners but
     /// no other event source — the recovery path for lost wakes.
     pub wake_recoveries: u64,
+    /// Service runs: requests refused by admission control (queue depth or
+    /// deadline infeasibility). Zero for batch runs.
+    pub requests_shed: u64,
+    /// Service runs: retry attempts actually injected beyond each request's
+    /// first attempt. Zero for batch runs.
+    pub retries_spent: u64,
+    /// Service runs: request deadlines that fired with the request still in
+    /// flight (the per-request SLO miss count). Zero for batch runs.
+    pub slo_violations: u64,
 }
 
 /// The result of executing a task graph to completion.

@@ -15,7 +15,7 @@
 //! (a suspended parent resuming). Duty-register writes cost the time of
 //! ~250 memory operations, charged as a fixed-rate transition segment.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
@@ -29,7 +29,8 @@ use crate::events::{key_from_time_ns, time_ns_from_key, EventQueue};
 use crate::monitor::{Monitor, ThrottleState};
 use crate::params::{EventDriver, ParamsError, RuntimeParams};
 use crate::report::{RunOutcome, RunStats};
-use crate::spec::SpecTask;
+use crate::service::{RequestSource, ServiceInjection};
+use crate::spec::{SpecTask, TaskSpec};
 use crate::task::{BoxTask, Step, TaskCtx, TaskValue};
 
 type TaskId = usize;
@@ -460,6 +461,41 @@ struct Shepherd {
     active: usize,
 }
 
+/// A request the scheduler currently has in flight for a service run.
+struct LiveRequest {
+    /// Root task of the request's tree.
+    task: TaskId,
+    /// Absolute deadline, consumed (set to `None`) once it fires so a
+    /// resumed run never re-fires it.
+    deadline_ns: Option<u64>,
+}
+
+/// Scheduler-side state of a service run: the request source plus the
+/// injected-request bookkeeping the event loop consults.
+struct ServiceCtl {
+    source: Box<dyn RequestSource>,
+    /// Live requests by id (BTreeMap: snapshot iteration must be ordered).
+    live: BTreeMap<u64, LiveRequest>,
+    /// Request-root task → request id, for completion interception.
+    task_req: BTreeMap<TaskId, u64>,
+    /// Unfired deadlines, earliest first.
+    deadlines: BTreeSet<(u64, u64)>,
+    /// Round-robin injection cursor over shepherds.
+    next_shep: usize,
+}
+
+impl ServiceCtl {
+    fn new(source: Box<dyn RequestSource>) -> Self {
+        ServiceCtl {
+            source,
+            live: BTreeMap::new(),
+            task_req: BTreeMap::new(),
+            deadlines: BTreeSet::new(),
+            next_shep: 0,
+        }
+    }
+}
+
 /// The reusable runtime: machine + parameters + monitors + throttle state.
 ///
 /// [`Runtime::run`] executes one task graph to completion; the machine's
@@ -669,6 +705,67 @@ impl Runtime {
     ) -> Result<RunOutcome, RuntimeError> {
         Exec::new(self, cancel).run(app, root)
     }
+
+    /// Execute an open-loop *service* run: there is no root task — `source`
+    /// injects request task trees as virtual time advances, the scheduler
+    /// cancels requests whose deadlines pass, and the run completes once
+    /// the source is exhausted and every injected request has settled.
+    /// Errors behave exactly like [`Runtime::run`]'s, with the addition
+    /// that in-flight requests are drained into the source's accounting
+    /// before the error is returned.
+    pub fn run_service<C: 'static>(
+        &mut self,
+        app: &mut C,
+        source: Box<dyn RequestSource>,
+    ) -> Result<RunOutcome, RuntimeError> {
+        let mut exec = Exec::new(self, CancelToken::new());
+        exec.service = Some(ServiceCtl::new(source));
+        exec.spawn_spec = Some(spawn_spec_task::<C>);
+        exec.run_service(app)
+    }
+
+    /// Like [`Runtime::run_service`], but under a [`SnapshotPlan`] — the
+    /// service analogue of [`Runtime::run_captured`]. Request sources are
+    /// spec-driven by construction, so service runs are always
+    /// snapshottable.
+    pub fn run_service_captured<C: 'static>(
+        &mut self,
+        app: &mut C,
+        source: Box<dyn RequestSource>,
+        plan: &SnapshotPlan,
+    ) -> Result<CapturedRun, SnapError> {
+        let mut exec = Exec::new(self, CancelToken::new());
+        exec.service = Some(ServiceCtl::new(source));
+        exec.spawn_spec = Some(spawn_spec_task::<C>);
+        exec.arm_capture(plan);
+        exec.run_to_capture(app, None)
+    }
+
+    /// Resume a suspended service run. `source` must be a freshly built
+    /// source with the *same configuration* the suspended run used; its
+    /// dynamic state (RNG cursors, retry queue, admission state,
+    /// histograms) is restored from the snapshot.
+    pub fn resume_service_captured<C: 'static>(
+        &mut self,
+        app: &mut C,
+        source: Box<dyn RequestSource>,
+        bytes: &[u8],
+        plan: &SnapshotPlan,
+    ) -> Result<CapturedRun, SnapError> {
+        let mut exec = Exec::new(self, CancelToken::new());
+        exec.service = Some(ServiceCtl::new(source));
+        exec.spawn_spec = Some(spawn_spec_task::<C>);
+        exec.restore_exec(bytes)?;
+        exec.arm_capture(plan);
+        exec.run_to_capture(app, None)
+    }
+}
+
+/// Monomorphized spec-task constructor stored in `Exec::spawn_spec`, so the
+/// (unbounded) event loop can inject request trees for any `C` the service
+/// entry points were instantiated with.
+fn spawn_spec_task<C: 'static>(spec: TaskSpec) -> BoxTask<C> {
+    spec.into_task()
 }
 
 /// Core a worker is pinned to under the configured placement policy.
@@ -766,6 +863,14 @@ struct Exec<'r, C> {
     run_start_j: f64,
     /// Snapshot fences and captures; `None` for plain (uncaptured) runs.
     capture: Option<CaptureCtl>,
+    /// Service-run state; `None` for batch (rooted) runs.
+    service: Option<ServiceCtl>,
+    /// Spec-task constructor, monomorphized where `C: 'static` is known
+    /// (the service entry points) so the unbounded event loop can inject
+    /// request trees without carrying the bound itself.
+    spawn_spec: Option<fn(TaskSpec) -> BoxTask<C>>,
+    /// Injection scratch buffer handed to `RequestSource::poll`.
+    injection_scratch: Vec<ServiceInjection>,
     torn_down: bool,
 }
 
@@ -836,6 +941,9 @@ impl<'r, C> Exec<'r, C> {
             run_start_ns,
             run_start_j,
             capture: None,
+            service: None,
+            spawn_spec: None,
+            injection_scratch: Vec::new(),
             torn_down: false,
         }
     }
@@ -925,6 +1033,32 @@ impl<'r, C> Exec<'r, C> {
         old
     }
 
+    /// Drive a rootless service run to completion (the plain, uncaptured
+    /// variant of a service run — `service` and `spawn_spec` are installed
+    /// by the caller).
+    fn run_service(mut self, app: &mut C) -> Result<RunOutcome, RuntimeError> {
+        let result = self.loop_body(app);
+        self.finalize_service(result.is_err());
+        self.teardown();
+
+        let now = self.rt.machine.now_ns();
+        let elapsed_s = (now - self.run_start_ns) as f64 * 1e-9;
+        let joules = self.rt.machine.total_energy_joules() - self.run_start_j;
+        match result {
+            Ok(LoopEnd::Finished(value)) => Ok(RunOutcome {
+                value,
+                elapsed_s,
+                joules,
+                avg_watts: if elapsed_s > 0.0 { joules / elapsed_s } else { 0.0 },
+                stats: self.stats,
+            }),
+            Ok(LoopEnd::Suspended) => {
+                Err(internal("suspension without a capture plan", now).with_partial(self.stats))
+            }
+            Err(e) => Err(e.with_partial(self.stats)),
+        }
+    }
+
     fn run(mut self, app: &mut C, root: BoxTask<C>) -> Result<RunOutcome, RuntimeError> {
         let result = self.run_loop(app, root);
         self.teardown();
@@ -977,6 +1111,7 @@ impl<'r, C> Exec<'r, C> {
             }
             self.check_limits()?;
             self.fire_due_monitors();
+            self.service_pass()?;
             self.note_cancellation();
             if self.dispatch_needed() {
                 self.dispatch_fixpoint(app)?;
@@ -1161,6 +1296,154 @@ impl<'r, C> Exec<'r, C> {
                 self.draining = true;
             }
             self.wake_spinners();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Service runs (open-loop request injection)
+    // ------------------------------------------------------------------
+
+    /// The earliest service event the clock must not jump past: the
+    /// source's next arrival/retry, or the earliest unfired request
+    /// deadline. While draining the source is never polled again, so its
+    /// due time is excluded (a stale retry deadline must not pin the
+    /// clock).
+    fn service_due(&self) -> Option<u64> {
+        let svc = self.service.as_ref()?;
+        let src = if self.draining { None } else { svc.source.next_due_ns() };
+        let dl = svc.deadlines.first().map(|&(d, _)| d);
+        match (src, dl) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// One service turn: fire due request deadlines (cancelling the
+    /// affected request subtrees), then poll the source for due arrivals
+    /// and retries and inject every emitted request as a parentless task
+    /// tree. No-op for batch runs.
+    fn service_pass(&mut self) -> Result<(), RuntimeError> {
+        if self.service.is_none() {
+            return Ok(());
+        }
+        let now = self.rt.machine.now_ns();
+
+        // Deadlines first: a request whose deadline passed must be
+        // cancelled before any new work is admitted at this instant. The
+        // entry is consumed (deadline set to `None`) as it fires, so a
+        // snapshot taken after the fire never re-fires it on resume.
+        loop {
+            let draining = self.draining;
+            let Some(svc) = self.service.as_mut() else { break };
+            let Some(&(due, req_id)) = svc.deadlines.first() else { break };
+            if due > now {
+                break;
+            }
+            svc.deadlines.pop_first();
+            let Some(entry) = svc.live.get_mut(&req_id) else {
+                return Err(internal("deadline names a request that is not live", now));
+            };
+            entry.deadline_ns = None;
+            let task = entry.task;
+            if draining {
+                // Everything is already being cancelled through the run
+                // token; just consume the entry.
+                continue;
+            }
+            self.stats.slo_violations += 1;
+            match self.tasks.get(task) {
+                Some(Some(rec)) => rec.cancel.cancel(),
+                _ => return Err(internal("deadline request task missing", now)),
+            }
+        }
+
+        // Arrivals and retries (never while draining: a dying run admits
+        // nothing new).
+        let due = !self.draining
+            && self
+                .service
+                .as_ref()
+                .and_then(|s| s.source.next_due_ns())
+                .is_some_and(|d| d <= now);
+        if due {
+            let mut out = std::mem::take(&mut self.injection_scratch);
+            out.clear();
+            if let Some(svc) = self.service.as_mut() {
+                svc.source.poll(now, &mut out);
+            }
+            let spawn = self
+                .spawn_spec
+                .ok_or_else(|| internal("service run without a spec spawner", now))?;
+            for inj in out.drain(..) {
+                let shep = self.service.as_ref().map_or(0, |s| s.next_shep);
+                let token = self.run_cancel.child();
+                let id = self.alloc_task(TaskRecord {
+                    logic: Some(spawn(inj.spec)),
+                    parent: None,
+                    home_shepherd: shep,
+                    pending_children: 0,
+                    inbox: Vec::new(),
+                    resume_pending: false,
+                    staged_children: Vec::new(),
+                    cancel: token,
+                });
+                self.shepherds[shep].queue.push_back(id);
+                self.queued_total += 1;
+                let n_sheps = self.shepherds.len();
+                if let Some(svc) = self.service.as_mut() {
+                    svc.next_shep = (svc.next_shep + 1) % n_sheps;
+                    svc.live
+                        .insert(inj.req_id, LiveRequest { task: id, deadline_ns: inj.deadline_ns });
+                    svc.task_req.insert(id, inj.req_id);
+                    if let Some(d) = inj.deadline_ns {
+                        svc.deadlines.insert((d, inj.req_id));
+                    }
+                }
+            }
+            self.injection_scratch = out;
+        }
+        self.maybe_finish_service();
+        Ok(())
+    }
+
+    /// A service run completes once nothing can ever arrive again (source
+    /// exhausted, or the run is draining) and every injected request has
+    /// reached a terminal state.
+    fn maybe_finish_service(&mut self) {
+        if self.root_value.is_some() {
+            return;
+        }
+        let drained = self.draining;
+        let done = self
+            .service
+            .as_ref()
+            .is_some_and(|s| s.live.is_empty() && (drained || s.source.exhausted()));
+        if done && self.live_tasks == 0 {
+            self.root_value = Some(TaskValue::none());
+            // Application completion wakes spinners.
+            self.wake_spinners();
+        }
+    }
+
+    /// Terminal service accounting, before teardown: on an error path the
+    /// still-in-flight requests are handed to the source as failed (and
+    /// the source folds its pending retries in with them — the run will
+    /// never poll again); on every terminal path the source's shed/retry
+    /// tallies land in the run's [`RunStats`]. Suspension must *not* call
+    /// this — a suspended run is not terminal.
+    fn finalize_service(&mut self, terminal_err: bool) {
+        let now = self.rt.machine.now_ns();
+        if let Some(svc) = self.service.as_mut() {
+            if terminal_err || self.draining {
+                let ids: Vec<u64> = svc.live.keys().copied().collect();
+                svc.source.drain(now, &ids);
+                svc.live.clear();
+                svc.task_req.clear();
+                svc.deadlines.clear();
+            }
+            let c = svc.source.counters();
+            self.stats.requests_shed = c.shed;
+            self.stats.retries_spent = c.retries_spent;
         }
     }
 
@@ -1654,12 +1937,36 @@ impl<'r, C> Exec<'r, C> {
         let now = self.rt.machine.now_ns();
         let record = task_mut(&mut self.tasks, task, "completing task exists", now)?;
         let parent = record.parent;
+        // Captured before the record is freed: a request that reaches
+        // completion with its cancel scope fired (deadline, run
+        // cancellation) terminates as cancelled, not completed.
+        let cancelled = record.cancel.is_cancelled();
         if record.pending_children != 0 {
             return Err(internal("task finished with live children", now));
         }
         self.free_task(task);
         match parent {
             None => {
+                // In a service run, parentless tasks are injected requests:
+                // settle the request with the source instead of ending the
+                // run, and end the run only once the source is exhausted
+                // and no request remains.
+                if let Some(svc) = self.service.as_mut() {
+                    let req_id = svc
+                        .task_req
+                        .remove(&task)
+                        .ok_or_else(|| internal("parentless task is not a request", now))?;
+                    let entry = svc
+                        .live
+                        .remove(&req_id)
+                        .ok_or_else(|| internal("completed request is not live", now))?;
+                    if let Some(d) = entry.deadline_ns {
+                        svc.deadlines.remove(&(d, req_id));
+                    }
+                    svc.source.on_complete(req_id, now, cancelled);
+                    self.maybe_finish_service();
+                    return Ok(());
+                }
                 self.root_value = Some(value);
                 // Application completion wakes spinners.
                 self.wake_spinners();
@@ -1808,8 +2115,12 @@ impl<'r, C> Exec<'r, C> {
     fn next_event_dt(&mut self) -> Option<u64> {
         self.reconcile_rates();
         let now = self.rt.machine.now_ns();
-        // O(1) deadlock check: no running segment and no pending monitor.
-        if self.running_count == 0 && self.next_monitor_due().is_none() {
+        // O(1) deadlock check: no running segment, no pending monitor, and
+        // no pending service event (arrival, retry, or request deadline).
+        if self.running_count == 0
+            && self.next_monitor_due().is_none()
+            && self.service_due().is_none()
+        {
             return None;
         }
         let next_completion = match self.rt.params.event_driver {
@@ -1832,6 +2143,10 @@ impl<'r, C> Exec<'r, C> {
         };
         let mut dt: Option<f64> = next_completion.map(|c| (c - now as f64).max(0.0));
         if let Some(due) = self.next_monitor_due() {
+            let cand = due.saturating_sub(now) as f64;
+            dt = Some(dt.map_or(cand, |d| d.min(cand)));
+        }
+        if let Some(due) = self.service_due() {
             let cand = due.saturating_sub(now) as f64;
             dt = Some(dt.map_or(cand, |d| d.min(cand)));
         }
@@ -2074,6 +2389,13 @@ impl<'r, C> Exec<'r, C> {
             Some(root) => self.run_loop(app, root),
             None => self.loop_body(app),
         };
+        // Terminal service accounting — but never on suspension: a
+        // suspended run is still alive in its snapshot.
+        match &result {
+            Ok(LoopEnd::Finished(_)) => self.finalize_service(false),
+            Ok(LoopEnd::Suspended) => {}
+            Err(_) => self.finalize_service(true),
+        }
         self.teardown();
 
         let now = self.rt.machine.now_ns();
@@ -2250,6 +2572,27 @@ impl<'r, C> Exec<'r, C> {
             w.blob(&mw.finish());
         }
 
+        // Service run state: the live-request table plus the source's own
+        // dynamic state (framed, so restore verifies full consumption).
+        // Fired deadlines serialize as `None` and therefore never re-fire
+        // after a resume.
+        match &self.service {
+            None => w.bool(false),
+            Some(svc) => {
+                w.bool(true);
+                w.u64(svc.next_shep as u64);
+                w.len(svc.live.len());
+                for (&req_id, entry) in &svc.live {
+                    w.u64(req_id);
+                    w.u64(entry.task as u64);
+                    w.opt_u64(entry.deadline_ns);
+                }
+                let mut sw = SnapWriter::new();
+                svc.source.snap_state(&mut sw);
+                w.blob(&sw.finish());
+            }
+        }
+
         Ok(w.finish())
     }
 }
@@ -2356,18 +2699,18 @@ impl<C: 'static> Exec<'_, C> {
         }
 
         // Rebuild the cancellation tree parent-first (slot reuse means a
-        // child's id can be lower than its parent's, so a DFS from the root
-        // — not id order — drives token derivation).
+        // child's id can be lower than its parent's, so a DFS from the roots
+        // — not id order — drives token derivation). A batch run has exactly
+        // one root; a service run's graph is a *forest* (every live request
+        // is a parentless tree, and between requests it may be empty), with
+        // each root deriving directly from the run token in ascending id
+        // order.
         let mut children_of: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
-        let mut root_id: Option<TaskId> = None;
+        let mut roots: Vec<TaskId> = Vec::new();
         for (id, slot) in tasks.iter().enumerate() {
             let Some(rec) = slot else { continue };
             match rec.parent {
-                None => {
-                    if root_id.replace(id).is_some() {
-                        return Err(SnapError::Corrupt("task graph has multiple roots"));
-                    }
-                }
+                None => roots.push(id),
                 Some((p, _)) => {
                     if p >= tasks.len() || tasks[p].is_none() {
                         return Err(SnapError::Corrupt("task parent is not live"));
@@ -2376,15 +2719,23 @@ impl<C: 'static> Exec<'_, C> {
                 }
             }
         }
-        let Some(root_id) = root_id else {
-            return Err(SnapError::Corrupt("task graph has no root"));
-        };
-        let root_token = self.run_cancel.child();
-        root_token.restore_flag(flags[root_id]);
-        if let Some(rec) = tasks[root_id].as_mut() {
-            rec.cancel = root_token;
+        if self.service.is_none() {
+            if roots.is_empty() {
+                return Err(SnapError::Corrupt("task graph has no root"));
+            }
+            if roots.len() > 1 {
+                return Err(SnapError::Corrupt("task graph has multiple roots"));
+            }
         }
-        let mut stack = vec![root_id];
+        let mut stack: Vec<TaskId> = Vec::with_capacity(roots.len());
+        for &root_id in &roots {
+            let token = self.run_cancel.child();
+            token.restore_flag(flags[root_id]);
+            if let Some(rec) = tasks[root_id].as_mut() {
+                rec.cancel = token;
+            }
+            stack.push(root_id);
+        }
         let mut visited: usize = 0;
         while let Some(id) = stack.pop() {
             visited += 1;
@@ -2487,6 +2838,60 @@ impl<C: 'static> Exec<'_, C> {
                 m.restore_state(&rt.machine, &mut sub)?;
                 sub.finish()?;
             }
+            // The throttle *limit* is configuration, deliberately outside
+            // the snapshot (one snapshot forks across limit variants), but
+            // monitors that drive the limit as policy re-apply their
+            // restored ladder level here.
+            for m in &rt.monitors {
+                m.restore_throttle(&mut rt.throttle);
+            }
+        }
+
+        // Service section: presence must match the execution mode, every
+        // request must map to a live parentless tree, and every root must
+        // be a request.
+        let svc_present = r.bool()?;
+        if svc_present != self.service.is_some() {
+            return Err(SnapError::Corrupt("service section does not match run mode"));
+        }
+        if let Some(svc) = self.service.as_mut() {
+            let next_shep = r.u64()? as usize;
+            if next_shep >= self.shepherds.len() {
+                return Err(SnapError::Corrupt("service round-robin cursor out of range"));
+            }
+            let n_live = r.len()?;
+            if n_live != roots.len() {
+                return Err(SnapError::Corrupt("service request count does not match roots"));
+            }
+            let mut live_map: BTreeMap<u64, LiveRequest> = BTreeMap::new();
+            let mut task_req: BTreeMap<TaskId, u64> = BTreeMap::new();
+            let mut deadlines: BTreeSet<(u64, u64)> = BTreeSet::new();
+            for _ in 0..n_live {
+                let req_id = r.u64()?;
+                let task = r.u64()? as usize;
+                let deadline_ns = r.opt_u64()?;
+                let is_root = task < tasks.len()
+                    && tasks[task].as_ref().is_some_and(|rec| rec.parent.is_none());
+                if !is_root {
+                    return Err(SnapError::Corrupt("service request task is not a live root"));
+                }
+                if task_req.insert(task, req_id).is_some()
+                    || live_map.insert(req_id, LiveRequest { task, deadline_ns }).is_some()
+                {
+                    return Err(SnapError::Corrupt("duplicate service request entry"));
+                }
+                if let Some(d) = deadline_ns {
+                    deadlines.insert((d, req_id));
+                }
+            }
+            svc.next_shep = next_shep;
+            svc.live = live_map;
+            svc.task_req = task_req;
+            svc.deadlines = deadlines;
+            let section = r.blob()?;
+            let mut sub = SnapReader::new(section);
+            svc.source.restore_state(&mut sub)?;
+            sub.finish()?;
         }
         r.finish()?;
 
@@ -2556,6 +2961,9 @@ fn snap_stats(w: &mut SnapWriter, s: &RunStats) {
         s.task_panics,
         s.lost_wakes,
         s.wake_recoveries,
+        s.requests_shed,
+        s.retries_spent,
+        s.slo_violations,
     ] {
         w.u64(v);
     }
@@ -2584,6 +2992,9 @@ fn restore_stats(r: &mut SnapReader<'_>) -> Result<RunStats, SnapError> {
         task_panics: r.u64()?,
         lost_wakes: r.u64()?,
         wake_recoveries: r.u64()?,
+        requests_shed: r.u64()?,
+        retries_spent: r.u64()?,
+        slo_violations: r.u64()?,
     })
 }
 

@@ -1,0 +1,228 @@
+//! The SLO governor: "minimize energy subject to p99 ≤ SLO".
+//!
+//! Two coupled ladders, stepped once per decision epoch from the window
+//! histogram's p99:
+//!
+//! * the **energy ladder** deepens the paper's concurrency throttle
+//!   (tighter `limit_per_shepherd`) while the tail is comfortably under the
+//!   SLO — spending latency headroom on energy;
+//! * the **brownout ladder** degrades request fidelity (the source builds
+//!   cheaper specs) when the SLO is violated *at full performance* — the
+//!   last resort after the energy ladder has fully backed off.
+//!
+//! One step per epoch, violation responses first: a violating epoch first
+//! climbs back out of the energy ladder, and only once the throttle is fully
+//! released does brownout deepen. A comfortable epoch unwinds in the
+//! opposite order (brownout recovers before energy saving resumes). The
+//! result is the energy-vs-tail-latency Pareto frontier the bench sweeps.
+//!
+//! The governor's ladder levels are authoritative in [`ServiceShared`]
+//! (the source reads `brownout_level` when building specs) but are
+//! serialized with the governor's own monitor blob; after a restore,
+//! [`Monitor::restore_throttle`] re-imposes the energy level on the
+//! (deliberately unserialized) throttle limit.
+
+use maestro_machine::snap::{SnapError, SnapReader, SnapWriter};
+use maestro_machine::Machine;
+use maestro_runtime::{Monitor, ThrottleState};
+
+use crate::source::ServiceHandle;
+
+/// Governor tuning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GovernorConfig {
+    /// The SLO: window p99 must stay at or below this.
+    pub slo_p99_ns: u64,
+    /// Decision epoch length, ns.
+    pub period_ns: u64,
+    /// Shepherd limits for energy levels `1..=ladder.len()` (level 0 is
+    /// throttle-off). Deeper levels should be tighter.
+    pub ladder: Vec<usize>,
+    /// Deepest brownout level the governor may order.
+    pub max_brownout: u8,
+    /// Comfort threshold, percent of the SLO: below this p99 the governor
+    /// deepens energy saving.
+    pub comfort_pct: u64,
+}
+
+impl GovernorConfig {
+    /// Defaults for the paper's 2×8 node: 1 ms epochs, the 12/8/6/4 duty
+    /// ladder, two brownout levels, comfort at 60 % of the SLO.
+    pub fn new(slo_p99_ns: u64) -> Self {
+        GovernorConfig {
+            slo_p99_ns,
+            period_ns: 1_000_000,
+            ladder: vec![12, 8, 6, 4],
+            max_brownout: 2,
+            comfort_pct: 60,
+        }
+    }
+}
+
+/// The monitor. Install with `runtime.add_monitor` alongside the service
+/// source that shares its [`ServiceHandle`].
+pub struct SloGovernor {
+    cfg: GovernorConfig,
+    shared: ServiceHandle,
+    next_ns: u64,
+}
+
+impl SloGovernor {
+    /// A governor sharing `shared` with the run's service source.
+    pub fn new(cfg: GovernorConfig, shared: ServiceHandle) -> Self {
+        assert!(!cfg.ladder.is_empty(), "energy ladder needs at least one level");
+        assert!(cfg.period_ns > 0, "decision epoch must be positive");
+        let next_ns = cfg.period_ns;
+        SloGovernor { cfg, shared, next_ns }
+    }
+
+    fn apply(&self, throttle: &mut ThrottleState, energy_level: usize) {
+        if energy_level == 0 {
+            throttle.active = false;
+        } else {
+            throttle.active = true;
+            throttle.limit_per_shepherd = self.cfg.ladder[energy_level - 1];
+        }
+    }
+}
+
+impl Monitor for SloGovernor {
+    fn next_due_ns(&self) -> Option<u64> {
+        Some(self.next_ns)
+    }
+
+    fn fire(&mut self, machine: &mut Machine, throttle: &mut ThrottleState) {
+        let mut sh = self.shared.borrow_mut();
+        if sh.window.count() > 0 {
+            let p99 = sh.window.quantile(0.99).unwrap_or(u64::MAX);
+            if p99 > self.cfg.slo_p99_ns {
+                // Violating: restore performance before degrading fidelity.
+                if sh.energy_level > 0 {
+                    sh.energy_level -= 1;
+                    sh.energy_steps += 1;
+                } else if sh.brownout_level < self.cfg.max_brownout {
+                    sh.brownout_level += 1;
+                    sh.brownout_steps += 1;
+                }
+            } else if p99.saturating_mul(100) < self.cfg.slo_p99_ns.saturating_mul(self.cfg.comfort_pct)
+            {
+                // Comfortable: recover fidelity before saving more energy.
+                if sh.brownout_level > 0 {
+                    sh.brownout_level -= 1;
+                    sh.brownout_steps += 1;
+                } else if sh.energy_level < self.cfg.ladder.len() {
+                    sh.energy_level += 1;
+                    sh.energy_steps += 1;
+                }
+            }
+            sh.window.reset();
+        }
+        let level = sh.energy_level;
+        drop(sh);
+        self.apply(throttle, level);
+        self.next_ns = machine.now_ns() + self.cfg.period_ns;
+    }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        let sh = self.shared.borrow();
+        w.u64(self.next_ns);
+        w.u64(sh.energy_level as u64);
+        w.u8(sh.brownout_level);
+        w.u64(sh.energy_steps);
+        w.u64(sh.brownout_steps);
+    }
+
+    fn restore_state(
+        &mut self,
+        _machine: &Machine,
+        r: &mut SnapReader<'_>,
+    ) -> Result<(), SnapError> {
+        self.next_ns = r.u64()?;
+        let energy_level = r.u64()? as usize;
+        if energy_level > self.cfg.ladder.len() {
+            return Err(SnapError::Corrupt("energy level beyond the configured ladder"));
+        }
+        let brownout_level = r.u8()?;
+        if brownout_level > self.cfg.max_brownout {
+            return Err(SnapError::Corrupt("brownout level beyond the configured maximum"));
+        }
+        let mut sh = self.shared.borrow_mut();
+        sh.energy_level = energy_level;
+        sh.brownout_level = brownout_level;
+        sh.energy_steps = r.u64()?;
+        sh.brownout_steps = r.u64()?;
+        Ok(())
+    }
+
+    fn restore_throttle(&self, throttle: &mut ThrottleState) {
+        let level = self.shared.borrow().energy_level;
+        self.apply(throttle, level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::service_handle;
+    use maestro_machine::MachineConfig;
+
+    fn governor() -> (SloGovernor, ServiceHandle, Machine) {
+        let handle = service_handle();
+        let g = SloGovernor::new(GovernorConfig::new(1_000_000), handle.clone());
+        (g, handle, Machine::new(MachineConfig::sandybridge_2x8()))
+    }
+
+    #[test]
+    fn comfortable_epochs_descend_the_energy_ladder() {
+        let (mut g, handle, mut machine) = governor();
+        let mut throttle = ThrottleState::new(16);
+        for _ in 0..3 {
+            handle.borrow_mut().window.record(100_000); // p99 ≪ 60 % of SLO
+            g.fire(&mut machine, &mut throttle);
+        }
+        let sh = handle.borrow();
+        assert_eq!(sh.energy_level, 3);
+        assert!(throttle.active);
+        assert_eq!(throttle.limit_per_shepherd, 6, "third rung of 12/8/6/4");
+    }
+
+    #[test]
+    fn violations_unwind_energy_before_brownout() {
+        let (mut g, handle, mut machine) = governor();
+        let mut throttle = ThrottleState::new(16);
+        handle.borrow_mut().energy_level = 2;
+        for _ in 0..2 {
+            handle.borrow_mut().window.record(5_000_000); // p99 > SLO
+            g.fire(&mut machine, &mut throttle);
+        }
+        let sh = handle.borrow();
+        assert_eq!(sh.energy_level, 0, "throttle fully released first");
+        assert_eq!(sh.brownout_level, 0, "no brownout while energy can unwind");
+        drop(sh);
+        assert!(!throttle.active);
+
+        handle.borrow_mut().window.record(5_000_000);
+        g.fire(&mut machine, &mut throttle);
+        assert_eq!(handle.borrow().brownout_level, 1, "then brownout deepens");
+    }
+
+    #[test]
+    fn empty_window_holds_the_line() {
+        let (mut g, handle, mut machine) = governor();
+        let mut throttle = ThrottleState::new(16);
+        handle.borrow_mut().energy_level = 1;
+        g.fire(&mut machine, &mut throttle);
+        assert_eq!(handle.borrow().energy_level, 1, "no data, no move");
+        assert!(throttle.active, "current level still applied");
+    }
+
+    #[test]
+    fn restore_throttle_reimposes_the_ladder() {
+        let (g, handle, _machine) = governor();
+        handle.borrow_mut().energy_level = 4;
+        let mut throttle = ThrottleState::new(16);
+        g.restore_throttle(&mut throttle);
+        assert!(throttle.active);
+        assert_eq!(throttle.limit_per_shepherd, 4, "deepest rung");
+    }
+}

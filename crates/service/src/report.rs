@@ -1,0 +1,75 @@
+//! Post-run service summary: tail latencies, goodput, and the ledger.
+
+use maestro_runtime::ServiceCounters;
+
+use crate::source::ServiceHandle;
+
+/// Everything the report layer extracts from a finished service run. The
+/// source itself is consumed by the scheduler, so this reads the shared
+/// handle the run published into.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceSummary {
+    /// Median end-to-end latency estimate, ns (0 when nothing completed).
+    pub p50_ns: u64,
+    /// p99 end-to-end latency estimate, ns.
+    pub p99_ns: u64,
+    /// p99.9 end-to-end latency estimate, ns.
+    pub p999_ns: u64,
+    /// Completed requests per virtual second.
+    pub goodput_rps: f64,
+    /// The conservation ledger at run end.
+    pub counters: ServiceCounters,
+    /// Final energy-ladder level.
+    pub energy_level: usize,
+    /// Final brownout level.
+    pub brownout_level: u8,
+    /// Energy-ladder transitions over the run.
+    pub energy_steps: u64,
+    /// Brownout transitions over the run.
+    pub brownout_steps: u64,
+    /// Requests injected with a degraded spec.
+    pub degraded_injections: u64,
+}
+
+impl ServiceSummary {
+    /// Extract the summary after a run that lasted `elapsed_s` virtual
+    /// seconds.
+    pub fn collect(handle: &ServiceHandle, elapsed_s: f64) -> Self {
+        let sh = handle.borrow();
+        let q = |p: f64| sh.total.quantile(p).unwrap_or(0);
+        ServiceSummary {
+            p50_ns: q(0.50),
+            p99_ns: q(0.99),
+            p999_ns: q(0.999),
+            goodput_rps: if elapsed_s > 0.0 {
+                sh.counters.completed as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            counters: sh.counters,
+            energy_level: sh.energy_level,
+            brownout_level: sh.brownout_level,
+            energy_steps: sh.energy_steps,
+            brownout_steps: sh.brownout_steps,
+            degraded_injections: sh.degraded_injections,
+        }
+    }
+
+    /// One-line fixed-width rendering for tables and logs.
+    pub fn render(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "p50 {:>9} ns  p99 {:>9} ns  p99.9 {:>9} ns  goodput {:>10.0} rps  \
+             [{} ok / {} shed / {} cancelled / {} failed, {} retries]",
+            self.p50_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.goodput_rps,
+            c.completed,
+            c.shed,
+            c.cancelled,
+            c.failed,
+            c.retries_spent,
+        )
+    }
+}

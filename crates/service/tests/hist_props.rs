@@ -1,0 +1,113 @@
+//! Property tests for the mergeable log-scale latency histogram.
+//!
+//! The parallel Pareto sweep depends on merge being associative and
+//! commutative (any `--jobs N` partition of the recordings must produce
+//! the same histogram), the snapshot format depends on bucket placement
+//! being a pure deterministic function of the value, and the report layer
+//! quotes quantiles with the documented 6.25 % relative-error bound.
+
+use maestro_service::{LatencyHist, BUCKETS, MAX_RELATIVE_ERROR};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LatencyHist {
+    let mut h = LatencyHist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merging is commutative: a∪b and b∪a are the same histogram.
+    #[test]
+    fn merge_is_commutative(a in prop::collection::vec(0u64..=u64::MAX, 0..100),
+                            b in prop::collection::vec(0u64..=u64::MAX, 0..100)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: (a∪b)∪c equals a∪(b∪c), so a parallel
+    /// tree-reduction over any partitioning yields one canonical result.
+    #[test]
+    fn merge_is_associative(a in prop::collection::vec(0u64..=u64::MAX, 0..80),
+                            b in prop::collection::vec(0u64..=u64::MAX, 0..80),
+                            c in prop::collection::vec(0u64..=u64::MAX, 0..80)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Any partition of one recording stream merges back to the histogram
+    /// of the whole stream — the exact property the `--jobs N` sweep uses.
+    #[test]
+    fn any_partition_merges_to_the_whole(values in prop::collection::vec(0u64..=u64::MAX, 1..200),
+                                         cut in 0usize..200) {
+        let at = cut % (values.len() + 1);
+        let mut merged = hist_of(&values[..at]);
+        merged.merge(&hist_of(&values[at..]));
+        prop_assert_eq!(merged, hist_of(&values));
+    }
+
+    /// Bucket placement is deterministic and consistent with the bucket
+    /// bounds: every value lands in a valid bucket whose range contains it,
+    /// and placement is monotone in the value.
+    #[test]
+    fn bucket_placement_matches_bounds(v in 0u64..=u64::MAX, w in 0u64..=u64::MAX) {
+        let idx = LatencyHist::bucket_index(v);
+        prop_assert!(idx < BUCKETS);
+        let (lo, hi) = LatencyHist::bucket_bounds(idx);
+        // The top bucket's upper bound saturates at u64::MAX and is
+        // inclusive there; every other bucket is half-open.
+        prop_assert!(lo <= v && (v < hi || hi == u64::MAX), "{v} outside [{lo}, {hi})");
+        let (small, large) = if v <= w { (v, w) } else { (w, v) };
+        prop_assert!(
+            LatencyHist::bucket_index(small) <= LatencyHist::bucket_index(large),
+            "bucket placement must be monotone"
+        );
+    }
+
+    /// Quantile estimates stay within the documented relative-error bound
+    /// of the true order statistic at the same deterministic rank.
+    #[test]
+    fn quantile_respects_relative_error_bound(values in prop::collection::vec(0u64..1 << 40, 1..300),
+                                              q in 0.001f64..=1.0) {
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let true_v = sorted[rank - 1];
+        let est = h.quantile(q).expect("non-empty histogram");
+        if true_v == 0 {
+            prop_assert_eq!(est, 0, "zero is recorded exactly");
+        } else {
+            let rel = (est as f64 - true_v as f64).abs() / true_v as f64;
+            prop_assert!(
+                rel <= MAX_RELATIVE_ERROR,
+                "q={q}: estimate {est} vs true {true_v}, relative error {rel}"
+            );
+        }
+    }
+
+    /// Count bookkeeping survives merge: the merged total is the sum of
+    /// the parts, and quantiles of a merged histogram only report values
+    /// some input bucket contained.
+    #[test]
+    fn merge_preserves_counts(a in prop::collection::vec(0u64..=u64::MAX, 0..100),
+                              b in prop::collection::vec(0u64..=u64::MAX, 0..100)) {
+        let mut m = hist_of(&a);
+        m.merge(&hist_of(&b));
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+    }
+}

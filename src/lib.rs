@@ -17,6 +17,7 @@
 //! | [`core`](mod@core) | the adaptive throttling controller + facade |
 //! | [`workloads`] | micro-benchmarks, BOTS, LULESH |
 //! | [`fleet`] | the fault-tolerant fleet power coordinator (§V outlook) |
+//! | [`service`] | the SLO-guarded open-loop service workload |
 //! | [`bench`](mod@bench) | the table/figure reproduction harness |
 
 pub use maestro as core;
@@ -26,4 +27,5 @@ pub use maestro_machine as machine;
 pub use maestro_rapl as rapl;
 pub use maestro_rcr as rcr;
 pub use maestro_runtime as runtime;
+pub use maestro_service as service;
 pub use maestro_workloads as workloads;

@@ -158,6 +158,88 @@ fn resumed_run_matches_unbroken_run_byte_for_byte() {
     );
 }
 
+/// The service Pareto sweep and demo rows fan out over the job pool like
+/// any other experiment, and the merged log-scale histograms make quantile
+/// extraction order-free — so the rendered sweep is byte-identical for any
+/// `--jobs N`.
+#[test]
+fn service_pareto_sweep_matches_serial_byte_for_byte() {
+    use maestro_bench::{experiments, format};
+
+    let render = |jobs: usize| {
+        let mut out = String::new();
+        out += &format::render_service(
+            "SLO-guarded service",
+            &experiments::service_rows(Scale::Test, jobs),
+        );
+        out += &format::render_pareto(
+            "Energy vs tail latency",
+            &experiments::pareto(Scale::Test, jobs),
+        );
+        out
+    };
+    let serial = render(1);
+    assert!(!serial.is_empty());
+    for jobs in [2, 4] {
+        assert_eq!(serial, render(jobs), "jobs {jobs} changed the rendered service sweep");
+    }
+}
+
+/// Suspension is invisible to service runs too: svc-burst suspended in the
+/// middle of a burst window (arrival RNG mid-stream, retries pending,
+/// admission queue hot) and resumed on a brand-new facade with a freshly
+/// built service stack reports byte-for-byte what the unbroken run reports
+/// — including the full request ledger and latency quantiles.
+#[test]
+fn resumed_service_run_matches_unbroken_run_byte_for_byte() {
+    use maestro_bench::experiments::service_at_scale;
+    use maestro_bench::scenario::service_facade;
+    use maestro_runtime::SnapshotPlan;
+    use maestro_service::ServiceSummary;
+
+    // 8 ms is inside the scenario's first burst window (0-15 ms): the
+    // arrival RNG is mid-stream at 6x rate and the admission queue is hot.
+    // (The test-scale run finishes before the second window opens; the
+    // full-scale mid-second-burst replay lives in the scenario registry
+    // tests.)
+    const SUSPEND_NS: u64 = 8_000_000;
+    let key = |r: &maestro::RunReport| {
+        (r.to_string(), r.elapsed_s.to_bits(), r.joules.to_bits(), r.avg_watts.to_bits())
+    };
+
+    let sc = service_at_scale("svc-burst", Scale::Test);
+    let (unbroken, unbroken_summary) = {
+        let (mut m, source, handle) = service_facade(&sc);
+        let r = m
+            .run_service_captured(sc.name, &mut (), source, &SnapshotPlan::none().with_fence(SUSPEND_NS))
+            .expect("capture succeeds")
+            .report()
+            .expect("completes");
+        let s = ServiceSummary::collect(&handle, r.elapsed_s);
+        (r, s)
+    };
+    let (resumed, resumed_summary) = {
+        let (mut m, source, _) = service_facade(&sc);
+        let snap = m
+            .run_service_captured(sc.name, &mut (), source, &SnapshotPlan::suspend_at(SUSPEND_NS))
+            .expect("capture succeeds")
+            .suspended()
+            .expect("suspends mid-burst");
+        let (mut m2, source2, handle2) = service_facade(&sc);
+        let r = m2
+            .resume_service_captured(&mut (), source2, &snap, &SnapshotPlan::none())
+            .expect("resume succeeds")
+            .report()
+            .expect("completes");
+        let s = ServiceSummary::collect(&handle2, r.elapsed_s);
+        (r, s)
+    };
+    assert_eq!(key(&unbroken), key(&resumed), "suspension must be invisible");
+    assert_eq!(unbroken.stats, resumed.stats, "scheduler counters");
+    assert_eq!(unbroken_summary, resumed_summary, "service ledger and quantiles");
+    assert_eq!(unbroken_summary.counters.conservation_gap(), 0, "ledger balances");
+}
+
 /// Workload *results* (not just timings) are independent of worker count:
 /// the LULESH field state is bit-identical from 1 to 16 workers, and sorts,
 /// counts, and factorizations verify internally at every width.
